@@ -1,0 +1,21 @@
+// Command experiments regenerates every figure/claim reproduction table
+// (E1–E12 in DESIGN.md) and prints them to stdout. The measured values are
+// the ones recorded in EXPERIMENTS.md.
+//
+//	go run ./cmd/experiments
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out, err := experiments.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,111 @@
+// Command gdmrender renders a saved GDM file (the "initial GDM file" of
+// Fig. 6 step 4, JSON) to SVG or ASCII.
+//
+//	go run ./cmd/gdmrender -in model.gdm -format svg > model.svg
+//	go run ./cmd/gdmrender -demo heating -format ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/comdes"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/models"
+)
+
+func main() {
+	in := flag.String("in", "", "GDM JSON file ('-' for stdin)")
+	demo := flag.String("demo", "", "render a built-in model instead (heating|traffic|ring)")
+	format := flag.String("format", "ascii", "output format: ascii|svg|json")
+	flag.Parse()
+
+	var g *core.GDM
+	var err error
+	switch {
+	case *demo != "":
+		g, err = demoGDM(*demo)
+	case *in == "-":
+		g, err = readGDM(os.Stdin)
+	case *in != "":
+		var f *os.File
+		f, err = os.Open(*in)
+		if err == nil {
+			defer f.Close()
+			g, err = readGDM(f)
+		}
+	default:
+		err = fmt.Errorf("need -in or -demo (see -help)")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *format {
+	case "svg":
+		fmt.Print(g.Scene().SVG())
+	case "ascii":
+		fmt.Print(g.Scene().ASCII(0, 0))
+	case "json":
+		data, err := g.MarshalJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+}
+
+func readGDM(r io.Reader) (*core.GDM, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return core.LoadGDM(data)
+}
+
+func demoGDM(name string) (*core.GDM, error) {
+	switch name {
+	case "heating":
+		s, err := models.Heating(models.HeatingOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return buildGDM(s)
+	case "traffic":
+		s, err := models.TrafficLight()
+		if err != nil {
+			return nil, err
+		}
+		return buildGDM(s)
+	case "ring":
+		s, err := models.TokenRing(4)
+		if err != nil {
+			return nil, err
+		}
+		return buildGDM(s)
+	}
+	return nil, fmt.Errorf("unknown demo %q", name)
+}
+
+func buildGDM(sys *comdes.System) (*core.GDM, error) {
+	meta := comdes.Metamodel()
+	model, err := comdes.ToModel(sys, meta)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.Abstract(model, engine.DefaultCOMDESMapping())
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.BindCOMDES(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

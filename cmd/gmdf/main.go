@@ -1,0 +1,163 @@
+// Command gmdf is the Graphical Model Debugger tool: it walks the paper's
+// Fig. 6 workflow — input selection, abstraction guide, command setting,
+// GDM creation, debugging — against a simulated embedded target, printing
+// the abstraction-guide panel (Fig. 4), live animation frames and the
+// final timing diagram.
+//
+//	go run ./cmd/gmdf -model heating -transport passive -ms 3000
+//	go run ./cmd/gmdf -model path/to/model.xml -gdm out.gdm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/comdes"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/metamodel"
+	"repro/internal/plant"
+	"repro/internal/target"
+	"repro/internal/value"
+	"repro/internal/workbench"
+	"repro/models"
+)
+
+func main() {
+	model := flag.String("model", "heating", "built-in model (heating|traffic|ring) or COMDES model XML path")
+	transport := flag.String("transport", "active", "command interface: active (RS-232) | passive (JTAG)")
+	ms := flag.Uint64("ms", 2000, "virtual milliseconds to debug")
+	gdmOut := flag.String("gdm", "", "write the generated GDM file (JSON) here")
+	svgOut := flag.String("svg", "", "write the final animated frame (SVG) here")
+	flag.Parse()
+
+	sys, err := loadSystem(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meta := comdes.Metamodel()
+	mod, err := comdes.ToModel(sys, meta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 6 steps 1–4 through the workbench wizard.
+	w := workbench.NewWizard()
+	if err := w.SelectInputs(meta, mod); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.UseMapping(engine.DefaultCOMDESMapping()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== abstraction guide (Fig. 4) ==")
+	fmt.Print(w.GuidePanel())
+	if err := w.FinishAbstraction(); err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range defaultBindings() {
+		if err := w.BindCommand(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.FinishCommandSetup(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GDM created: %d elements, %d command bindings\n\n",
+		len(w.GDM().Elements()), len(w.GDM().Bindings()))
+	if *gdmOut != "" {
+		data, err := w.GDM().MarshalJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*gdmOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *gdmOut, len(data))
+	}
+
+	// Step 5 via the facade (compile + board + channel + session).
+	tp := repro.Active
+	if *transport == "passive" {
+		tp = repro.Passive
+	}
+	dbg, err := repro.Debug(sys, repro.DebugConfig{
+		Transport:   tp,
+		Environment: environmentFor(sys.Name()),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dbg.RunNs(*ms * 1_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== animated model ==")
+	fmt.Print(dbg.RenderASCII())
+	fmt.Printf("\ntransport=%s events=%d reactions=%d target-cycles=%d instr-cycles=%d\n",
+		*transport, dbg.Session.Handled, dbg.GDM.Reactions, dbg.Board.Cycles(), dbg.Board.InstrumentationCycles())
+	fmt.Println("\n== timing diagram ==")
+	fmt.Print(dbg.TimingDiagramASCII(76))
+
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(dbg.RenderSVG()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}
+
+func defaultBindings() []core.Binding {
+	g := core.NewGDM("tmp")
+	_ = engine.BindCOMDES(g)
+	return g.Bindings()
+}
+
+func loadSystem(name string) (*comdes.System, error) {
+	switch name {
+	case "heating":
+		return models.Heating(models.HeatingOptions{})
+	case "traffic":
+		return models.TrafficLight()
+	case "ring":
+		return models.TokenRing(4)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	mod, err := metamodel.ReadModelXML(comdes.Metamodel(), f)
+	if err != nil {
+		return nil, err
+	}
+	return comdes.FromModel(mod)
+}
+
+// environmentFor supplies a plant for the built-in models.
+func environmentFor(sysName string) func(uint64, *target.Board) {
+	switch sysName {
+	case "heating":
+		room := plant.NewThermal(15)
+		var last uint64
+		return func(now uint64, b *target.Board) {
+			dt := now - last
+			last = now
+			power := 0.0
+			if p, err := b.ReadOutput("heater", "power"); err == nil {
+				power = p.Float()
+			}
+			_ = b.WriteInput("heater", "temp", value.F(room.Step(dt, power)))
+			_ = b.WriteInput("heater", "mode", value.I(2))
+		}
+	case "traffic":
+		return func(now uint64, b *target.Board) {
+			t := float64(now%12_000_000_000) / 1e9
+			_ = b.WriteInput("signal", "t", value.F(t))
+		}
+	default:
+		return nil
+	}
+}

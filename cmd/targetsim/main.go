@@ -1,0 +1,86 @@
+// Command targetsim runs generated code on the simulated embedded board
+// and prints the command stream a GDM host would receive over the active
+// RS-232 interface — useful for inspecting what the instrumented target
+// actually says.
+//
+//	go run ./cmd/targetsim -model heating -ms 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/comdes"
+	"repro/internal/plant"
+	"repro/internal/protocol"
+	"repro/internal/target"
+	"repro/internal/value"
+	"repro/models"
+)
+
+func main() {
+	model := flag.String("model", "heating", "built-in model (heating|traffic|ring)")
+	ms := flag.Uint64("ms", 200, "virtual milliseconds to run")
+	maxPrint := flag.Int("n", 40, "max events to print")
+	flag.Parse()
+
+	var sys *comdes.System
+	var err error
+	switch *model {
+	case "heating":
+		sys, err = models.Heating(models.HeatingOptions{})
+	case "traffic":
+		sys, err = models.TrafficLight()
+	case "ring":
+		sys, err = models.TokenRing(4)
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := codegen.Compile(sys, codegen.Options{
+		Instrument: codegen.Instrument{StateEnter: true, Transitions: true, Signals: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := target.NewBoard("main", prog, target.Config{Bindings: sys.Bindings}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *model == "heating" {
+		room := plant.NewThermal(15)
+		var last uint64
+		b.PreLatch = func(now uint64, actor string) {
+			if actor != "heater" {
+				return
+			}
+			dt := now - last
+			last = now
+			power := 0.0
+			if p, err := b.ReadOutput("heater", "power"); err == nil {
+				power = p.Float()
+			}
+			_ = b.WriteInput("heater", "temp", value.F(room.Step(dt, power)))
+			_ = b.WriteInput("heater", "mode", value.I(2))
+		}
+	}
+
+	var dec protocol.Decoder
+	printed := 0
+	for t := uint64(0); t < *ms*1_000_000; t += 1_000_000 {
+		b.RunFor(1_000_000)
+		evs, _ := dec.Feed(b.HostPort().Recv())
+		for _, ev := range evs {
+			if printed < *maxPrint {
+				fmt.Println(ev)
+			}
+			printed++
+		}
+	}
+	fmt.Printf("\n%d events total; target: %d cycles (%d instrumentation), %d UART bytes, %d decode errors\n",
+		printed, b.Cycles(), b.InstrumentationCycles(), b.Link.PortA().Stats().Bytes, dec.Errors)
+}

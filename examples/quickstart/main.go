@@ -1,0 +1,54 @@
+// Quickstart: debug a traffic-light state machine at the model level.
+//
+// The example builds the smallest COMDES model (one actor, one state
+// machine), lets repro.Debug assemble the whole GMDF pipeline — code
+// generation, simulated target, abstraction, command bindings, runtime
+// engine — and animates the model while the generated code runs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro"
+	"repro/internal/target"
+	"repro/internal/value"
+	"repro/models"
+)
+
+func main() {
+	sys, err := models.TrafficLight()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dbg, err := repro.Debug(sys, repro.DebugConfig{
+		// The environment supplies the sawtooth clock the light cycles on.
+		Environment: func(now uint64, b *target.Board) {
+			t := math.Mod(float64(now)/1e9, 12)
+			_ = b.WriteInput("signal", "t", value.F(t))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== initial model view (Red is the initial state) ==")
+	fmt.Print(dbg.RenderASCII())
+
+	if err := dbg.Run(9 * time.Second); err != nil { // virtual seconds
+		log.Fatal(err)
+	}
+
+	fmt.Println("== after 9 virtual seconds ==")
+	fmt.Print(dbg.RenderASCII())
+	fmt.Printf("\nhighlighted: %v\n", dbg.GDM.HighlightedElements())
+	fmt.Printf("commands handled: %d, reactions: %d\n", dbg.Session.Handled, dbg.GDM.Reactions)
+
+	fmt.Println("\n== timing diagram of the recorded trace ==")
+	fmt.Print(dbg.TimingDiagramASCII(72))
+}

@@ -1,0 +1,214 @@
+// Package repro is the public facade of the GMDF reproduction — the
+// Graphical Model Debugger Framework for embedded systems (Zeng, Guo,
+// Angelov; DATE 2010) rebuilt as a self-contained Go library.
+//
+// The one-call entry point assembles the whole paper pipeline:
+//
+//	sys := ...                        // a COMDES design model
+//	dbg, err := repro.Debug(sys, repro.DebugConfig{})
+//	dbg.Session.SetBreakpoint(...)    // model-level breakpoints
+//	dbg.Run(200*time.Millisecond)     // animate against the live target
+//	fmt.Print(dbg.RenderASCII())      // inspect the animated model
+//
+// Underneath: the model is compiled to target code (internal/codegen),
+// loaded on a simulated embedded board (internal/target), reflected into a
+// MOF model (internal/comdes + internal/metamodel), abstracted into a
+// Graphical Debugger Model (internal/core), and animated by the runtime
+// engine (internal/engine) over either the active RS-232 command interface
+// or the passive JTAG watch engine.
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/comdes"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/jtag"
+	"repro/internal/metamodel"
+	"repro/internal/target"
+	"repro/internal/value"
+)
+
+// Transport selects the command interface of the paper's Fig. 2.
+type Transport uint8
+
+// Command interface transports.
+const (
+	// Active instruments the generated code; commands travel over RS-232
+	// and cost target CPU cycles.
+	Active Transport = iota
+	// Passive leaves the code untouched; the JTAG watch engine extracts
+	// monitored variables from RAM with zero target overhead.
+	Passive
+)
+
+// DebugConfig parameterises Debug.
+type DebugConfig struct {
+	// Transport selects active (RS-232) or passive (JTAG); Active default.
+	Transport Transport
+	// Mapping overrides the abstraction pairing (default: the COMDES
+	// mapping covering both state machine and dataflow viewpoints).
+	Mapping *core.Mapping
+	// Instrument overrides the active instrumentation points (default:
+	// state entries, transitions and signals).
+	Instrument *codegen.Instrument
+	// Board overrides the physical board parameters.
+	Board target.Config
+	// Compile carries extra code generation options (fault injection).
+	Compile codegen.Options
+	// Environment, when set, is invoked at every task release so a plant
+	// model can provide sensor inputs and consume actuator outputs.
+	Environment func(now uint64, b *target.Board)
+	// JTAGPollNs is the passive watch polling interval (default 1 ms).
+	JTAGPollNs uint64
+}
+
+// Debugger bundles one assembled debugging setup.
+type Debugger struct {
+	Sys     *comdes.System
+	Prog    *codegen.Program
+	Board   *target.Board
+	Meta    *metamodel.Metamodel
+	Model   *metamodel.Model
+	GDM     *core.GDM
+	Session *engine.Session
+
+	// Probe is non-nil for passive sessions.
+	Probe   *jtag.Probe
+	Watcher *jtag.Watcher
+
+	pollNs   uint64
+	nextPoll uint64
+}
+
+// Debug assembles the full GMDF pipeline for a COMDES system.
+func Debug(sys *comdes.System, cfg DebugConfig) (*Debugger, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	opts := cfg.Compile
+	if cfg.Transport == Active {
+		if cfg.Instrument != nil {
+			opts.Instrument = *cfg.Instrument
+		} else {
+			opts.Instrument = codegen.Instrument{StateEnter: true, Transitions: true, Signals: true}
+		}
+	} else {
+		opts.Instrument = codegen.Instrument{}
+	}
+	prog, err := codegen.Compile(sys, opts)
+	if err != nil {
+		return nil, err
+	}
+	board, err := target.NewBoard("main", prog, withBindings(cfg.Board, sys), nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Environment != nil {
+		env := cfg.Environment
+		board.PreLatch = func(now uint64, actor string) { env(now, board) }
+	}
+
+	meta := comdes.Metamodel()
+	model, err := comdes.ToModel(sys, meta)
+	if err != nil {
+		return nil, err
+	}
+	mapping := cfg.Mapping
+	if mapping == nil {
+		mapping = engine.DefaultCOMDESMapping()
+	}
+	gdm, err := core.Abstract(model, mapping)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.BindCOMDES(gdm); err != nil {
+		return nil, err
+	}
+
+	session := engine.NewSession(gdm, board)
+	d := &Debugger{
+		Sys: sys, Prog: prog, Board: board, Meta: meta, Model: model,
+		GDM: gdm, Session: session, pollNs: cfg.JTAGPollNs,
+	}
+	if d.pollNs == 0 {
+		d.pollNs = 1_000_000
+	}
+	switch cfg.Transport {
+	case Active:
+		session.AddSource(engine.NewSerialSource(board.HostPort()))
+	case Passive:
+		probe := jtag.NewProbe(board.TAP)
+		probe.Reset()
+		watcher := jtag.NewWatcher(probe)
+		if err := engine.AutoWatches(watcher, prog); err != nil {
+			return nil, err
+		}
+		session.AddSource(&engine.WatcherSource{Watcher: watcher})
+		session.Translate = engine.WatchTranslator(sys)
+		d.Probe = probe
+		d.Watcher = watcher
+	default:
+		return nil, fmt.Errorf("repro: unknown transport %d", cfg.Transport)
+	}
+	return d, nil
+}
+
+func withBindings(cfg target.Config, sys *comdes.System) target.Config {
+	cfg.Bindings = append(cfg.Bindings, sys.Bindings...)
+	return cfg
+}
+
+// Run advances the target and the debugger for d virtual time, pumping
+// events every millisecond of target time. It returns early when a
+// model-level breakpoint pauses the session.
+func (d *Debugger) Run(dur time.Duration) error {
+	return d.RunNs(uint64(dur.Nanoseconds()))
+}
+
+// RunNs is Run in raw nanoseconds of virtual time.
+func (d *Debugger) RunNs(durNs uint64) error {
+	end := d.Board.Now() + durNs
+	const slice = 1_000_000
+	for d.Board.Now() < end {
+		if d.Session.Paused() {
+			return nil
+		}
+		d.Board.RunFor(slice)
+		if _, err := d.Session.ProcessEvents(d.Board.Now()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Continue resumes after a breakpoint and keeps running for dur.
+func (d *Debugger) Continue(dur time.Duration) error {
+	d.Session.Continue()
+	return d.Run(dur)
+}
+
+// StepEvent resumes until exactly one model-level event has been handled.
+func (d *Debugger) StepEvent(maxWait time.Duration) error {
+	d.Session.Step()
+	return d.Run(maxWait)
+}
+
+// RenderSVG renders the current animated model view.
+func (d *Debugger) RenderSVG() string { return d.GDM.Scene().SVG() }
+
+// RenderASCII renders the current animated model view for terminals.
+func (d *Debugger) RenderASCII() string { return d.GDM.Scene().ASCII(0, 0) }
+
+// TimingDiagramASCII renders the recorded trace as a timing diagram.
+func (d *Debugger) TimingDiagramASCII(width int) string {
+	return d.Session.Trace.TimingDiagram().ASCII(width)
+}
+
+// WriteInput injects a value on an actor input (manual stimulus).
+func (d *Debugger) WriteInput(actor, port string, v value.Value) error {
+	return d.Board.WriteInput(actor, port, v)
+}

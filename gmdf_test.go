@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/plant"
+	"repro/internal/protocol"
+	"repro/internal/target"
+	"repro/internal/value"
+	"repro/models"
+)
+
+func heatingDebugger(t *testing.T, transport Transport) *Debugger {
+	t.Helper()
+	sys, err := models.Heating(models.HeatingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	room := plant.NewThermal(15)
+	var last uint64
+	dbg, err := Debug(sys, DebugConfig{
+		Transport: transport,
+		Environment: func(now uint64, b *target.Board) {
+			dt := now - last
+			last = now
+			power := 0.0
+			if p, err := b.ReadOutput("heater", "power"); err == nil {
+				power = p.Float()
+			}
+			_ = b.WriteInput("heater", "temp", value.F(room.Step(dt, power)))
+			_ = b.WriteInput("heater", "mode", value.I(2))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dbg
+}
+
+func TestFacadeActiveSession(t *testing.T) {
+	dbg := heatingDebugger(t, Active)
+	if err := dbg.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Session.Handled == 0 {
+		t.Fatal("no events")
+	}
+	hl := dbg.GDM.HighlightedElements()
+	found := false
+	for _, id := range hl {
+		if strings.HasPrefix(id, "state:heater.thermostat.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no thermostat state highlighted: %v", hl)
+	}
+	if !strings.Contains(dbg.RenderSVG(), "<svg") {
+		t.Error("SVG broken")
+	}
+	if dbg.RenderASCII() == "" {
+		t.Error("ASCII broken")
+	}
+	if !strings.Contains(dbg.TimingDiagramASCII(60), "heater") {
+		t.Error("diagram broken")
+	}
+}
+
+func TestFacadePassiveSession(t *testing.T) {
+	dbg := heatingDebugger(t, Passive)
+	if dbg.Probe == nil || dbg.Watcher == nil {
+		t.Fatal("passive plumbing missing")
+	}
+	if err := dbg.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Session.Handled == 0 {
+		t.Fatal("no passive events")
+	}
+	if dbg.Board.InstrumentationCycles() != 0 {
+		t.Error("passive must not instrument")
+	}
+}
+
+func TestFacadeBreakpointAndStep(t *testing.T) {
+	dbg := heatingDebugger(t, Active)
+	if err := dbg.Session.SetBreakpoint(engine.Breakpoint{
+		ID: "bp", Event: protocol.EvStateEnter, Source: "heater.thermostat", Arg1: "Heating",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !dbg.Session.Paused() {
+		t.Fatal("breakpoint did not pause")
+	}
+	before := dbg.Session.Handled
+	if err := dbg.StepEvent(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Session.Handled != before+1 {
+		t.Errorf("step handled %d events", dbg.Session.Handled-before)
+	}
+	if err := dbg.Session.ClearBreakpoint("bp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Continue(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Session.Paused() {
+		t.Error("continue did not resume")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	sys, err := models.Heating(models.HeatingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Debug(sys, DebugConfig{Transport: Transport(99)}); err == nil {
+		t.Error("bad transport should fail")
+	}
+	if err := heatingDebugger(t, Active).WriteInput("heater", "temp", value.F(20)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/comdes"
+	"repro/internal/value"
+)
+
+func heaterSystem(t testing.TB) *comdes.System {
+	fb, err := comdes.NewStateMachineFB(comdes.SMConfig{
+		Name:    "ctrl",
+		Inputs:  []comdes.Port{{Name: "temp", Kind: value.Float}},
+		Outputs: []comdes.Port{{Name: "heat", Kind: value.Bool}},
+		Initial: "Idle",
+		States: []comdes.SMStateDef{
+			{Name: "Idle", Entry: map[string]string{"heat": "false"}},
+			{Name: "Heating", Entry: map[string]string{"heat": "true"}},
+		},
+		Transitions: []comdes.SMTransitionDef{
+			{Name: "cold", From: "Idle", To: "Heating", Guard: "temp < 19"},
+			{Name: "warm", From: "Heating", To: "Idle", Guard: "temp > 21"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := comdes.NewNetwork("n",
+		[]comdes.Port{{Name: "temp", Kind: value.Float}},
+		[]comdes.Port{{Name: "heat", Kind: value.Bool}})
+	net.MustAdd(fb)
+	net.MustConnect("", "temp", "ctrl", "temp").MustConnect("ctrl", "heat", "", "heat")
+	a, err := comdes.NewActor("heater", net, comdes.TaskSpec{PeriodNs: 1000, DeadlineNs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := comdes.NewSystem("heating")
+	sys.MustAddActor(a)
+	return sys
+}
+
+func compiled(t testing.TB) (*codegen.Program, *codegen.MapBus) {
+	t.Helper()
+	p, err := codegen.Compile(heaterSystem(t), codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := codegen.NewMapBus(p.Symbols)
+	u := p.Unit("heater")
+	if _, err := codegen.Exec(p, u.Init, bus); err != nil {
+		t.Fatal(err)
+	}
+	return p, bus
+}
+
+func setInput(t testing.TB, p *codegen.Program, bus codegen.Bus, temp float64) {
+	t.Helper()
+	u := p.Unit("heater")
+	if err := bus.StoreSym(u.InputSyms["temp"], value.F(temp)); err != nil {
+		t.Fatal(err)
+	}
+	for _, lp := range u.InLatch {
+		v, _ := bus.LoadSym(lp.Work)
+		if err := bus.StoreSym(lp.Out, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCodeDebuggerBreakpointsAndStepping(t *testing.T) {
+	p, bus := compiled(t)
+	u := p.Unit("heater")
+	d := NewCodeDebugger(p, bus)
+
+	// Find the listing line of the cold transition and break on it.
+	var coldLine int32 = -1
+	for i, src := range p.Source {
+		if strings.Contains(src, "transition cold") {
+			coldLine = int32(i)
+		}
+	}
+	if coldLine < 0 {
+		t.Fatal("listing line not found")
+	}
+	if err := d.BreakAtLine(coldLine); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BreakAtLine(99999); err == nil {
+		t.Error("out-of-range line should fail")
+	}
+
+	setInput(t, p, bus, 10) // cold
+	m, reason, err := d.RunUnit(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != StopBreak {
+		t.Fatalf("reason = %v, want StopBreak", reason)
+	}
+	if d.BreakpointStops != 1 {
+		t.Error("stop not counted")
+	}
+	// Inspect the state variable at the stop (still Idle: transition code
+	// has not run yet).
+	st, err := d.Inspect("heater.ctrl.__state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Int() != 0 {
+		t.Errorf("state at break = %v", st)
+	}
+	if _, err := d.Inspect("ghost"); err == nil {
+		t.Error("unknown symbol should fail")
+	}
+	// Resume to completion; state becomes Heating (1).
+	_, reason, err = d.Resume(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != StopDone {
+		t.Fatalf("resume reason = %v", reason)
+	}
+	st, _ = d.Inspect("heater.ctrl.__state")
+	if st.Int() != 1 {
+		t.Errorf("state after run = %v", st)
+	}
+	if d.InstructionsStepped == 0 {
+		t.Error("instructions not counted")
+	}
+	if !strings.Contains(d.Effort(), "stepi=") {
+		t.Error("Effort() malformed")
+	}
+}
+
+func TestCodeDebuggerStepInstruction(t *testing.T) {
+	p, bus := compiled(t)
+	u := p.Unit("heater")
+	d := NewCodeDebugger(p, bus)
+	setInput(t, p, bus, 25)
+	m := codegen.NewMachine(p, u.Body, bus)
+	steps := 0
+	for {
+		more, err := d.StepInstruction(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if !more {
+			break
+		}
+		if steps > 10000 {
+			t.Fatal("runaway")
+		}
+	}
+	if uint64(steps) != d.InstructionsStepped {
+		t.Error("step accounting wrong")
+	}
+	if m.CurrentLine() != -1 {
+		t.Error("done machine should report line -1")
+	}
+}
+
+func TestCodeDebuggerClearLine(t *testing.T) {
+	p, bus := compiled(t)
+	u := p.Unit("heater")
+	d := NewCodeDebugger(p, bus)
+	line := u.Body[0].Line
+	if err := d.BreakAtLine(line); err != nil {
+		t.Fatal(err)
+	}
+	d.ClearLine(line)
+	setInput(t, p, bus, 25)
+	_, reason, err := d.RunUnit(u)
+	if err != nil || reason != StopDone {
+		t.Fatalf("cleared breakpoint still fired: %v %v", reason, err)
+	}
+}
+
+func TestDataDisplay(t *testing.T) {
+	p, bus := compiled(t)
+	d := NewCodeDebugger(p, bus)
+	dd := NewDataDisplay(d)
+	if err := dd.Watch("heater.ctrl.__state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dd.Watch("heater.ctrl.__state"); err != nil {
+		t.Fatal(err) // duplicate is a no-op
+	}
+	if err := dd.Watch("ghost"); err == nil {
+		t.Error("unknown watch should fail")
+	}
+	out := dd.Render()
+	if !strings.Contains(out, "heater.ctrl.__state") || !strings.Contains(out, "| 0") {
+		t.Errorf("render:\n%s", out)
+	}
+	if d.Inspections == 0 {
+		t.Error("render must count inspections")
+	}
+}
+
+func TestSimAnimatorRejectsStateMachines(t *testing.T) {
+	if _, err := NewSimAnimator(heaterSystem(t)); err == nil {
+		t.Fatal("FSM model must be rejected (LabVIEW restriction)")
+	}
+	// Nested FSM inside a composite is also rejected.
+	inner := comdes.NewNetwork("in",
+		[]comdes.Port{{Name: "temp", Kind: value.Float}},
+		[]comdes.Port{{Name: "heat", Kind: value.Bool}})
+	sm, _ := comdes.NewStateMachineFB(comdes.SMConfig{
+		Name:    "sm",
+		Inputs:  []comdes.Port{{Name: "temp", Kind: value.Float}},
+		Outputs: []comdes.Port{{Name: "heat", Kind: value.Bool}},
+		States:  []comdes.SMStateDef{{Name: "A", Entry: map[string]string{"heat": "false"}}},
+	})
+	inner.MustAdd(sm)
+	inner.MustConnect("", "temp", "sm", "temp").MustConnect("sm", "heat", "", "heat")
+	comp, err := comdes.NewCompositeFB(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := comdes.NewNetwork("n",
+		[]comdes.Port{{Name: "t", Kind: value.Float}},
+		[]comdes.Port{{Name: "h", Kind: value.Bool}})
+	net.MustAdd(comp)
+	net.MustConnect("", "t", "in", "temp").MustConnect("in", "heat", "", "h")
+	a, err := comdes.NewActor("nested", net, comdes.TaskSpec{PeriodNs: 1000, DeadlineNs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := comdes.NewSystem("nested")
+	sys.MustAddActor(a)
+	if _, err := NewSimAnimator(sys); err == nil {
+		t.Error("nested FSM must be rejected")
+	}
+}
+
+func TestSimAnimatorDataflow(t *testing.T) {
+	net := comdes.NewNetwork("n",
+		[]comdes.Port{{Name: "x", Kind: value.Float}},
+		[]comdes.Port{{Name: "y", Kind: value.Float}})
+	net.MustAdd(comdes.MustComponent("gain", "g", map[string]value.Value{"k": value.F(3)}))
+	net.MustConnect("", "x", "g", "in").MustConnect("g", "out", "", "y")
+	a, err := comdes.NewActor("amp", net, comdes.TaskSpec{PeriodNs: 1000, DeadlineNs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := comdes.NewSystem("amp")
+	sys.MustAddActor(a)
+	sim, err := NewSimAnimator(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.StepActor("amp", map[string]value.Value{"amp.x": value.F(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"].Float() != 6 {
+		t.Errorf("y = %v", out["y"])
+	}
+	if sim.Frames != 1 {
+		t.Error("frame not counted")
+	}
+	if _, err := sim.StepActor("ghost", nil); err == nil {
+		t.Error("unknown actor should fail")
+	}
+}
+
+// TestStepsToBugComparison quantifies the E10 claim: localizing "the
+// machine entered Heating" costs the model debugger one event, while the
+// code-level debugger steps many instructions and inspects variables.
+func TestStepsToBugComparison(t *testing.T) {
+	p, bus := compiled(t)
+	u := p.Unit("heater")
+	d := NewCodeDebugger(p, bus)
+	setInput(t, p, bus, 10)
+	m := codegen.NewMachine(p, u.Body, bus)
+	// GDB-style hunt: step and re-inspect state until it changes.
+	for {
+		st, err := d.Inspect("heater.ctrl.__state")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Int() == 1 {
+			break
+		}
+		more, err := d.StepInstruction(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			t.Fatal("body finished without state change")
+		}
+	}
+	codeEffort := d.InstructionsStepped + d.Inspections
+	const modelEffort = 1 // one EvStateEnter event announces the same fact
+	if codeEffort < 10*modelEffort {
+		t.Errorf("expected code-level effort (%d) to dwarf model-level (%d)", codeEffort, modelEffort)
+	}
+}

@@ -1,0 +1,258 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// builtinNames is the stable builtin index space shared by the compiler
+// and the VM (OpCall.A indexes this slice).
+var builtinNames = expr.Builtins()
+
+func builtinIndex(name string) (int32, bool) {
+	for i, n := range builtinNames {
+		if n == name {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// Bus is the VM's access to symbol storage. The target board implements it
+// over simulated RAM; tests use an in-memory map.
+type Bus interface {
+	LoadSym(idx int) (value.Value, error)
+	StoreSym(idx int, v value.Value) error
+}
+
+// EmitRef is one pending instrumentation event produced by OpEmit.
+type EmitRef struct {
+	Template int
+	Value    value.Value
+	HasValue bool
+}
+
+// ExecResult carries the outcome of one code run.
+type ExecResult struct {
+	Cycles uint64
+	Steps  uint64
+	Emits  []EmitRef
+}
+
+// maxSteps bounds runaway programs (compiler bugs), not legitimate code.
+const maxSteps = 1_000_000
+
+// Machine is a single-steppable VM instance over one code sequence. The
+// code-level baseline debugger (internal/baseline) steps it instruction by
+// instruction, exactly as GDB single-steps a target.
+type Machine struct {
+	Prog *Program
+	Code []Instr
+	Bus  Bus
+
+	PC    int
+	stack []value.Value
+	Res   ExecResult
+
+	halted bool
+}
+
+// NewMachine prepares a VM run.
+func NewMachine(p *Program, code []Instr, bus Bus) *Machine {
+	return &Machine{Prog: p, Code: code, Bus: bus, stack: make([]value.Value, 0, 16)}
+}
+
+// Done reports whether execution has finished.
+func (m *Machine) Done() bool { return m.halted || m.PC >= len(m.Code) }
+
+// CurrentLine returns the listing line of the next instruction (-1 when
+// done).
+func (m *Machine) CurrentLine() int32 {
+	if m.Done() {
+		return -1
+	}
+	return m.Code[m.PC].Line
+}
+
+func (m *Machine) pop() value.Value {
+	v := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	return v
+}
+
+// Step executes one instruction. It returns true while execution
+// continues and false once the program is done.
+func (m *Machine) Step() (bool, error) {
+	if m.Done() {
+		return false, nil
+	}
+	if m.Res.Steps >= maxSteps {
+		return false, fmt.Errorf("codegen: step limit exceeded at pc %d", m.PC)
+	}
+	in := m.Code[m.PC]
+	m.Res.Steps++
+	m.Res.Cycles += in.Op.Cycles()
+	switch in.Op {
+	case OpNop:
+	case OpPush:
+		m.stack = append(m.stack, m.Prog.Consts[in.A])
+	case OpLoad:
+		v, err := m.Bus.LoadSym(int(in.A))
+		if err != nil {
+			return false, err
+		}
+		m.stack = append(m.stack, v)
+	case OpStore:
+		if err := m.Bus.StoreSym(int(in.A), m.pop()); err != nil {
+			return false, err
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		b, a := m.pop(), m.pop()
+		r, err := value.Arith(arithByte(in.Op), a, b)
+		if err != nil {
+			return false, fmt.Errorf("codegen: pc %d: %w", m.PC, err)
+		}
+		m.stack = append(m.stack, r)
+	case OpNeg:
+		v, err := value.Neg(m.pop())
+		if err != nil {
+			return false, fmt.Errorf("codegen: pc %d: %w", m.PC, err)
+		}
+		m.stack = append(m.stack, v)
+	case OpNot:
+		m.stack = append(m.stack, value.B(!m.pop().Bool()))
+	case OpLT, OpLE, OpGT, OpGE:
+		b, a := m.pop(), m.pop()
+		c, err := value.Compare(a, b)
+		if err != nil {
+			return false, fmt.Errorf("codegen: pc %d: %w", m.PC, err)
+		}
+		var r bool
+		switch in.Op {
+		case OpLT:
+			r = c < 0
+		case OpLE:
+			r = c <= 0
+		case OpGT:
+			r = c > 0
+		default:
+			r = c >= 0
+		}
+		m.stack = append(m.stack, value.B(r))
+	case OpEQ:
+		b, a := m.pop(), m.pop()
+		m.stack = append(m.stack, value.B(value.Equal(a, b)))
+	case OpNE:
+		b, a := m.pop(), m.pop()
+		m.stack = append(m.stack, value.B(!value.Equal(a, b)))
+	case OpJmp:
+		m.PC = int(in.A)
+		return !m.Done(), nil
+	case OpJZ:
+		if !m.pop().Bool() {
+			m.PC = int(in.A)
+			return !m.Done(), nil
+		}
+	case OpJNZ:
+		if m.pop().Bool() {
+			m.PC = int(in.A)
+			return !m.Done(), nil
+		}
+	case OpCall:
+		argc := int(in.B)
+		args := make([]value.Value, argc)
+		for i := argc - 1; i >= 0; i-- {
+			args[i] = m.pop()
+		}
+		r, err := expr.CallBuiltin(builtinNames[in.A], args)
+		if err != nil {
+			return false, fmt.Errorf("codegen: pc %d: %w", m.PC, err)
+		}
+		m.stack = append(m.stack, r)
+	case OpEmit:
+		ref := EmitRef{Template: int(in.A)}
+		if in.B != 0 {
+			ref.Value = m.pop()
+			ref.HasValue = true
+		}
+		m.Res.Emits = append(m.Res.Emits, ref)
+	case OpHalt:
+		m.halted = true
+		return false, nil
+	default:
+		return false, fmt.Errorf("codegen: unknown opcode %v at pc %d", in.Op, m.PC)
+	}
+	m.PC++
+	return !m.Done(), nil
+}
+
+// Exec runs one code sequence to completion on the bus, returning the
+// cycle count and the instrumentation events raised. Runtime errors
+// (division by zero, type errors) abort execution — the same contract as
+// the reference interpreter.
+func Exec(p *Program, code []Instr, bus Bus) (ExecResult, error) {
+	m := NewMachine(p, code, bus)
+	for {
+		more, err := m.Step()
+		if err != nil {
+			return m.Res, err
+		}
+		if !more {
+			return m.Res, nil
+		}
+	}
+}
+
+func arithByte(op Op) byte {
+	switch op {
+	case OpAdd:
+		return '+'
+	case OpSub:
+		return '-'
+	case OpMul:
+		return '*'
+	case OpDiv:
+		return '/'
+	default:
+		return '%'
+	}
+}
+
+// MapBus is a simple Bus over a value slice, used by tests and the
+// LabVIEW-style simulation baseline (no RAM encoding).
+type MapBus struct {
+	Table *SymbolTable
+	Vals  []value.Value
+}
+
+// NewMapBus creates a bus with zero-initialised slots.
+func NewMapBus(st *SymbolTable) *MapBus {
+	vals := make([]value.Value, st.Len())
+	for i := range vals {
+		vals[i] = value.Zero(st.Sym(i).Kind)
+	}
+	return &MapBus{Table: st, Vals: vals}
+}
+
+// LoadSym implements Bus.
+func (m *MapBus) LoadSym(idx int) (value.Value, error) {
+	if idx < 0 || idx >= len(m.Vals) {
+		return value.Value{}, fmt.Errorf("codegen: symbol index %d out of range", idx)
+	}
+	return m.Vals[idx], nil
+}
+
+// StoreSym implements Bus.
+func (m *MapBus) StoreSym(idx int, v value.Value) error {
+	if idx < 0 || idx >= len(m.Vals) {
+		return fmt.Errorf("codegen: symbol index %d out of range", idx)
+	}
+	cv, err := value.Convert(v, m.Table.Sym(idx).Kind)
+	if err != nil {
+		return err
+	}
+	m.Vals[idx] = cv
+	return nil
+}

@@ -1,0 +1,268 @@
+package comdes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// TaskSpec carries the timing attributes of an actor's task under the
+// Distributed Timed Multitasking model: the task is released every Period
+// (plus Offset), latches its input signals at release, and latches its
+// output signals exactly at release+Deadline — eliminating I/O jitter.
+type TaskSpec struct {
+	PeriodNs   uint64
+	OffsetNs   uint64
+	DeadlineNs uint64
+	Priority   int
+}
+
+// Validate checks the timing attributes.
+func (t TaskSpec) Validate() error {
+	if t.PeriodNs == 0 {
+		return fmt.Errorf("comdes: task period must be positive")
+	}
+	if t.DeadlineNs == 0 || t.DeadlineNs > t.PeriodNs {
+		return fmt.Errorf("comdes: deadline must be in (0, period]")
+	}
+	return nil
+}
+
+// Actor is a distributed embedded actor: a function-block network plus the
+// task that executes it, communicating with other actors through labelled
+// signals.
+type Actor struct {
+	ActorName string
+	Net       *Network
+	Task      TaskSpec
+}
+
+// NewActor wraps a network and task spec; the actor's signal interface is
+// the network's interface.
+func NewActor(name string, net *Network, task TaskSpec) (*Actor, error) {
+	if name == "" {
+		return nil, fmt.Errorf("comdes: actor with empty name")
+	}
+	if err := task.Validate(); err != nil {
+		return nil, fmt.Errorf("comdes: actor %s: %w", name, err)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("comdes: actor %s: %w", name, err)
+	}
+	return &Actor{ActorName: name, Net: net, Task: task}, nil
+}
+
+// Name returns the actor name.
+func (a *Actor) Name() string { return a.ActorName }
+
+// Inputs returns the actor's input signal ports.
+func (a *Actor) Inputs() []Port { return a.Net.Inputs() }
+
+// Outputs returns the actor's output signal ports.
+func (a *Actor) Outputs() []Port { return a.Net.Outputs() }
+
+// Binding routes an actor output to an actor input as a labelled signal
+// (state-message communication). Node names allow distributed placement;
+// a binding between actors on different nodes crosses the network.
+type Binding struct {
+	Signal    string // label of the state message
+	FromActor string
+	FromPort  string
+	ToActor   string
+	ToPort    string
+}
+
+// System is a complete COMDES application: a set of actors, their signal
+// bindings, and optional node placements for distributed execution.
+type System struct {
+	SysName  string
+	Actors   []*Actor
+	Bindings []Binding
+	// Placement maps actor name -> node name; absent means node "main".
+	Placement map[string]string
+
+	byName map[string]*Actor
+}
+
+// NewSystem creates an empty system.
+func NewSystem(name string) *System {
+	return &System{SysName: name, Placement: map[string]string{}, byName: map[string]*Actor{}}
+}
+
+// Name returns the system name.
+func (s *System) Name() string { return s.SysName }
+
+// AddActor registers an actor.
+func (s *System) AddActor(a *Actor) error {
+	if _, dup := s.byName[a.Name()]; dup {
+		return fmt.Errorf("comdes: duplicate actor %q", a.Name())
+	}
+	s.Actors = append(s.Actors, a)
+	s.byName[a.Name()] = a
+	return nil
+}
+
+// MustAddActor is AddActor that panics; for fixtures.
+func (s *System) MustAddActor(a *Actor) *System {
+	if err := s.AddActor(a); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Actor returns the named actor, or nil.
+func (s *System) Actor(name string) *Actor { return s.byName[name] }
+
+// Place assigns an actor to a node.
+func (s *System) Place(actor, node string) error {
+	if s.byName[actor] == nil {
+		return fmt.Errorf("comdes: unknown actor %q", actor)
+	}
+	s.Placement[actor] = node
+	return nil
+}
+
+// NodeOf returns the node an actor runs on ("main" by default).
+func (s *System) NodeOf(actor string) string {
+	if n, ok := s.Placement[actor]; ok {
+		return n
+	}
+	return "main"
+}
+
+// Nodes returns the sorted set of nodes in use.
+func (s *System) Nodes() []string {
+	set := map[string]bool{}
+	for _, a := range s.Actors {
+		set[s.NodeOf(a.Name())] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bind routes fromActor.fromPort to toActor.toPort under the given signal
+// label.
+func (s *System) Bind(signal, fromActor, fromPort, toActor, toPort string) error {
+	fa := s.byName[fromActor]
+	ta := s.byName[toActor]
+	if fa == nil {
+		return fmt.Errorf("comdes: unknown source actor %q", fromActor)
+	}
+	if ta == nil {
+		return fmt.Errorf("comdes: unknown destination actor %q", toActor)
+	}
+	if !hasPort(fa.Outputs(), fromPort) {
+		return fmt.Errorf("comdes: actor %s has no output %q", fromActor, fromPort)
+	}
+	if !hasPort(ta.Inputs(), toPort) {
+		return fmt.Errorf("comdes: actor %s has no input %q", toActor, toPort)
+	}
+	if signal == "" {
+		signal = fromActor + "." + fromPort
+	}
+	for _, b := range s.Bindings {
+		if b.ToActor == toActor && b.ToPort == toPort {
+			return fmt.Errorf("comdes: input %s.%s already bound", toActor, toPort)
+		}
+	}
+	s.Bindings = append(s.Bindings, Binding{Signal: signal, FromActor: fromActor, FromPort: fromPort, ToActor: toActor, ToPort: toPort})
+	return nil
+}
+
+// MustBind is Bind that panics; for fixtures.
+func (s *System) MustBind(signal, fromActor, fromPort, toActor, toPort string) *System {
+	if err := s.Bind(signal, fromActor, fromPort, toActor, toPort); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Validate checks the whole system: actors valid, bindings well-typed.
+func (s *System) Validate() error {
+	if len(s.Actors) == 0 {
+		return fmt.Errorf("comdes: system %s has no actors", s.SysName)
+	}
+	for _, a := range s.Actors {
+		if err := a.Net.Validate(); err != nil {
+			return err
+		}
+		if err := a.Task.Validate(); err != nil {
+			return fmt.Errorf("comdes: actor %s: %w", a.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Interpreter executes a System with the reference synchronous semantics:
+// all actors step on their task periods in virtual time, signals propagate
+// through a global state-message board at deadline instants. It is the
+// model-level oracle the debugger compares target execution against
+// (experiment E9's implementation-error detection).
+type Interpreter struct {
+	sys   *System
+	board map[string]value.Value // signal label -> latest value
+	// Environment inputs: unbound actor inputs are read from here.
+	Env map[string]value.Value
+}
+
+// NewInterpreter resets all actors and builds an interpreter.
+func NewInterpreter(sys *System) *Interpreter {
+	for _, a := range sys.Actors {
+		a.Net.Reset()
+	}
+	it := &Interpreter{sys: sys, board: map[string]value.Value{}, Env: map[string]value.Value{}}
+	return it
+}
+
+// Board exposes the current signal values (read-only by convention).
+func (it *Interpreter) Board() map[string]value.Value { return it.board }
+
+// StepActor executes one synchronous step of one actor: latch inputs from
+// board/env, step the network, publish outputs to the board.
+func (it *Interpreter) StepActor(name string) (map[string]value.Value, error) {
+	a := it.sys.Actor(name)
+	if a == nil {
+		return nil, fmt.Errorf("comdes: unknown actor %q", name)
+	}
+	in := map[string]value.Value{}
+	for _, p := range a.Inputs() {
+		bound := false
+		for _, b := range it.sys.Bindings {
+			if b.ToActor == name && b.ToPort == p.Name {
+				if v, ok := it.board[b.Signal]; ok {
+					in[p.Name] = mustConvert(v, p.Kind)
+				} else {
+					in[p.Name] = value.Zero(p.Kind)
+				}
+				bound = true
+				break
+			}
+		}
+		if !bound {
+			if v, ok := it.Env[name+"."+p.Name]; ok {
+				in[p.Name] = mustConvert(v, p.Kind)
+			} else if v, ok := it.Env[p.Name]; ok {
+				in[p.Name] = mustConvert(v, p.Kind)
+			} else {
+				in[p.Name] = value.Zero(p.Kind)
+			}
+		}
+	}
+	out, err := a.Net.Step(in)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range it.sys.Bindings {
+		if b.FromActor == name {
+			if v, ok := out[b.FromPort]; ok {
+				it.board[b.Signal] = v
+			}
+		}
+	}
+	return out, nil
+}

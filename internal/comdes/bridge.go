@@ -1,0 +1,581 @@
+package comdes
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/metamodel"
+	"repro/internal/value"
+)
+
+// This file bridges COMDES to the reflective metamodel substrate. The
+// paper's GMDF takes "any EMF-based user meta-model as input"; concretely
+// its prototype consumes COMDES design models. Metamodel() publishes the
+// COMDES language as a metamodel.Metamodel, ToModel() reflects a System
+// into an instance model the abstraction engine can walk, and FromModel()
+// reconstructs an executable System from such a model (the path used when
+// models are loaded from XML files by the tools).
+//
+// Object identifiers follow fixed conventions so that runtime events can
+// be correlated with model elements (and hence with GDM elements):
+//
+//	system            "system:<name>"
+//	actor             "actor:<actor>"
+//	port              "port:net.<path>.<in|out>.<port>"
+//	block             "block:<actor>.<block>" (nested: dotted path)
+//	state             "state:<actor>.<block>.<state>"
+//	transition        "trans:<actor>.<block>.<transition>"
+//	connection        "conn:<path>.<n>"
+//	binding           "bind:<signal>"
+
+// Element id constructors (shared with the debugger's auto-binder).
+
+// SystemID returns the model id of the system object.
+func SystemID(sys string) string { return "system:" + sys }
+
+// ActorID returns the model id of an actor object.
+func ActorID(actor string) string { return "actor:" + actor }
+
+// PortID returns the model id of an actor-level port object; dir is "in"
+// or "out".
+func PortID(actor, dir, port string) string {
+	return "port:net." + actor + "." + dir + "." + port
+}
+
+// BlockID returns the model id of a block given its dotted path
+// ("actor.block" or deeper for composites).
+func BlockID(path string) string { return "block:" + path }
+
+// StateID returns the model id of a state of the machine at path.
+func StateID(machinePath, state string) string { return "state:" + machinePath + "." + state }
+
+// TransitionID returns the model id of a transition of the machine at path.
+func TransitionID(machinePath, name string) string { return "trans:" + machinePath + "." + name }
+
+// Metamodel returns the COMDES language metamodel (fresh instance).
+func Metamodel() *metamodel.Metamodel {
+	m := metamodel.NewMetamodel("comdes", "urn:comdes:2.0")
+	if _, err := m.AddEnum("SignalKind", "float", "int", "bool"); err != nil {
+		panic(err)
+	}
+	m.MustClass("NamedElement", true, "").Attr("name", value.String)
+	m.MustClass("SignalPort", false, "NamedElement").
+		AttrEnum("kind", "SignalKind").
+		Attr("direction", value.String)
+	m.MustClass("Param", false, "NamedElement").
+		Attr("value", value.String).
+		AttrEnum("kind", "SignalKind")
+	m.MustClass("Assign", false, "NamedElement").Attr("expr", value.String)
+	m.MustClass("Formula", false, "NamedElement").Attr("expr", value.String)
+
+	m.MustClass("FunctionBlock", true, "NamedElement").
+		Contain("inputs", "SignalPort").
+		Contain("outputs", "SignalPort")
+	m.MustClass("BasicFB", false, "FunctionBlock").
+		Attr("component", value.String).
+		Contain("params", "Param").
+		Contain("formulas", "Formula")
+	m.MustClass("State", false, "NamedElement").
+		Contain("entry", "Assign").
+		Attr("initial", value.Bool)
+	m.MustClass("Transition", false, "NamedElement").
+		Attr("guard", value.String).
+		Contain("actions", "Assign")
+	// from/to resolved after State exists.
+	m.Class("Transition").RefTo("from", "State", 1, 1).RefTo("to", "State", 1, 1)
+	m.MustClass("StateMachineFB", false, "FunctionBlock").
+		Contain("states", "State").
+		Contain("transitions", "Transition")
+	m.MustClass("Connection", false, "").
+		Attr("from", value.String).
+		Attr("to", value.String)
+	m.MustClass("Network", false, "NamedElement").
+		Contain("inputs", "SignalPort").
+		Contain("outputs", "SignalPort").
+		Contain("blocks", "FunctionBlock").
+		Contain("connections", "Connection")
+	m.MustClass("CompositeFB", false, "FunctionBlock").
+		Contain("network", "Network")
+	m.MustClass("Mode", false, "").
+		Attr("selector", value.Int).
+		Attr("fallback", value.Bool).
+		Contain("block", "FunctionBlock")
+	m.MustClass("ModalFB", false, "FunctionBlock").
+		Attr("selectorInput", value.String).
+		Contain("modes", "Mode")
+	m.MustClass("Actor", false, "NamedElement").
+		Attr("periodNs", value.Int).
+		Attr("offsetNs", value.Int).
+		Attr("deadlineNs", value.Int).
+		Attr("node", value.String).
+		Contain("network", "Network")
+	m.MustClass("Binding", false, "NamedElement").
+		Attr("fromActor", value.String).
+		Attr("fromPort", value.String).
+		Attr("toActor", value.String).
+		Attr("toPort", value.String)
+	m.MustClass("System", false, "NamedElement").
+		Contain("actors", "Actor").
+		Contain("bindings", "Binding")
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func kindName(k value.Kind) string {
+	switch k {
+	case value.Int:
+		return "int"
+	case value.Bool:
+		return "bool"
+	default:
+		return "float"
+	}
+}
+
+// ToModel reflects sys into an instance model over meta (which must be the
+// COMDES metamodel).
+func ToModel(sys *System, meta *metamodel.Metamodel) (*metamodel.Model, error) {
+	mod := metamodel.NewModel(meta)
+	root, err := mod.NewObjectID("System", SystemID(sys.Name()))
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Set("name", value.S(sys.Name())); err != nil {
+		return nil, err
+	}
+	for _, a := range sys.Actors {
+		ao, err := mod.NewObjectID("Actor", ActorID(a.Name()))
+		if err != nil {
+			return nil, err
+		}
+		ao.MustSet("name", value.S(a.Name())).
+			MustSet("periodNs", value.I(int64(a.Task.PeriodNs))).
+			MustSet("offsetNs", value.I(int64(a.Task.OffsetNs))).
+			MustSet("deadlineNs", value.I(int64(a.Task.DeadlineNs))).
+			MustSet("node", value.S(sys.NodeOf(a.Name())))
+		no, err := networkToModel(mod, a.Net, a.Name())
+		if err != nil {
+			return nil, err
+		}
+		ao.MustAppend("network", no)
+		root.MustAppend("actors", ao)
+	}
+	for _, b := range sys.Bindings {
+		bo, err := mod.NewObjectID("Binding", "bind:"+b.Signal)
+		if err != nil {
+			return nil, err
+		}
+		bo.MustSet("name", value.S(b.Signal)).
+			MustSet("fromActor", value.S(b.FromActor)).
+			MustSet("fromPort", value.S(b.FromPort)).
+			MustSet("toActor", value.S(b.ToActor)).
+			MustSet("toPort", value.S(b.ToPort))
+		root.MustAppend("bindings", bo)
+	}
+	if err := mod.AddRoot(root); err != nil {
+		return nil, err
+	}
+	return mod, mod.Validate()
+}
+
+func portsToModel(mod *metamodel.Model, owner *metamodel.Object, ref, prefix, direction string, ports []Port) error {
+	for _, p := range ports {
+		po, err := mod.NewObjectID("SignalPort", "port:"+prefix+"."+direction+"."+p.Name)
+		if err != nil {
+			return err
+		}
+		po.MustSet("name", value.S(p.Name)).
+			MustSet("kind", value.S(kindName(p.Kind))).
+			MustSet("direction", value.S(direction))
+		owner.MustAppend(ref, po)
+	}
+	return nil
+}
+
+func networkToModel(mod *metamodel.Model, net *Network, path string) (*metamodel.Object, error) {
+	no, err := mod.NewObjectID("Network", "net:"+path)
+	if err != nil {
+		return nil, err
+	}
+	no.MustSet("name", value.S(net.Name()))
+	if err := portsToModel(mod, no, "inputs", "net."+path, "in", net.Inputs()); err != nil {
+		return nil, err
+	}
+	if err := portsToModel(mod, no, "outputs", "net."+path, "out", net.Outputs()); err != nil {
+		return nil, err
+	}
+	for _, b := range net.Blocks() {
+		bo, err := blockToModel(mod, b, path+"."+b.Name())
+		if err != nil {
+			return nil, err
+		}
+		no.MustAppend("blocks", bo)
+	}
+	for i, c := range net.Connections() {
+		co, err := mod.NewObjectID("Connection", fmt.Sprintf("conn:%s.%d", path, i))
+		if err != nil {
+			return nil, err
+		}
+		co.MustSet("from", value.S(joinEndpoint(c.FromBlock, c.FromPort))).
+			MustSet("to", value.S(joinEndpoint(c.ToBlock, c.ToPort)))
+		no.MustAppend("connections", co)
+	}
+	return no, nil
+}
+
+func joinEndpoint(block, port string) string {
+	if block == "" {
+		return port
+	}
+	return block + "." + port
+}
+
+func splitEndpoint(s string) (block, port string) {
+	if i := strings.LastIndex(s, "."); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return "", s
+}
+
+func blockToModel(mod *metamodel.Model, b Block, path string) (*metamodel.Object, error) {
+	switch fb := b.(type) {
+	case *BasicFB:
+		bo, err := mod.NewObjectID("BasicFB", BlockID(path))
+		if err != nil {
+			return nil, err
+		}
+		bo.MustSet("name", value.S(fb.Name()))
+		if err := portsToModel(mod, bo, "inputs", path, "in", fb.Inputs()); err != nil {
+			return nil, err
+		}
+		if err := portsToModel(mod, bo, "outputs", path, "out", fb.Outputs()); err != nil {
+			return nil, err
+		}
+		for name, v := range fb.Params() {
+			po, err := mod.NewObjectID("Param", "param:"+path+"."+name)
+			if err != nil {
+				return nil, err
+			}
+			po.MustSet("name", value.S(name)).
+				MustSet("value", value.S(v.String())).
+				MustSet("kind", value.S(kindName(v.Kind())))
+			bo.MustAppend("params", po)
+		}
+		for _, out := range fb.Outputs() {
+			fo, err := mod.NewObjectID("Formula", "formula:"+path+"."+out.Name)
+			if err != nil {
+				return nil, err
+			}
+			fo.MustSet("name", value.S(out.Name)).
+				MustSet("expr", value.S(fb.Formula(out.Name).String()))
+			bo.MustAppend("formulas", fo)
+		}
+		return bo, nil
+	case *StateMachineFB:
+		bo, err := mod.NewObjectID("StateMachineFB", BlockID(path))
+		if err != nil {
+			return nil, err
+		}
+		bo.MustSet("name", value.S(fb.Name()))
+		if err := portsToModel(mod, bo, "inputs", path, "in", fb.Inputs()); err != nil {
+			return nil, err
+		}
+		if err := portsToModel(mod, bo, "outputs", path, "out", fb.Outputs()); err != nil {
+			return nil, err
+		}
+		for _, st := range fb.States() {
+			so, err := mod.NewObjectID("State", StateID(path, st.Name))
+			if err != nil {
+				return nil, err
+			}
+			so.MustSet("name", value.S(st.Name)).
+				MustSet("initial", value.B(st.Name == fb.Initial()))
+			if err := assignsToModel(mod, so, "entry", path+"."+st.Name, st.Entry); err != nil {
+				return nil, err
+			}
+			bo.MustAppend("states", so)
+		}
+		for _, tr := range fb.Transitions() {
+			to, err := mod.NewObjectID("Transition", TransitionID(path, tr.Name))
+			if err != nil {
+				return nil, err
+			}
+			to.MustSet("name", value.S(tr.Name)).
+				MustSet("guard", value.S(tr.Guard.String()))
+			to.MustAppend("from", mod.Lookup(StateID(path, tr.From)))
+			to.MustAppend("to", mod.Lookup(StateID(path, tr.To)))
+			if err := assignsToModel(mod, to, "actions", path+"."+tr.Name, tr.Actions); err != nil {
+				return nil, err
+			}
+			bo.MustAppend("transitions", to)
+		}
+		return bo, nil
+	case *CompositeFB:
+		bo, err := mod.NewObjectID("CompositeFB", BlockID(path))
+		if err != nil {
+			return nil, err
+		}
+		bo.MustSet("name", value.S(fb.Name()))
+		if err := portsToModel(mod, bo, "inputs", path, "in", fb.Inputs()); err != nil {
+			return nil, err
+		}
+		if err := portsToModel(mod, bo, "outputs", path, "out", fb.Outputs()); err != nil {
+			return nil, err
+		}
+		// Inner blocks keep the composite's dotted path so their ids match
+		// the code generator's symbol paths (the debugger correlates the
+		// two).
+		no, err := networkToModel(mod, fb.Network(), path)
+		if err != nil {
+			return nil, err
+		}
+		bo.MustAppend("network", no)
+		return bo, nil
+	case *ModalFB:
+		bo, err := mod.NewObjectID("ModalFB", BlockID(path))
+		if err != nil {
+			return nil, err
+		}
+		bo.MustSet("name", value.S(fb.Name())).
+			MustSet("selectorInput", value.S(fb.Selector()))
+		if err := portsToModel(mod, bo, "inputs", path, "in", fb.Inputs()); err != nil {
+			return nil, err
+		}
+		if err := portsToModel(mod, bo, "outputs", path, "out", fb.Outputs()); err != nil {
+			return nil, err
+		}
+		for _, md := range fb.Modes() {
+			mo, err := mod.NewObjectID("Mode", fmt.Sprintf("mode:%s.%d", path, md.Selector))
+			if err != nil {
+				return nil, err
+			}
+			mo.MustSet("selector", value.I(md.Selector)).MustSet("fallback", value.B(false))
+			inner, err := blockToModel(mod, md.Block, fmt.Sprintf("%s.m%d.%s", path, md.Selector, md.Block.Name()))
+			if err != nil {
+				return nil, err
+			}
+			mo.MustAppend("block", inner)
+			bo.MustAppend("modes", mo)
+		}
+		if fb.Fallback() != nil {
+			mo, err := mod.NewObjectID("Mode", "mode:"+path+".fallback")
+			if err != nil {
+				return nil, err
+			}
+			mo.MustSet("selector", value.I(0)).MustSet("fallback", value.B(true))
+			inner, err := blockToModel(mod, fb.Fallback(), path+".fallback."+fb.Fallback().Name())
+			if err != nil {
+				return nil, err
+			}
+			mo.MustAppend("block", inner)
+			bo.MustAppend("modes", mo)
+		}
+		return bo, nil
+	}
+	return nil, fmt.Errorf("comdes: unreflectable block type %T", b)
+}
+
+func assignsToModel(mod *metamodel.Model, owner *metamodel.Object, ref, prefix string, assigns map[string]expr.Node) error {
+	for _, name := range sortedKeys(assigns) {
+		ao, err := mod.NewObjectID("Assign", "assign:"+prefix+"."+ref+"."+name)
+		if err != nil {
+			return err
+		}
+		ao.MustSet("name", value.S(name)).MustSet("expr", value.S(assigns[name].String()))
+		owner.MustAppend(ref, ao)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]expr.Node) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// FromModel reconstructs an executable System from a reflected model.
+func FromModel(mod *metamodel.Model) (*System, error) {
+	roots := mod.Roots()
+	if len(roots) != 1 || !roots[0].Class().IsKindOf("System") {
+		return nil, fmt.Errorf("comdes: model must have a single System root")
+	}
+	root := roots[0]
+	sys := NewSystem(root.GetString("name"))
+	for _, ao := range root.Refs("actors") {
+		period, _ := ao.Get("periodNs")
+		offset, _ := ao.Get("offsetNs")
+		deadline, _ := ao.Get("deadlineNs")
+		nets := ao.Refs("network")
+		if len(nets) != 1 {
+			return nil, fmt.Errorf("comdes: actor %s must have one network", ao.GetString("name"))
+		}
+		net, err := networkFromModel(nets[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := NewActor(ao.GetString("name"), net, TaskSpec{
+			PeriodNs: uint64(period.Int()), OffsetNs: uint64(offset.Int()), DeadlineNs: uint64(deadline.Int()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AddActor(a); err != nil {
+			return nil, err
+		}
+		if node := ao.GetString("node"); node != "" && node != "main" {
+			if err := sys.Place(a.Name(), node); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, bo := range root.Refs("bindings") {
+		if err := sys.Bind(bo.GetString("name"),
+			bo.GetString("fromActor"), bo.GetString("fromPort"),
+			bo.GetString("toActor"), bo.GetString("toPort")); err != nil {
+			return nil, err
+		}
+	}
+	return sys, sys.Validate()
+}
+
+func portsFromModel(objs []*metamodel.Object) ([]Port, error) {
+	var out []Port
+	for _, o := range objs {
+		k, err := value.ParseKind(o.GetString("kind"))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Port{Name: o.GetString("name"), Kind: k})
+	}
+	return out, nil
+}
+
+func networkFromModel(no *metamodel.Object) (*Network, error) {
+	ins, err := portsFromModel(no.Refs("inputs"))
+	if err != nil {
+		return nil, err
+	}
+	outs, err := portsFromModel(no.Refs("outputs"))
+	if err != nil {
+		return nil, err
+	}
+	net := NewNetwork(no.GetString("name"), ins, outs)
+	for _, bo := range no.Refs("blocks") {
+		b, err := blockFromModel(bo)
+		if err != nil {
+			return nil, err
+		}
+		if err := net.Add(b); err != nil {
+			return nil, err
+		}
+	}
+	for _, co := range no.Refs("connections") {
+		fb, fp := splitEndpoint(co.GetString("from"))
+		tb, tp := splitEndpoint(co.GetString("to"))
+		if err := net.Connect(fb, fp, tb, tp); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+func blockFromModel(bo *metamodel.Object) (Block, error) {
+	name := bo.GetString("name")
+	ins, err := portsFromModel(bo.Refs("inputs"))
+	if err != nil {
+		return nil, err
+	}
+	outs, err := portsFromModel(bo.Refs("outputs"))
+	if err != nil {
+		return nil, err
+	}
+	switch bo.Class().Name {
+	case "BasicFB":
+		params := map[string]value.Value{}
+		for _, po := range bo.Refs("params") {
+			k, err := value.ParseKind(po.GetString("kind"))
+			if err != nil {
+				return nil, err
+			}
+			v, err := value.Parse(k, po.GetString("value"))
+			if err != nil {
+				return nil, err
+			}
+			params[po.GetString("name")] = v
+		}
+		formulas := map[string]string{}
+		for _, fo := range bo.Refs("formulas") {
+			formulas[fo.GetString("name")] = fo.GetString("expr")
+		}
+		return NewBasicFB(name, ins, outs, params, formulas)
+	case "StateMachineFB":
+		cfg := SMConfig{Name: name, Inputs: ins, Outputs: outs}
+		for _, so := range bo.Refs("states") {
+			sd := SMStateDef{Name: so.GetString("name"), Entry: map[string]string{}}
+			for _, aso := range so.Refs("entry") {
+				sd.Entry[aso.GetString("name")] = aso.GetString("expr")
+			}
+			init, _ := so.Get("initial")
+			if init.Bool() {
+				cfg.Initial = sd.Name
+			}
+			cfg.States = append(cfg.States, sd)
+		}
+		for _, to := range bo.Refs("transitions") {
+			td := SMTransitionDef{
+				Name:    to.GetString("name"),
+				From:    to.Ref("from").GetString("name"),
+				To:      to.Ref("to").GetString("name"),
+				Guard:   to.GetString("guard"),
+				Actions: map[string]string{},
+			}
+			for _, aso := range to.Refs("actions") {
+				td.Actions[aso.GetString("name")] = aso.GetString("expr")
+			}
+			cfg.Transitions = append(cfg.Transitions, td)
+		}
+		return NewStateMachineFB(cfg)
+	case "CompositeFB":
+		nets := bo.Refs("network")
+		if len(nets) != 1 {
+			return nil, fmt.Errorf("comdes: composite %s must have one network", name)
+		}
+		net, err := networkFromModel(nets[0])
+		if err != nil {
+			return nil, err
+		}
+		return NewCompositeFB(net)
+	case "ModalFB":
+		var modes []ModalMode
+		var fallback Block
+		for _, mo := range bo.Refs("modes") {
+			blocks := mo.Refs("block")
+			if len(blocks) != 1 {
+				return nil, fmt.Errorf("comdes: mode in %s must have one block", name)
+			}
+			inner, err := blockFromModel(blocks[0])
+			if err != nil {
+				return nil, err
+			}
+			fb, _ := mo.Get("fallback")
+			if fb.Bool() {
+				fallback = inner
+				continue
+			}
+			sel, _ := mo.Get("selector")
+			modes = append(modes, ModalMode{Selector: sel.Int(), Block: inner})
+		}
+		return NewModalFB(name, bo.GetString("selectorInput"), ins, outs, modes, fallback)
+	}
+	return nil, fmt.Errorf("comdes: unknown block class %q", bo.Class().Name)
+}

@@ -1,0 +1,522 @@
+// Package comdes reproduces the COMDES-II component framework the paper
+// uses as its input modelling language (Angelov, Ke, Sierszecki: "A
+// Component-Based Framework for Distributed Control Systems"; Sec. III of
+// the paper).
+//
+// A COMDES application is a network of distributed embedded *actors*
+// exchanging labelled signals via non-blocking state-message communication.
+// Each actor hosts a network of prefabricated executable *function blocks*:
+//
+//   - basic FBs      — pure signal-processing transfer functions,
+//   - composite FBs  — nested FB networks,
+//   - modal FBs      — mode-dependent behaviour selected by a control input,
+//   - state machine FBs — event-driven state transition graphs.
+//
+// The package provides the language constructs, a reference synchronous
+// interpreter (actor behaviour as a composite input→output function, per
+// the paper), validation, the prefabricated component registry, and a
+// bridge to the reflective metamodel substrate so GMDF's abstraction
+// engine can consume COMDES designs like any other MOF model.
+package comdes
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Port declares one typed input or output of a block or actor.
+type Port struct {
+	Name string
+	Kind value.Kind
+}
+
+// Block is the common behaviour of all function blocks: a named,
+// synchronous input→output step function with resettable internal state.
+type Block interface {
+	Name() string
+	Inputs() []Port
+	Outputs() []Port
+	// Step performs one synchronous evaluation. Implementations must not
+	// mutate the input map.
+	Step(in map[string]value.Value) (map[string]value.Value, error)
+	// Reset restores initial internal state (FSM initial state, delays).
+	Reset()
+}
+
+// ---- Basic function block ----
+
+// BasicFB is a stateless signal-processing block: each output is defined
+// by an expression over the inputs and the block's parameters.
+type BasicFB struct {
+	name     string
+	inputs   []Port
+	outputs  []Port
+	params   map[string]value.Value
+	formulas map[string]expr.Node // output name -> expression
+}
+
+// NewBasicFB builds a basic block; formulas maps each output to its
+// defining expression source.
+func NewBasicFB(name string, inputs, outputs []Port, params map[string]value.Value, formulas map[string]string) (*BasicFB, error) {
+	if name == "" {
+		return nil, fmt.Errorf("comdes: basic FB with empty name")
+	}
+	fb := &BasicFB{name: name, inputs: inputs, outputs: outputs,
+		params: map[string]value.Value{}, formulas: map[string]expr.Node{}}
+	for k, v := range params {
+		fb.params[k] = v
+	}
+	known := map[string]bool{}
+	for _, p := range inputs {
+		known[p.Name] = true
+	}
+	for k := range params {
+		known[k] = true
+	}
+	for _, out := range outputs {
+		src, ok := formulas[out.Name]
+		if !ok {
+			return nil, fmt.Errorf("comdes: %s: output %q has no formula", name, out.Name)
+		}
+		node, err := expr.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("comdes: %s.%s: %w", name, out.Name, err)
+		}
+		for _, v := range expr.Vars(node) {
+			if !known[v] {
+				return nil, fmt.Errorf("comdes: %s.%s: unbound name %q", name, out.Name, v)
+			}
+		}
+		fb.formulas[out.Name] = node
+	}
+	for out := range formulas {
+		if !hasPort(outputs, out) {
+			return nil, fmt.Errorf("comdes: %s: formula for unknown output %q", name, out)
+		}
+	}
+	return fb, nil
+}
+
+func hasPort(ports []Port, name string) bool {
+	for _, p := range ports {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements Block.
+func (b *BasicFB) Name() string { return b.name }
+
+// Inputs implements Block.
+func (b *BasicFB) Inputs() []Port { return b.inputs }
+
+// Outputs implements Block.
+func (b *BasicFB) Outputs() []Port { return b.outputs }
+
+// Params returns the block's parameter set (read-only view).
+func (b *BasicFB) Params() map[string]value.Value { return b.params }
+
+// Formula returns the expression defining an output (for codegen).
+func (b *BasicFB) Formula(output string) expr.Node { return b.formulas[output] }
+
+// Reset implements Block (basic blocks are stateless).
+func (b *BasicFB) Reset() {}
+
+// Step implements Block.
+func (b *BasicFB) Step(in map[string]value.Value) (map[string]value.Value, error) {
+	env := make(expr.MapEnv, len(in)+len(b.params))
+	for k, v := range in {
+		env[k] = v
+	}
+	for k, v := range b.params {
+		env[k] = v
+	}
+	out := make(map[string]value.Value, len(b.outputs))
+	for _, p := range b.outputs {
+		v, err := expr.Eval(b.formulas[p.Name], env)
+		if err != nil {
+			return nil, fmt.Errorf("comdes: %s.%s: %w", b.name, p.Name, err)
+		}
+		cv, err := value.Convert(v, p.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("comdes: %s.%s: %w", b.name, p.Name, err)
+		}
+		out[p.Name] = cv
+	}
+	return out, nil
+}
+
+// ---- State machine function block ----
+
+// SMState is one state of a state machine FB. Entry assignments define the
+// block's outputs while the state is active (Moore outputs).
+type SMState struct {
+	Name  string
+	Entry map[string]expr.Node
+}
+
+// SMTransition is a guarded transition. Action assignments override entry
+// assignments on the cycle the transition fires (Mealy overlay).
+type SMTransition struct {
+	Name    string
+	From    string
+	To      string
+	Guard   expr.Node
+	Actions map[string]expr.Node
+}
+
+// StateMachineFB is an event-driven state transition graph. Its Step
+// semantics (shared exactly by the code generator):
+//
+//  1. evaluate the outgoing transitions of the current state in
+//     declaration order; the first true guard fires;
+//  2. the current state becomes the transition target;
+//  3. outputs = entry assignments of the (possibly new) current state,
+//     overlaid with the fired transition's action assignments;
+//  4. unassigned outputs keep their kind's zero value.
+type StateMachineFB struct {
+	name        string
+	inputs      []Port
+	outputs     []Port
+	states      []*SMState
+	transitions []*SMTransition
+	initial     string
+	current     string
+
+	stateIdx map[string]int
+	outgoing map[string][]*SMTransition
+
+	// LastFired records the transition taken on the most recent Step (nil
+	// if none) so interpreters can report model-level events.
+	LastFired *SMTransition
+}
+
+// SMConfig collects the pieces of a state machine FB for construction.
+type SMConfig struct {
+	Name        string
+	Inputs      []Port
+	Outputs     []Port
+	Initial     string
+	States      []SMStateDef
+	Transitions []SMTransitionDef
+}
+
+// SMStateDef declares a state with textual entry assignments.
+type SMStateDef struct {
+	Name  string
+	Entry map[string]string
+}
+
+// SMTransitionDef declares a transition with textual guard and actions.
+type SMTransitionDef struct {
+	Name    string
+	From    string
+	To      string
+	Guard   string
+	Actions map[string]string
+}
+
+// NewStateMachineFB validates and builds a state machine block.
+func NewStateMachineFB(cfg SMConfig) (*StateMachineFB, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("comdes: state machine with empty name")
+	}
+	if len(cfg.States) == 0 {
+		return nil, fmt.Errorf("comdes: %s: no states", cfg.Name)
+	}
+	fb := &StateMachineFB{
+		name: cfg.Name, inputs: cfg.Inputs, outputs: cfg.Outputs,
+		initial: cfg.Initial, stateIdx: map[string]int{}, outgoing: map[string][]*SMTransition{},
+	}
+	known := map[string]bool{}
+	for _, p := range cfg.Inputs {
+		known[p.Name] = true
+	}
+	for i, sd := range cfg.States {
+		if _, dup := fb.stateIdx[sd.Name]; dup {
+			return nil, fmt.Errorf("comdes: %s: duplicate state %q", cfg.Name, sd.Name)
+		}
+		st := &SMState{Name: sd.Name, Entry: map[string]expr.Node{}}
+		for out, src := range sd.Entry {
+			if !hasPort(cfg.Outputs, out) {
+				return nil, fmt.Errorf("comdes: %s state %s: unknown output %q", cfg.Name, sd.Name, out)
+			}
+			node, err := expr.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("comdes: %s state %s entry %s: %w", cfg.Name, sd.Name, out, err)
+			}
+			if err := checkVars(node, known); err != nil {
+				return nil, fmt.Errorf("comdes: %s state %s entry %s: %w", cfg.Name, sd.Name, out, err)
+			}
+			st.Entry[out] = node
+		}
+		fb.states = append(fb.states, st)
+		fb.stateIdx[sd.Name] = i
+	}
+	if cfg.Initial == "" {
+		fb.initial = cfg.States[0].Name
+	}
+	if _, ok := fb.stateIdx[fb.initial]; !ok {
+		return nil, fmt.Errorf("comdes: %s: unknown initial state %q", cfg.Name, fb.initial)
+	}
+	for i, td := range cfg.Transitions {
+		if _, ok := fb.stateIdx[td.From]; !ok {
+			return nil, fmt.Errorf("comdes: %s transition %d: unknown source %q", cfg.Name, i, td.From)
+		}
+		if _, ok := fb.stateIdx[td.To]; !ok {
+			return nil, fmt.Errorf("comdes: %s transition %d: unknown target %q", cfg.Name, i, td.To)
+		}
+		guard, err := expr.Parse(td.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("comdes: %s transition %s->%s guard: %w", cfg.Name, td.From, td.To, err)
+		}
+		if err := checkVars(guard, known); err != nil {
+			return nil, fmt.Errorf("comdes: %s transition %s->%s guard: %w", cfg.Name, td.From, td.To, err)
+		}
+		tr := &SMTransition{Name: td.Name, From: td.From, To: td.To, Guard: guard, Actions: map[string]expr.Node{}}
+		if tr.Name == "" {
+			tr.Name = fmt.Sprintf("%s_to_%s_%d", td.From, td.To, i)
+		}
+		for out, src := range td.Actions {
+			if !hasPort(cfg.Outputs, out) {
+				return nil, fmt.Errorf("comdes: %s transition %s: unknown output %q", cfg.Name, tr.Name, out)
+			}
+			node, err := expr.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("comdes: %s transition %s action %s: %w", cfg.Name, tr.Name, out, err)
+			}
+			if err := checkVars(node, known); err != nil {
+				return nil, fmt.Errorf("comdes: %s transition %s action %s: %w", cfg.Name, tr.Name, out, err)
+			}
+			tr.Actions[out] = node
+		}
+		fb.transitions = append(fb.transitions, tr)
+		fb.outgoing[td.From] = append(fb.outgoing[td.From], tr)
+	}
+	fb.current = fb.initial
+	return fb, nil
+}
+
+func checkVars(n expr.Node, known map[string]bool) error {
+	for _, v := range expr.Vars(n) {
+		if !known[v] {
+			return fmt.Errorf("unbound name %q", v)
+		}
+	}
+	return nil
+}
+
+// Name implements Block.
+func (m *StateMachineFB) Name() string { return m.name }
+
+// Inputs implements Block.
+func (m *StateMachineFB) Inputs() []Port { return m.inputs }
+
+// Outputs implements Block.
+func (m *StateMachineFB) Outputs() []Port { return m.outputs }
+
+// States returns the machine's states in declaration order.
+func (m *StateMachineFB) States() []*SMState { return m.states }
+
+// Transitions returns the machine's transitions in declaration order.
+func (m *StateMachineFB) Transitions() []*SMTransition { return m.transitions }
+
+// Outgoing returns the transitions leaving a state in declaration order.
+func (m *StateMachineFB) Outgoing(state string) []*SMTransition { return m.outgoing[state] }
+
+// Initial returns the initial state name.
+func (m *StateMachineFB) Initial() string { return m.initial }
+
+// Current returns the active state name.
+func (m *StateMachineFB) Current() string { return m.current }
+
+// StateIndex returns the numeric index codegen assigns to a state.
+func (m *StateMachineFB) StateIndex(name string) (int, bool) {
+	i, ok := m.stateIdx[name]
+	return i, ok
+}
+
+// Reset implements Block.
+func (m *StateMachineFB) Reset() {
+	m.current = m.initial
+	m.LastFired = nil
+}
+
+// Step implements Block.
+func (m *StateMachineFB) Step(in map[string]value.Value) (map[string]value.Value, error) {
+	env := make(expr.MapEnv, len(in))
+	for k, v := range in {
+		env[k] = v
+	}
+	m.LastFired = nil
+	for _, tr := range m.outgoing[m.current] {
+		ok, err := expr.EvalBool(tr.Guard, env)
+		if err != nil {
+			return nil, fmt.Errorf("comdes: %s guard %s: %w", m.name, tr.Name, err)
+		}
+		if ok {
+			m.current = tr.To
+			m.LastFired = tr
+			break
+		}
+	}
+	out := make(map[string]value.Value, len(m.outputs))
+	for _, p := range m.outputs {
+		out[p.Name] = value.Zero(p.Kind)
+	}
+	st := m.states[m.stateIdx[m.current]]
+	for name, node := range st.Entry {
+		v, err := expr.Eval(node, env)
+		if err != nil {
+			return nil, fmt.Errorf("comdes: %s state %s entry %s: %w", m.name, st.Name, name, err)
+		}
+		out[name] = mustConvert(v, portKind(m.outputs, name))
+	}
+	if m.LastFired != nil {
+		for name, node := range m.LastFired.Actions {
+			v, err := expr.Eval(node, env)
+			if err != nil {
+				return nil, fmt.Errorf("comdes: %s action %s: %w", m.name, name, err)
+			}
+			out[name] = mustConvert(v, portKind(m.outputs, name))
+		}
+	}
+	return out, nil
+}
+
+func portKind(ports []Port, name string) value.Kind {
+	for _, p := range ports {
+		if p.Name == name {
+			return p.Kind
+		}
+	}
+	return value.Invalid
+}
+
+func mustConvert(v value.Value, k value.Kind) value.Value {
+	cv, err := value.Convert(v, k)
+	if err != nil {
+		return value.Zero(k)
+	}
+	return cv
+}
+
+// ---- Modal function block ----
+
+// ModalMode couples a selector value with the block active in that mode.
+type ModalMode struct {
+	Selector int64
+	Block    Block
+}
+
+// ModalFB switches between mode blocks based on an integer selector input.
+// All mode blocks must share the modal block's output ports; their inputs
+// are fed from the modal block's inputs by name.
+type ModalFB struct {
+	name     string
+	selector string // name of the selector input
+	inputs   []Port
+	outputs  []Port
+	modes    []ModalMode
+	fallback Block
+}
+
+// NewModalFB builds a modal block. fallback (may be nil) runs when no
+// selector matches; with a nil fallback, outputs are zero values.
+func NewModalFB(name, selector string, inputs, outputs []Port, modes []ModalMode, fallback Block) (*ModalFB, error) {
+	if name == "" {
+		return nil, fmt.Errorf("comdes: modal FB with empty name")
+	}
+	if !hasPort(inputs, selector) {
+		return nil, fmt.Errorf("comdes: %s: selector %q is not an input", name, selector)
+	}
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("comdes: %s: no modes", name)
+	}
+	seen := map[int64]bool{}
+	for _, md := range modes {
+		if md.Block == nil {
+			return nil, fmt.Errorf("comdes: %s: mode %d has no block", name, md.Selector)
+		}
+		if seen[md.Selector] {
+			return nil, fmt.Errorf("comdes: %s: duplicate mode selector %d", name, md.Selector)
+		}
+		seen[md.Selector] = true
+		for _, out := range outputs {
+			if !hasPort(md.Block.Outputs(), out.Name) {
+				return nil, fmt.Errorf("comdes: %s mode %d: block %s lacks output %q", name, md.Selector, md.Block.Name(), out.Name)
+			}
+		}
+	}
+	return &ModalFB{name: name, selector: selector, inputs: inputs, outputs: outputs, modes: modes, fallback: fallback}, nil
+}
+
+// Name implements Block.
+func (m *ModalFB) Name() string { return m.name }
+
+// Inputs implements Block.
+func (m *ModalFB) Inputs() []Port { return m.inputs }
+
+// Outputs implements Block.
+func (m *ModalFB) Outputs() []Port { return m.outputs }
+
+// Selector returns the selector input name.
+func (m *ModalFB) Selector() string { return m.selector }
+
+// Modes returns the mode table.
+func (m *ModalFB) Modes() []ModalMode { return m.modes }
+
+// Fallback returns the default block (may be nil).
+func (m *ModalFB) Fallback() Block { return m.fallback }
+
+// Reset implements Block.
+func (m *ModalFB) Reset() {
+	for _, md := range m.modes {
+		md.Block.Reset()
+	}
+	if m.fallback != nil {
+		m.fallback.Reset()
+	}
+}
+
+// Step implements Block.
+func (m *ModalFB) Step(in map[string]value.Value) (map[string]value.Value, error) {
+	sel, ok := in[m.selector]
+	if !ok {
+		return nil, fmt.Errorf("comdes: %s: selector input %q missing", m.name, m.selector)
+	}
+	var active Block
+	for _, md := range m.modes {
+		if md.Selector == sel.Int() {
+			active = md.Block
+			break
+		}
+	}
+	if active == nil {
+		active = m.fallback
+	}
+	if active == nil {
+		out := make(map[string]value.Value, len(m.outputs))
+		for _, p := range m.outputs {
+			out[p.Name] = value.Zero(p.Kind)
+		}
+		return out, nil
+	}
+	inner, err := active.Step(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]value.Value, len(m.outputs))
+	for _, p := range m.outputs {
+		v, ok := inner[p.Name]
+		if !ok {
+			v = value.Zero(p.Kind)
+		}
+		out[p.Name] = mustConvert(v, p.Kind)
+	}
+	return out, nil
+}

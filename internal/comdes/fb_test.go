@@ -1,0 +1,375 @@
+package comdes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestBasicFBStep(t *testing.T) {
+	fb, err := NewBasicFB("scale",
+		[]Port{{"in", value.Float}},
+		[]Port{{"out", value.Float}},
+		map[string]value.Value{"k": value.F(2.5)},
+		map[string]string{"out": "in * k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fb.Step(map[string]value.Value{"in": value.F(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"].Float() != 10 {
+		t.Errorf("out = %v", out["out"])
+	}
+	if fb.Name() != "scale" || len(fb.Inputs()) != 1 || len(fb.Outputs()) != 1 {
+		t.Error("identity accessors wrong")
+	}
+	if fb.Formula("out") == nil {
+		t.Error("Formula accessor broken")
+	}
+	fb.Reset() // no-op, must not panic
+}
+
+func TestBasicFBOutputConversion(t *testing.T) {
+	fb, err := NewBasicFB("cmp", []Port{{"in", value.Float}}, []Port{{"hot", value.Bool}},
+		nil, map[string]string{"hot": "in > 30"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fb.Step(map[string]value.Value{"in": value.F(31)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["hot"].Kind() != value.Bool || !out["hot"].Bool() {
+		t.Errorf("hot = %v", out["hot"])
+	}
+}
+
+func TestBasicFBErrors(t *testing.T) {
+	if _, err := NewBasicFB("", nil, nil, nil, nil); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewBasicFB("b", nil, []Port{{"out", value.Float}}, nil, map[string]string{}); err == nil {
+		t.Error("missing formula should fail")
+	}
+	if _, err := NewBasicFB("b", nil, []Port{{"out", value.Float}}, nil,
+		map[string]string{"out": "1 +"}); err == nil {
+		t.Error("bad formula should fail")
+	}
+	if _, err := NewBasicFB("b", nil, []Port{{"out", value.Float}}, nil,
+		map[string]string{"out": "ghost + 1"}); err == nil {
+		t.Error("unbound variable should fail")
+	}
+	if _, err := NewBasicFB("b", nil, []Port{{"out", value.Float}}, nil,
+		map[string]string{"out": "1", "extra": "2"}); err == nil {
+		t.Error("formula for unknown output should fail")
+	}
+	// Runtime error: division by zero input.
+	fb, err := NewBasicFB("d", []Port{{"in", value.Float}}, []Port{{"out", value.Float}},
+		nil, map[string]string{"out": "1 / in"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.Step(map[string]value.Value{"in": value.F(0)}); err == nil {
+		t.Error("runtime error should propagate")
+	}
+}
+
+// heaterSM builds the canonical thermostat machine used across the tests:
+// Idle -> Heating when temp < low, Heating -> Idle when temp > high.
+func heaterSM(t testing.TB) *StateMachineFB {
+	fb, err := NewStateMachineFB(SMConfig{
+		Name:    "ctrl",
+		Inputs:  []Port{{"temp", value.Float}},
+		Outputs: []Port{{"heat", value.Bool}, {"power", value.Float}},
+		Initial: "Idle",
+		States: []SMStateDef{
+			{Name: "Idle", Entry: map[string]string{"heat": "false", "power": "0"}},
+			{Name: "Heating", Entry: map[string]string{"heat": "true", "power": "100"}},
+		},
+		Transitions: []SMTransitionDef{
+			{Name: "cold", From: "Idle", To: "Heating", Guard: "temp < 19"},
+			{Name: "warm", From: "Heating", To: "Idle", Guard: "temp > 21"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fb
+}
+
+func TestStateMachineLifecycle(t *testing.T) {
+	sm := heaterSM(t)
+	if sm.Current() != "Idle" || sm.Initial() != "Idle" {
+		t.Fatal("initial state wrong")
+	}
+	out, err := sm.Step(map[string]value.Value{"temp": value.F(20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Current() != "Idle" || out["heat"].Bool() || sm.LastFired != nil {
+		t.Errorf("no transition expected: state=%s out=%v", sm.Current(), out)
+	}
+	out, _ = sm.Step(map[string]value.Value{"temp": value.F(18)})
+	if sm.Current() != "Heating" || !out["heat"].Bool() || out["power"].Float() != 100 {
+		t.Errorf("cold transition: state=%s out=%v", sm.Current(), out)
+	}
+	if sm.LastFired == nil || sm.LastFired.Name != "cold" {
+		t.Error("LastFired not recorded")
+	}
+	out, _ = sm.Step(map[string]value.Value{"temp": value.F(22)})
+	if sm.Current() != "Idle" || out["heat"].Bool() {
+		t.Errorf("warm transition: state=%s out=%v", sm.Current(), out)
+	}
+	sm.Reset()
+	if sm.Current() != "Idle" || sm.LastFired != nil {
+		t.Error("Reset incomplete")
+	}
+	if i, ok := sm.StateIndex("Heating"); !ok || i != 1 {
+		t.Error("StateIndex wrong")
+	}
+	if len(sm.Outgoing("Idle")) != 1 || len(sm.Transitions()) != 2 || len(sm.States()) != 2 {
+		t.Error("topology accessors wrong")
+	}
+}
+
+func TestStateMachineTransitionActions(t *testing.T) {
+	sm, err := NewStateMachineFB(SMConfig{
+		Name:    "m",
+		Inputs:  []Port{{"x", value.Float}},
+		Outputs: []Port{{"y", value.Float}},
+		States: []SMStateDef{
+			{Name: "A", Entry: map[string]string{"y": "1"}},
+			{Name: "B", Entry: map[string]string{"y": "2"}},
+		},
+		Transitions: []SMTransitionDef{
+			{From: "A", To: "B", Guard: "x > 0", Actions: map[string]string{"y": "x * 10"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Implicit initial = first state.
+	if sm.Initial() != "A" {
+		t.Fatal("implicit initial wrong")
+	}
+	out, _ := sm.Step(map[string]value.Value{"x": value.F(3)})
+	// Action overlays entry: y = 30, not 2.
+	if out["y"].Float() != 30 {
+		t.Errorf("action overlay: y = %v", out["y"])
+	}
+	out, _ = sm.Step(map[string]value.Value{"x": value.F(3)})
+	if out["y"].Float() != 2 {
+		t.Errorf("entry after settle: y = %v", out["y"])
+	}
+}
+
+func TestStateMachineFirstGuardWins(t *testing.T) {
+	sm, err := NewStateMachineFB(SMConfig{
+		Name:    "m",
+		Inputs:  []Port{{"x", value.Float}},
+		Outputs: []Port{{"y", value.Int}},
+		States: []SMStateDef{
+			{Name: "S", Entry: map[string]string{"y": "0"}},
+			{Name: "T1", Entry: map[string]string{"y": "1"}},
+			{Name: "T2", Entry: map[string]string{"y": "2"}},
+		},
+		Transitions: []SMTransitionDef{
+			{From: "S", To: "T1", Guard: "x > 0"},
+			{From: "S", To: "T2", Guard: "x > 0"}, // also true, must lose
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Step(map[string]value.Value{"x": value.F(1)})
+	if sm.Current() != "T1" {
+		t.Errorf("first guard must win, got %s", sm.Current())
+	}
+}
+
+func TestStateMachineErrors(t *testing.T) {
+	base := SMConfig{
+		Name:    "m",
+		Outputs: []Port{{"y", value.Float}},
+		States:  []SMStateDef{{Name: "A"}},
+	}
+	bad := []SMConfig{
+		{},          // empty name
+		{Name: "m"}, // no states
+		{Name: "m", Initial: "ghost", States: base.States},          // bad initial
+		{Name: "m", States: []SMStateDef{{Name: "A"}, {Name: "A"}}}, // dup state
+		{Name: "m", States: base.States, Transitions: []SMTransitionDef{{From: "ghost", To: "A", Guard: "true"}}},
+		{Name: "m", States: base.States, Transitions: []SMTransitionDef{{From: "A", To: "ghost", Guard: "true"}}},
+		{Name: "m", States: base.States, Transitions: []SMTransitionDef{{From: "A", To: "A", Guard: "1 +"}}},
+		{Name: "m", States: base.States, Transitions: []SMTransitionDef{{From: "A", To: "A", Guard: "ghost > 0"}}},
+		{Name: "m", Outputs: base.Outputs, States: []SMStateDef{{Name: "A", Entry: map[string]string{"nope": "1"}}}},
+		{Name: "m", Outputs: base.Outputs, States: []SMStateDef{{Name: "A", Entry: map[string]string{"y": "1 +"}}}},
+		{Name: "m", Outputs: base.Outputs, States: []SMStateDef{{Name: "A", Entry: map[string]string{"y": "ghost"}}}},
+		{Name: "m", Outputs: base.Outputs, States: base.States,
+			Transitions: []SMTransitionDef{{From: "A", To: "A", Guard: "true", Actions: map[string]string{"nope": "1"}}}},
+		{Name: "m", Outputs: base.Outputs, States: base.States,
+			Transitions: []SMTransitionDef{{From: "A", To: "A", Guard: "true", Actions: map[string]string{"y": "ghost"}}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewStateMachineFB(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestModalFB(t *testing.T) {
+	lowMode := MustComponent("gain", "low", map[string]value.Value{"k": value.F(1)})
+	highMode := MustComponent("gain", "high", map[string]value.Value{"k": value.F(10)})
+	fallback := MustComponent("const", "off", map[string]value.Value{"value": value.F(-1)})
+	// Rename gain port "out" matches modal's output; modal inputs need
+	// "in" and "mode".
+	m, err := NewModalFB("modal", "mode",
+		[]Port{{"in", value.Float}, {"mode", value.Int}},
+		[]Port{{"out", value.Float}},
+		[]ModalMode{{Selector: 1, Block: lowMode}, {Selector: 2, Block: highMode}},
+		fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(mode int64, in float64) float64 {
+		out, err := m.Step(map[string]value.Value{"in": value.F(in), "mode": value.I(mode)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out["out"].Float()
+	}
+	if got := step(1, 5); got != 5 {
+		t.Errorf("mode 1: %g", got)
+	}
+	if got := step(2, 5); got != 50 {
+		t.Errorf("mode 2: %g", got)
+	}
+	if got := step(9, 5); got != -1 {
+		t.Errorf("fallback: %g", got)
+	}
+	if m.Selector() != "mode" || len(m.Modes()) != 2 || m.Fallback() == nil {
+		t.Error("modal accessors wrong")
+	}
+	m.Reset()
+}
+
+func TestModalFBNoFallbackZeroOutputs(t *testing.T) {
+	g := MustComponent("gain", "g", nil)
+	m, err := NewModalFB("m", "mode",
+		[]Port{{"in", value.Float}, {"mode", value.Int}},
+		[]Port{{"out", value.Float}},
+		[]ModalMode{{Selector: 1, Block: g}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Step(map[string]value.Value{"in": value.F(5), "mode": value.I(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"].Float() != 0 {
+		t.Errorf("no-fallback output = %v", out["out"])
+	}
+	if _, err := m.Step(map[string]value.Value{"in": value.F(5)}); err == nil {
+		t.Error("missing selector input should fail")
+	}
+}
+
+func TestModalFBErrors(t *testing.T) {
+	g := MustComponent("gain", "g", nil)
+	ports := []Port{{"in", value.Float}, {"mode", value.Int}}
+	outs := []Port{{"out", value.Float}}
+	if _, err := NewModalFB("", "mode", ports, outs, []ModalMode{{1, g}}, nil); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewModalFB("m", "ghost", ports, outs, []ModalMode{{1, g}}, nil); err == nil {
+		t.Error("bad selector should fail")
+	}
+	if _, err := NewModalFB("m", "mode", ports, outs, nil, nil); err == nil {
+		t.Error("no modes should fail")
+	}
+	if _, err := NewModalFB("m", "mode", ports, outs, []ModalMode{{1, nil}}, nil); err == nil {
+		t.Error("nil mode block should fail")
+	}
+	if _, err := NewModalFB("m", "mode", ports, outs, []ModalMode{{1, g}, {1, g}}, nil); err == nil {
+		t.Error("duplicate selector should fail")
+	}
+	bad := MustComponent("const", "c", nil) // has output "out"… rename check needs missing port
+	missing, _ := NewBasicFB("nope", nil, []Port{{"other", value.Float}}, nil, map[string]string{"other": "1"})
+	_ = bad
+	if _, err := NewModalFB("m", "mode", ports, outs, []ModalMode{{1, missing}}, nil); err == nil {
+		t.Error("mode lacking output should fail")
+	}
+}
+
+func TestRegistryComponents(t *testing.T) {
+	kinds := ComponentKinds()
+	if len(kinds) < 8 {
+		t.Fatalf("registry too small: %v", kinds)
+	}
+	if _, err := NewComponent("nosuch", "x", nil); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	cases := []struct {
+		kind   string
+		params map[string]value.Value
+		in     map[string]value.Value
+		out    string
+		want   float64
+	}{
+		{"const", map[string]value.Value{"value": value.F(7)}, nil, "out", 7},
+		{"gain", map[string]value.Value{"k": value.F(3)}, map[string]value.Value{"in": value.F(2)}, "out", 6},
+		{"sum", nil, map[string]value.Value{"a": value.F(2), "b": value.F(3)}, "out", 5},
+		{"sub", nil, map[string]value.Value{"a": value.F(2), "b": value.F(3)}, "out", -1},
+		{"mul", nil, map[string]value.Value{"a": value.F(2), "b": value.F(3)}, "out", 6},
+		{"limit", map[string]value.Value{"lo": value.F(0), "hi": value.F(10)}, map[string]value.Value{"in": value.F(42)}, "out", 10},
+		{"p_controller", map[string]value.Value{"kp": value.F(2)}, map[string]value.Value{"in": value.F(18), "setpoint": value.F(20)}, "out", 4},
+	}
+	for _, c := range cases {
+		b := MustComponent(c.kind, c.kind+"_t", c.params)
+		out, err := b.Step(c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if math.Abs(out[c.out].Float()-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %g", c.kind, out[c.out], c.want)
+		}
+	}
+}
+
+func TestHysteresisComponent(t *testing.T) {
+	h := MustComponent("hysteresis", "h", map[string]value.Value{"lo": value.F(19), "hi": value.F(21)})
+	step := func(temp float64) bool {
+		out, err := h.Step(map[string]value.Value{"in": value.F(temp)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out["out"].Bool()
+	}
+	if step(20) {
+		t.Error("should start off")
+	}
+	if !step(18) {
+		t.Error("should switch on below lo")
+	}
+	if !step(20) {
+		t.Error("should stay on inside band")
+	}
+	if step(22) {
+		t.Error("should switch off above hi")
+	}
+	if step(20) {
+		t.Error("should stay off inside band")
+	}
+}
+
+func TestMustComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustComponent should panic on unknown kind")
+		}
+	}()
+	MustComponent("bogus", "x", nil)
+}

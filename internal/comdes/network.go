@@ -1,0 +1,307 @@
+package comdes
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Connection wires a value source to a block input or network output.
+// An empty FromBlock means "network input port FromPort"; an empty ToBlock
+// means "network output port ToPort".
+type Connection struct {
+	FromBlock string
+	FromPort  string
+	ToBlock   string
+	ToPort    string
+}
+
+// String renders the connection like "sensor.out -> ctrl.temp".
+func (c Connection) String() string {
+	from, to := c.FromPort, c.ToPort
+	if c.FromBlock != "" {
+		from = c.FromBlock + "." + c.FromPort
+	}
+	if c.ToBlock != "" {
+		to = c.ToBlock + "." + c.ToPort
+	}
+	return from + " -> " + to
+}
+
+// Network is an ordered function-block network: the hierarchical dataflow
+// model of a COMDES actor. Blocks execute in declaration order each
+// synchronous step; a connection from a block later in the order delivers
+// the producer's *previous-cycle* value (unit-delay feedback), the
+// conventional semantics for clocked dataflow loops.
+type Network struct {
+	name    string
+	inputs  []Port
+	outputs []Port
+	blocks  []Block
+	byName  map[string]Block
+	conns   []Connection
+
+	// prev holds last-cycle outputs per block for feedback edges.
+	prev map[string]map[string]value.Value
+}
+
+// NewNetwork creates an empty network with the given interface ports.
+func NewNetwork(name string, inputs, outputs []Port) *Network {
+	return &Network{
+		name: name, inputs: inputs, outputs: outputs,
+		byName: map[string]Block{}, prev: map[string]map[string]value.Value{},
+	}
+}
+
+// Name returns the network name.
+func (n *Network) Name() string { return n.name }
+
+// Inputs returns the network's input ports.
+func (n *Network) Inputs() []Port { return n.inputs }
+
+// Outputs returns the network's output ports.
+func (n *Network) Outputs() []Port { return n.outputs }
+
+// Blocks returns the blocks in execution order.
+func (n *Network) Blocks() []Block { return n.blocks }
+
+// Block returns a block by name, or nil.
+func (n *Network) Block(name string) Block { return n.byName[name] }
+
+// Connections returns the wiring list.
+func (n *Network) Connections() []Connection { return n.conns }
+
+// Add appends a block to the execution order.
+func (n *Network) Add(b Block) error {
+	if _, dup := n.byName[b.Name()]; dup {
+		return fmt.Errorf("comdes: %s: duplicate block %q", n.name, b.Name())
+	}
+	n.blocks = append(n.blocks, b)
+	n.byName[b.Name()] = b
+	return nil
+}
+
+// MustAdd is Add that panics; for fixtures.
+func (n *Network) MustAdd(b Block) *Network {
+	if err := n.Add(b); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Connect wires "fromBlock.fromPort" to "toBlock.toPort". Use "" as block
+// name to reference the network's own ports.
+func (n *Network) Connect(fromBlock, fromPort, toBlock, toPort string) error {
+	c := Connection{FromBlock: fromBlock, FromPort: fromPort, ToBlock: toBlock, ToPort: toPort}
+	srcKind, err := n.sourceKind(c)
+	if err != nil {
+		return err
+	}
+	dstKind, err := n.destKind(c)
+	if err != nil {
+		return err
+	}
+	// Numeric widening is allowed (int -> float); other mismatches are
+	// design errors caught at wiring time.
+	if srcKind != dstKind && !(srcKind == value.Int && dstKind == value.Float) &&
+		!(srcKind == value.Float && dstKind == value.Int) &&
+		!(srcKind == value.Bool && dstKind == value.Int) {
+		return fmt.Errorf("comdes: %s: %s: kind mismatch %v -> %v", n.name, c, srcKind, dstKind)
+	}
+	// A destination may be driven only once.
+	for _, ex := range n.conns {
+		if ex.ToBlock == c.ToBlock && ex.ToPort == c.ToPort {
+			return fmt.Errorf("comdes: %s: %s already driven by %s", n.name, c, ex)
+		}
+	}
+	n.conns = append(n.conns, c)
+	return nil
+}
+
+// MustConnect is Connect that panics; for fixtures.
+func (n *Network) MustConnect(fromBlock, fromPort, toBlock, toPort string) *Network {
+	if err := n.Connect(fromBlock, fromPort, toBlock, toPort); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *Network) sourceKind(c Connection) (value.Kind, error) {
+	if c.FromBlock == "" {
+		for _, p := range n.inputs {
+			if p.Name == c.FromPort {
+				return p.Kind, nil
+			}
+		}
+		return 0, fmt.Errorf("comdes: %s: unknown network input %q", n.name, c.FromPort)
+	}
+	b := n.byName[c.FromBlock]
+	if b == nil {
+		return 0, fmt.Errorf("comdes: %s: unknown source block %q", n.name, c.FromBlock)
+	}
+	for _, p := range b.Outputs() {
+		if p.Name == c.FromPort {
+			return p.Kind, nil
+		}
+	}
+	return 0, fmt.Errorf("comdes: %s: block %s has no output %q", n.name, c.FromBlock, c.FromPort)
+}
+
+func (n *Network) destKind(c Connection) (value.Kind, error) {
+	if c.ToBlock == "" {
+		for _, p := range n.outputs {
+			if p.Name == c.ToPort {
+				return p.Kind, nil
+			}
+		}
+		return 0, fmt.Errorf("comdes: %s: unknown network output %q", n.name, c.ToPort)
+	}
+	b := n.byName[c.ToBlock]
+	if b == nil {
+		return 0, fmt.Errorf("comdes: %s: unknown destination block %q", n.name, c.ToBlock)
+	}
+	for _, p := range b.Inputs() {
+		if p.Name == c.ToPort {
+			return p.Kind, nil
+		}
+	}
+	return 0, fmt.Errorf("comdes: %s: block %s has no input %q", n.name, c.ToBlock, c.ToPort)
+}
+
+// Validate checks that every block input and every network output is
+// driven by exactly one connection.
+func (n *Network) Validate() error {
+	driven := map[string]bool{}
+	for _, c := range n.conns {
+		driven[c.ToBlock+"."+c.ToPort] = true
+	}
+	for _, b := range n.blocks {
+		for _, p := range b.Inputs() {
+			if !driven[b.Name()+"."+p.Name] {
+				return fmt.Errorf("comdes: %s: input %s.%s not driven", n.name, b.Name(), p.Name)
+			}
+		}
+	}
+	for _, p := range n.outputs {
+		if !driven["."+p.Name] {
+			return fmt.Errorf("comdes: %s: network output %q not driven", n.name, p.Name)
+		}
+	}
+	return nil
+}
+
+// Reset restores all block state and clears feedback history.
+func (n *Network) Reset() {
+	for _, b := range n.blocks {
+		b.Reset()
+	}
+	n.prev = map[string]map[string]value.Value{}
+}
+
+// evalOrder maps block name -> position for feedback resolution.
+func (n *Network) evalPos(name string) int {
+	for i, b := range n.blocks {
+		if b.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Step performs one synchronous network evaluation and returns the
+// network's output values.
+func (n *Network) Step(in map[string]value.Value) (map[string]value.Value, error) {
+	produced := map[string]map[string]value.Value{}
+	resolve := func(c Connection, consumerPos int) (value.Value, error) {
+		if c.FromBlock == "" {
+			v, ok := in[c.FromPort]
+			if !ok {
+				return value.Value{}, fmt.Errorf("comdes: %s: missing network input %q", n.name, c.FromPort)
+			}
+			return v, nil
+		}
+		if cur, ok := produced[c.FromBlock]; ok {
+			return cur[c.FromPort], nil
+		}
+		// Producer runs later this cycle: feedback edge, use last cycle.
+		if last, ok := n.prev[c.FromBlock]; ok {
+			return last[c.FromPort], nil
+		}
+		// First cycle: zero of the producer's port kind.
+		k, err := n.sourceKind(c)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.Zero(k), nil
+	}
+
+	for pos, b := range n.blocks {
+		bin := map[string]value.Value{}
+		for _, c := range n.conns {
+			if c.ToBlock != b.Name() {
+				continue
+			}
+			v, err := resolve(c, pos)
+			if err != nil {
+				return nil, err
+			}
+			dk, _ := n.destKind(c)
+			bin[c.ToPort] = mustConvert(v, dk)
+		}
+		bout, err := b.Step(bin)
+		if err != nil {
+			return nil, err
+		}
+		produced[b.Name()] = bout
+	}
+
+	out := map[string]value.Value{}
+	for _, c := range n.conns {
+		if c.ToBlock != "" {
+			continue
+		}
+		v, err := resolve(c, len(n.blocks))
+		if err != nil {
+			return nil, err
+		}
+		out[c.ToPort] = mustConvert(v, portKind(n.outputs, c.ToPort))
+	}
+	n.prev = produced
+	return out, nil
+}
+
+// ---- Composite function block ----
+
+// CompositeFB wraps a Network as a reusable Block (the COMDES composite
+// function block).
+type CompositeFB struct {
+	net *Network
+}
+
+// NewCompositeFB wraps net; the network must validate.
+func NewCompositeFB(net *Network) (*CompositeFB, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &CompositeFB{net: net}, nil
+}
+
+// Name implements Block.
+func (c *CompositeFB) Name() string { return c.net.Name() }
+
+// Inputs implements Block.
+func (c *CompositeFB) Inputs() []Port { return c.net.Inputs() }
+
+// Outputs implements Block.
+func (c *CompositeFB) Outputs() []Port { return c.net.Outputs() }
+
+// Network exposes the inner network (for codegen and abstraction).
+func (c *CompositeFB) Network() *Network { return c.net }
+
+// Reset implements Block.
+func (c *CompositeFB) Reset() { c.net.Reset() }
+
+// Step implements Block.
+func (c *CompositeFB) Step(in map[string]value.Value) (map[string]value.Value, error) {
+	return c.net.Step(in)
+}

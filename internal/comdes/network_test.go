@@ -1,0 +1,185 @@
+package comdes
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// pipelineNet builds: in -> gain(k=2) -> limit(0..100) -> out
+func pipelineNet(t testing.TB) *Network {
+	net := NewNetwork("pipe",
+		[]Port{{"in", value.Float}},
+		[]Port{{"out", value.Float}})
+	net.MustAdd(MustComponent("gain", "g", map[string]value.Value{"k": value.F(2)}))
+	net.MustAdd(MustComponent("limit", "lim", map[string]value.Value{"lo": value.F(0), "hi": value.F(100)}))
+	net.MustConnect("", "in", "g", "in").
+		MustConnect("g", "out", "lim", "in").
+		MustConnect("lim", "out", "", "out")
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNetworkPipeline(t *testing.T) {
+	net := pipelineNet(t)
+	out, err := net.Step(map[string]value.Value{"in": value.F(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"].Float() != 60 {
+		t.Errorf("30*2 = %v", out["out"])
+	}
+	out, _ = net.Step(map[string]value.Value{"in": value.F(80)})
+	if out["out"].Float() != 100 {
+		t.Errorf("limit failed: %v", out["out"])
+	}
+	if net.Block("g") == nil || net.Block("zz") != nil {
+		t.Error("Block lookup broken")
+	}
+	if len(net.Blocks()) != 2 || len(net.Connections()) != 3 {
+		t.Error("topology accessors wrong")
+	}
+}
+
+func TestNetworkConnectionString(t *testing.T) {
+	c := Connection{FromBlock: "a", FromPort: "x", ToBlock: "b", ToPort: "y"}
+	if c.String() != "a.x -> b.y" {
+		t.Errorf("String = %q", c.String())
+	}
+	c2 := Connection{FromPort: "in", ToPort: "out"}
+	if c2.String() != "in -> out" {
+		t.Errorf("String = %q", c2.String())
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	net := NewNetwork("n", []Port{{"in", value.Float}}, []Port{{"out", value.Float}})
+	g := MustComponent("gain", "g", nil)
+	if err := net.Add(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Add(MustComponent("gain", "g", nil)); err == nil {
+		t.Error("duplicate block should fail")
+	}
+	if err := net.Connect("", "ghost", "g", "in"); err == nil {
+		t.Error("unknown network input should fail")
+	}
+	if err := net.Connect("ghost", "out", "g", "in"); err == nil {
+		t.Error("unknown source block should fail")
+	}
+	if err := net.Connect("g", "ghost", "", "out"); err == nil {
+		t.Error("unknown source port should fail")
+	}
+	if err := net.Connect("g", "out", "ghost", "in"); err == nil {
+		t.Error("unknown dest block should fail")
+	}
+	if err := net.Connect("g", "out", "g", "ghost"); err == nil {
+		t.Error("unknown dest port should fail")
+	}
+	if err := net.Connect("g", "out", "", "ghost"); err == nil {
+		t.Error("unknown network output should fail")
+	}
+	if err := net.Connect("", "in", "g", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Connect("g", "out", "g", "in"); err == nil {
+		t.Error("double-driven input should fail")
+	}
+	// Kind mismatch: bool -> float rejected.
+	cmp := MustComponent("compare", "c", nil)
+	net.MustAdd(cmp)
+	if err := net.Connect("c", "out", "", "out"); err == nil {
+		t.Error("bool->float should fail")
+	}
+	// Undriven input fails validation.
+	if err := net.Validate(); err == nil || !strings.Contains(err.Error(), "not driven") {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestNetworkFeedbackUnitDelay(t *testing.T) {
+	// counter: sum(a=1, b=feedback of own output). Output sequence 1,2,3…
+	net := NewNetwork("counter", nil, []Port{{"count", value.Float}})
+	net.MustAdd(MustComponent("const", "one", map[string]value.Value{"value": value.F(1)}))
+	net.MustAdd(MustComponent("sum", "acc", nil))
+	net.MustConnect("one", "out", "acc", "a").
+		MustConnect("acc", "out", "acc", "b"). // feedback: previous cycle
+		MustConnect("acc", "out", "", "count")
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4, 5}
+	for i, w := range want {
+		out, err := net.Step(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["count"].Float() != w {
+			t.Errorf("cycle %d: %v, want %g", i, out["count"], w)
+		}
+	}
+	net.Reset()
+	out, _ := net.Step(nil)
+	if out["count"].Float() != 1 {
+		t.Errorf("after Reset: %v, want 1", out["count"])
+	}
+}
+
+func TestNetworkMissingInput(t *testing.T) {
+	net := pipelineNet(t)
+	if _, err := net.Step(map[string]value.Value{}); err == nil {
+		t.Error("missing network input should fail")
+	}
+}
+
+func TestCompositeFB(t *testing.T) {
+	inner := pipelineNet(t)
+	comp, err := NewCompositeFB(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Name() != "pipe" || len(comp.Inputs()) != 1 || len(comp.Outputs()) != 1 {
+		t.Error("composite interface wrong")
+	}
+	if comp.Network() != inner {
+		t.Error("Network accessor wrong")
+	}
+	out, err := comp.Step(map[string]value.Value{"in": value.F(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"].Float() != 20 {
+		t.Errorf("composite step = %v", out["out"])
+	}
+	comp.Reset()
+
+	// Composite of an invalid network must fail.
+	badNet := NewNetwork("bad", nil, []Port{{"o", value.Float}})
+	if _, err := NewCompositeFB(badNet); err == nil {
+		t.Error("invalid inner network should fail")
+	}
+}
+
+func TestNestedComposite(t *testing.T) {
+	inner := pipelineNet(t)
+	comp, _ := NewCompositeFB(inner)
+	outer := NewNetwork("outer", []Port{{"x", value.Float}}, []Port{{"y", value.Float}})
+	outer.MustAdd(comp)
+	outer.MustAdd(MustComponent("gain", "post", map[string]value.Value{"k": value.F(10)}))
+	outer.MustConnect("", "x", "pipe", "in").
+		MustConnect("pipe", "out", "post", "in").
+		MustConnect("post", "out", "", "y")
+	if err := outer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := outer.Step(map[string]value.Value{"x": value.F(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"].Float() != 60 { // 3*2=6, *10=60
+		t.Errorf("nested = %v", out["y"])
+	}
+}

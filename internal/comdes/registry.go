@@ -1,0 +1,142 @@
+package comdes
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// The prefabricated component registry: COMDES configures applications
+// "from prefabricated executable components such as basic (signal
+// processing) ... function blocks". Each entry manufactures a ready-made
+// BasicFB from a parameter set, the way the COMDES toolset instantiates
+// library blocks.
+
+// Factory builds a named block instance from parameters.
+type Factory func(instanceName string, params map[string]value.Value) (Block, error)
+
+var registry = map[string]Factory{}
+
+// Register adds a component factory; duplicate kinds panic (registration
+// happens in init).
+func Register(kind string, f Factory) {
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("comdes: duplicate component kind %q", kind))
+	}
+	registry[kind] = f
+}
+
+// NewComponent instantiates a registered prefabricated component.
+func NewComponent(kind, name string, params map[string]value.Value) (Block, error) {
+	f, ok := registry[kind]
+	if !ok {
+		return nil, fmt.Errorf("comdes: unknown component kind %q (have %v)", kind, ComponentKinds())
+	}
+	return f(name, params)
+}
+
+// MustComponent is NewComponent that panics; for fixtures.
+func MustComponent(kind, name string, params map[string]value.Value) Block {
+	b, err := NewComponent(kind, name, params)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// ComponentKinds lists the registered prefabricated components.
+func ComponentKinds() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func paramOr(params map[string]value.Value, name string, def value.Value) value.Value {
+	if v, ok := params[name]; ok {
+		return v
+	}
+	return def
+}
+
+func fp(name string) []Port { return []Port{{Name: name, Kind: value.Float}} }
+
+func init() {
+	// const: emits parameter "value".
+	Register("const", func(name string, params map[string]value.Value) (Block, error) {
+		v := paramOr(params, "value", value.F(0))
+		return NewBasicFB(name, nil, fp("out"),
+			map[string]value.Value{"value": v},
+			map[string]string{"out": "value"})
+	})
+	// gain: out = in * k.
+	Register("gain", func(name string, params map[string]value.Value) (Block, error) {
+		return NewBasicFB(name, fp("in"), fp("out"),
+			map[string]value.Value{"k": paramOr(params, "k", value.F(1))},
+			map[string]string{"out": "in * k"})
+	})
+	// sum: out = a + b.
+	Register("sum", func(name string, params map[string]value.Value) (Block, error) {
+		return NewBasicFB(name, []Port{{"a", value.Float}, {"b", value.Float}}, fp("out"),
+			nil, map[string]string{"out": "a + b"})
+	})
+	// sub: out = a - b.
+	Register("sub", func(name string, params map[string]value.Value) (Block, error) {
+		return NewBasicFB(name, []Port{{"a", value.Float}, {"b", value.Float}}, fp("out"),
+			nil, map[string]string{"out": "a - b"})
+	})
+	// mul: out = a * b.
+	Register("mul", func(name string, params map[string]value.Value) (Block, error) {
+		return NewBasicFB(name, []Port{{"a", value.Float}, {"b", value.Float}}, fp("out"),
+			nil, map[string]string{"out": "a * b"})
+	})
+	// limit: out = clamp(in, lo, hi).
+	Register("limit", func(name string, params map[string]value.Value) (Block, error) {
+		return NewBasicFB(name, fp("in"), fp("out"),
+			map[string]value.Value{
+				"lo": paramOr(params, "lo", value.F(0)),
+				"hi": paramOr(params, "hi", value.F(1)),
+			},
+			map[string]string{"out": "clamp(in, lo, hi)"})
+	})
+	// compare: out = 1 if in > threshold else 0 (bool output).
+	Register("compare", func(name string, params map[string]value.Value) (Block, error) {
+		return NewBasicFB(name, fp("in"), []Port{{"out", value.Bool}},
+			map[string]value.Value{"threshold": paramOr(params, "threshold", value.F(0))},
+			map[string]string{"out": "in > threshold"})
+	})
+	// deadband: zero small inputs.
+	Register("deadband", func(name string, params map[string]value.Value) (Block, error) {
+		return NewBasicFB(name, fp("in"), fp("out"),
+			map[string]value.Value{"width": paramOr(params, "width", value.F(0.1))},
+			map[string]string{"out": "in * sign(abs(in) - width > 0)"})
+	})
+	// p_controller: out = kp * (setpoint - in).
+	Register("p_controller", func(name string, params map[string]value.Value) (Block, error) {
+		return NewBasicFB(name, []Port{{"in", value.Float}, {"setpoint", value.Float}}, fp("out"),
+			map[string]value.Value{"kp": paramOr(params, "kp", value.F(1))},
+			map[string]string{"out": "kp * (setpoint - in)"})
+	})
+	// hysteresis: stateful two-point switch built as a 2-state machine.
+	Register("hysteresis", func(name string, params map[string]value.Value) (Block, error) {
+		lo := paramOr(params, "lo", value.F(0)).String()
+		hi := paramOr(params, "hi", value.F(1)).String()
+		return NewStateMachineFB(SMConfig{
+			Name:    name,
+			Inputs:  fp("in"),
+			Outputs: []Port{{"out", value.Bool}},
+			Initial: "off",
+			States: []SMStateDef{
+				{Name: "off", Entry: map[string]string{"out": "false"}},
+				{Name: "on", Entry: map[string]string{"out": "true"}},
+			},
+			Transitions: []SMTransitionDef{
+				{From: "off", To: "on", Guard: "in < " + lo},
+				{From: "on", To: "off", Guard: "in > " + hi},
+			},
+		})
+	})
+}

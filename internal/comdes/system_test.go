@@ -1,0 +1,339 @@
+package comdes
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metamodel"
+	"repro/internal/value"
+)
+
+// heaterActor builds the paper-style control actor: a sensor input feeds a
+// thermostat state machine; its power output is scaled and limited.
+func heaterActor(t testing.TB) *Actor {
+	net := NewNetwork("ctrlnet",
+		[]Port{{"temp", value.Float}},
+		[]Port{{"heat", value.Bool}, {"power", value.Float}})
+	net.MustAdd(heaterSM(t))
+	net.MustAdd(MustComponent("limit", "lim", map[string]value.Value{"lo": value.F(0), "hi": value.F(100)}))
+	net.MustConnect("", "temp", "ctrl", "temp").
+		MustConnect("ctrl", "heat", "", "heat").
+		MustConnect("ctrl", "power", "lim", "in").
+		MustConnect("lim", "out", "", "power")
+	a, err := NewActor("heater", net, TaskSpec{PeriodNs: 10_000_000, DeadlineNs: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// plantActor consumes power and produces temperature (a trivial model:
+// temp = 15 + power/10, standing in for a sensor path).
+func plantActor(t testing.TB) *Actor {
+	net := NewNetwork("plantnet",
+		[]Port{{"power", value.Float}},
+		[]Port{{"temp", value.Float}})
+	fb, err := NewBasicFB("th", []Port{{"p", value.Float}}, []Port{{"t", value.Float}},
+		nil, map[string]string{"t": "15 + p / 10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.MustAdd(fb)
+	net.MustConnect("", "power", "th", "p").MustConnect("th", "t", "", "temp")
+	a, err := NewActor("plant", net, TaskSpec{PeriodNs: 10_000_000, DeadlineNs: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func heaterSystem(t testing.TB) *System {
+	sys := NewSystem("heating")
+	sys.MustAddActor(heaterActor(t)).MustAddActor(plantActor(t))
+	sys.MustBind("power_sig", "heater", "power", "plant", "power")
+	sys.MustBind("temp_sig", "plant", "temp", "heater", "temp")
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestTaskSpecValidation(t *testing.T) {
+	if err := (TaskSpec{}).Validate(); err == nil {
+		t.Error("zero period should fail")
+	}
+	if err := (TaskSpec{PeriodNs: 10}).Validate(); err == nil {
+		t.Error("zero deadline should fail")
+	}
+	if err := (TaskSpec{PeriodNs: 10, DeadlineNs: 11}).Validate(); err == nil {
+		t.Error("deadline > period should fail")
+	}
+	if err := (TaskSpec{PeriodNs: 10, DeadlineNs: 10}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestActorConstruction(t *testing.T) {
+	a := heaterActor(t)
+	if a.Name() != "heater" || len(a.Inputs()) != 1 || len(a.Outputs()) != 2 {
+		t.Error("actor interface wrong")
+	}
+	if _, err := NewActor("", a.Net, a.Task); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewActor("x", a.Net, TaskSpec{}); err == nil {
+		t.Error("bad task should fail")
+	}
+	bad := NewNetwork("b", nil, []Port{{"o", value.Float}})
+	if _, err := NewActor("x", bad, TaskSpec{PeriodNs: 1, DeadlineNs: 1}); err == nil {
+		t.Error("invalid network should fail")
+	}
+}
+
+func TestSystemConstruction(t *testing.T) {
+	sys := heaterSystem(t)
+	if sys.Actor("heater") == nil || sys.Actor("ghost") != nil {
+		t.Error("Actor lookup broken")
+	}
+	if err := sys.AddActor(heaterActor(t)); err == nil {
+		t.Error("duplicate actor should fail")
+	}
+	if err := sys.Bind("s", "ghost", "x", "plant", "power"); err == nil {
+		t.Error("unknown source actor should fail")
+	}
+	if err := sys.Bind("s", "heater", "x", "plant", "power"); err == nil {
+		t.Error("unknown source port should fail")
+	}
+	if err := sys.Bind("s", "heater", "power", "ghost", "x"); err == nil {
+		t.Error("unknown dest actor should fail")
+	}
+	if err := sys.Bind("s", "heater", "power", "plant", "x"); err == nil {
+		t.Error("unknown dest port should fail")
+	}
+	if err := sys.Bind("s2", "heater", "power", "plant", "power"); err == nil {
+		t.Error("double-bound input should fail")
+	}
+	if err := NewSystem("empty").Validate(); err == nil {
+		t.Error("empty system should fail validation")
+	}
+}
+
+func TestPlacementAndNodes(t *testing.T) {
+	sys := heaterSystem(t)
+	if got := sys.Nodes(); len(got) != 1 || got[0] != "main" {
+		t.Errorf("default nodes = %v", got)
+	}
+	if err := sys.Place("ghost", "n1"); err == nil {
+		t.Error("placing unknown actor should fail")
+	}
+	if err := sys.Place("plant", "node2"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.NodeOf("plant") != "node2" || sys.NodeOf("heater") != "main" {
+		t.Error("NodeOf wrong")
+	}
+	if got := sys.Nodes(); len(got) != 2 || got[0] != "main" || got[1] != "node2" {
+		t.Errorf("nodes = %v", got)
+	}
+}
+
+func TestInterpreterClosedLoop(t *testing.T) {
+	sys := heaterSystem(t)
+	it := NewInterpreter(sys)
+	// Cycle the loop: plant publishes temp, heater reacts.
+	var states []string
+	sm := sys.Actor("heater").Net.Block("ctrl").(*StateMachineFB)
+	for i := 0; i < 10; i++ {
+		if _, err := it.StepActor("plant"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := it.StepActor("heater"); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, sm.Current())
+	}
+	joined := strings.Join(states, ",")
+	// Initial temp 15 (<19): heater turns on; power 100 raises temp to 25
+	// (>21): heater turns off; temp falls back to 15: on again — limit cycle.
+	if !strings.Contains(joined, "Heating") || !strings.Contains(joined, "Idle") {
+		t.Errorf("no limit cycle: %s", joined)
+	}
+	if v, ok := it.Board()["temp_sig"]; !ok || !v.IsValid() {
+		t.Error("board missing temp_sig")
+	}
+	if _, err := it.StepActor("ghost"); err == nil {
+		t.Error("unknown actor should fail")
+	}
+}
+
+func TestInterpreterEnvInputs(t *testing.T) {
+	sys := NewSystem("solo")
+	sys.MustAddActor(heaterActor(t))
+	it := NewInterpreter(sys)
+	it.Env["heater.temp"] = value.F(10) // cold: must switch to Heating
+	if _, err := it.StepActor("heater"); err != nil {
+		t.Fatal(err)
+	}
+	sm := sys.Actor("heater").Net.Block("ctrl").(*StateMachineFB)
+	if sm.Current() != "Heating" {
+		t.Errorf("env input not applied: %s", sm.Current())
+	}
+	// Unprefixed env key also resolves.
+	it2 := NewInterpreter(sys)
+	it2.Env["temp"] = value.F(25)
+	it2.StepActor("heater")
+	if sm.Current() != "Idle" {
+		t.Errorf("unprefixed env: %s", sm.Current())
+	}
+}
+
+func TestBridgeToModelAndBack(t *testing.T) {
+	meta := Metamodel()
+	sys := heaterSystem(t)
+	mod, err := ToModel(sys, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The reflected model contains the expected element ids.
+	for _, id := range []string{
+		SystemID("heating"), ActorID("heater"), ActorID("plant"),
+		BlockID("heater.ctrl"), BlockID("heater.lim"),
+		StateID("heater.ctrl", "Idle"), StateID("heater.ctrl", "Heating"),
+		TransitionID("heater.ctrl", "cold"), TransitionID("heater.ctrl", "warm"),
+		"bind:power_sig", "bind:temp_sig",
+	} {
+		if mod.Lookup(id) == nil {
+			t.Errorf("model missing %s", id)
+		}
+	}
+	// States of the machine: exactly 2.
+	if got := len(mod.InstancesOf("State")); got != 4 { // 2 thermostat + 0… hysteresis? none here. Idle,Heating only = 2? lim has none.
+		// heaterSM has 2 states; there is no other SM. Expect 2.
+		if got != 2 {
+			t.Errorf("state count = %d", got)
+		}
+	}
+
+	// Roundtrip back to an executable system.
+	sys2, err := FromModel(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.Name() != "heating" || len(sys2.Actors) != 2 || len(sys2.Bindings) != 2 {
+		t.Fatal("roundtrip shape wrong")
+	}
+	// Behavioural equivalence: run both interpreters 20 cycles.
+	it1, it2 := NewInterpreter(heaterSystem(t)), NewInterpreter(sys2)
+	for i := 0; i < 20; i++ {
+		for _, actor := range []string{"plant", "heater"} {
+			o1, err1 := it1.StepActor(actor)
+			o2, err2 := it2.StepActor(actor)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("cycle %d %s: %v / %v", i, actor, err1, err2)
+			}
+			for k, v := range o1 {
+				if !value.Equal(v, o2[k]) {
+					t.Fatalf("cycle %d %s.%s: %v != %v", i, actor, k, v, o2[k])
+				}
+			}
+		}
+	}
+}
+
+func TestBridgeXMLRoundtrip(t *testing.T) {
+	meta := Metamodel()
+	sys := heaterSystem(t)
+	mod, err := ToModel(sys, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mod.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mod2, err := metamodel.ReadModelXML(meta, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := FromModel(mod2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.Name() != sys.Name() || len(sys2.Actors) != len(sys.Actors) {
+		t.Error("XML roundtrip lost structure")
+	}
+}
+
+func TestBridgeModalAndComposite(t *testing.T) {
+	meta := Metamodel()
+	inner := pipelineNet(t)
+	comp, _ := NewCompositeFB(inner)
+	lowMode := MustComponent("gain", "low", map[string]value.Value{"k": value.F(1)})
+	highMode := MustComponent("gain", "high", map[string]value.Value{"k": value.F(10)})
+	modal, err := NewModalFB("sel", "mode",
+		[]Port{{"in", value.Float}, {"mode", value.Int}},
+		[]Port{{"out", value.Float}},
+		[]ModalMode{{1, lowMode}, {2, highMode}},
+		MustComponent("const", "dflt", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork("mixnet",
+		[]Port{{"x", value.Float}, {"mode", value.Int}},
+		[]Port{{"y", value.Float}})
+	net.MustAdd(comp).MustAdd(modal)
+	net.MustConnect("", "x", "pipe", "in").
+		MustConnect("pipe", "out", "sel", "in").
+		MustConnect("", "mode", "sel", "mode").
+		MustConnect("sel", "out", "", "y")
+	a, err := NewActor("mixer", net, TaskSpec{PeriodNs: 1000, DeadlineNs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem("mix")
+	sys.MustAddActor(a)
+	mod, err := ToModel(sys, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := FromModel(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behaviour preserved through reflection.
+	it1, it2 := NewInterpreter(sys), NewInterpreter(sys2)
+	for _, mode := range []int64{1, 2, 9} {
+		it1.Env["mixer.x"], it1.Env["mixer.mode"] = value.F(4), value.I(mode)
+		it2.Env["mixer.x"], it2.Env["mixer.mode"] = value.F(4), value.I(mode)
+		o1, err1 := it1.StepActor("mixer")
+		o2, err2 := it2.StepActor("mixer")
+		if err1 != nil || err2 != nil {
+			t.Fatalf("mode %d: %v / %v", mode, err1, err2)
+		}
+		if !value.Equal(o1["y"], o2["y"]) {
+			t.Errorf("mode %d: %v != %v", mode, o1["y"], o2["y"])
+		}
+	}
+}
+
+func TestFromModelErrors(t *testing.T) {
+	meta := Metamodel()
+	mod := metamodel.NewModel(meta)
+	if _, err := FromModel(mod); err == nil {
+		t.Error("empty model should fail")
+	}
+	// Root that is not a System.
+	mod2 := metamodel.NewModel(meta)
+	a := mod2.MustObject("Actor", "a")
+	a.MustSet("name", value.S("x"))
+	if err := mod2.AddRoot(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromModel(mod2); err == nil {
+		t.Error("non-System root should fail")
+	}
+}

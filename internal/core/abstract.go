@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metamodel"
+)
+
+// Abstract performs the abstraction procedure of Fig. 2: it walks the
+// input model reflectively, creates one GDM element for every object whose
+// meta-class the mapping pairs with a pattern, resolves connector
+// endpoints, and builds the initial scene. Objects without a pairing
+// contribute nothing — the user chose not to visualise them.
+//
+// Generic conventions (independent of the modelling language):
+//
+//   - the element label comes from the rule's LabelAttr ("name" default),
+//     falling back to the object id;
+//   - the element group is the containing object's id, scoping exclusive
+//     highlights (e.g. "one active state per machine");
+//   - a Bool attribute named "initial" marks elements highlighted before
+//     any event arrives (a state machine's initial state).
+func Abstract(model *metamodel.Model, mapping *Mapping) (*GDM, error) {
+	if mapping.Len() == 0 {
+		return nil, fmt.Errorf("core: empty mapping — pair at least one meta-class")
+	}
+	name := "gdm"
+	if roots := model.Roots(); len(roots) > 0 {
+		if n := roots[0].GetString("name"); n != "" {
+			name = n
+		}
+	}
+	g := NewGDM(name)
+
+	type pendingConn struct {
+		el  *Element
+		obj *metamodel.Object
+		res EndpointResolver
+	}
+	var conns []pendingConn
+	var walkErr error
+
+	model.Walk(func(o *metamodel.Object) {
+		if walkErr != nil {
+			return
+		}
+		rule, ok := mapping.Match(o)
+		if !ok {
+			return
+		}
+		label := ""
+		attr := rule.LabelAttr
+		if attr == "" {
+			attr = "name"
+		}
+		if v, err := o.Get(attr); err == nil {
+			label = v.Str()
+		}
+		if label == "" {
+			label = o.ID()
+		}
+		el := &Element{
+			ID:          o.ID(),
+			SourceClass: o.Class().Name,
+			Pattern:     rule.Pattern,
+			Label:       label,
+		}
+		if c := o.Container(); c != nil {
+			el.Group = c.ID()
+		}
+		if v, err := o.Get("initial"); err == nil && v.Bool() {
+			el.Initial = true
+		}
+		if err := g.AddElement(el); err != nil {
+			walkErr = err
+			return
+		}
+		if IsConnector(rule.Pattern) {
+			conns = append(conns, pendingConn{el: el, obj: o, res: rule.Resolve})
+		}
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+
+	// Resolve connector endpoints after all boxes exist.
+	for _, pc := range conns {
+		from, to, err := pc.res(pc.obj)
+		if err != nil {
+			return nil, err
+		}
+		if g.Element(from) == nil || g.Element(to) == nil {
+			return nil, fmt.Errorf("core: connector %s references unmapped elements %q -> %q (pair their classes too)", pc.el.ID, from, to)
+		}
+		pc.el.From, pc.el.To = from, to
+	}
+
+	if len(g.Elements()) == 0 {
+		return nil, fmt.Errorf("core: abstraction produced no elements (mapping matches nothing in the model)")
+	}
+	if err := g.BuildScene(); err != nil {
+		return nil, err
+	}
+	return g, g.Conformance()
+}

@@ -1,0 +1,302 @@
+// Package dtm implements Distributed Timed Multitasking, the model of
+// computation underlying COMDES (Sec. III of the paper): "input and output
+// signals are latched at task (transaction) start and deadline instants,
+// respectively, resulting in the elimination of I/O jitter at both actor
+// task and transaction levels."
+//
+// The package provides a deterministic discrete-event kernel over virtual
+// time, periodic tasks with release/deadline latching, a multi-node signal
+// network with transmission latency, and jitter instrumentation used by
+// the reproduction experiments to demonstrate the jitter-elimination
+// property.
+package dtm
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  uint64
+	seq uint64 // FIFO tie-break for equal timestamps
+	fn  func(now uint64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Kernel is a single-threaded discrete-event simulator over nanosecond
+// virtual time.
+type Kernel struct {
+	now uint64
+	seq uint64
+	pq  eventHeap
+	ran uint64
+}
+
+// NewKernel creates a kernel at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// Executed returns the number of events run so far.
+func (k *Kernel) Executed() uint64 { return k.ran }
+
+// Schedule runs fn at absolute time at (>= now).
+func (k *Kernel) Schedule(at uint64, fn func(now uint64)) error {
+	if at < k.now {
+		return fmt.Errorf("dtm: schedule at %d before now %d", at, k.now)
+	}
+	k.seq++
+	heap.Push(&k.pq, event{at: at, seq: k.seq, fn: fn})
+	return nil
+}
+
+// After runs fn delay nanoseconds from now.
+func (k *Kernel) After(delay uint64, fn func(now uint64)) {
+	_ = k.Schedule(k.now+delay, fn)
+}
+
+// Step executes the earliest pending event; false when idle.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.pq).(event)
+	k.now = ev.at
+	k.ran++
+	ev.fn(ev.at)
+	return true
+}
+
+// RunUntil executes every event with timestamp <= t, then advances the
+// clock to t.
+func (k *Kernel) RunUntil(t uint64) {
+	for len(k.pq) > 0 && k.pq[0].at <= t {
+		k.Step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// Store is a node-local signal board implementing COMDES state-message
+// communication: non-blocking, latest-value semantics.
+type Store struct {
+	vals map[string]value.Value
+	// OnChange, when set, observes every write that changes a value
+	// (signal, old, new, time). The debugger's jitter instrumentation and
+	// the timing-diagram recorder hook here.
+	OnChange func(now uint64, signal string, old, new value.Value)
+	now      func() uint64
+}
+
+// NewStore creates a signal board; clock supplies timestamps for OnChange
+// (nil means "always 0").
+func NewStore(clock func() uint64) *Store {
+	if clock == nil {
+		clock = func() uint64 { return 0 }
+	}
+	return &Store{vals: map[string]value.Value{}, now: clock}
+}
+
+// Set publishes a signal value (non-blocking overwrite).
+func (s *Store) Set(signal string, v value.Value) {
+	old := s.vals[signal]
+	s.vals[signal] = v
+	if s.OnChange != nil && !value.Equal(old, v) {
+		s.OnChange(s.now(), signal, old, v)
+	}
+}
+
+// Get reads the latest value of a signal (zero Value if never written).
+func (s *Store) Get(signal string) value.Value { return s.vals[signal] }
+
+// Snapshot copies the current board contents.
+func (s *Store) Snapshot() map[string]value.Value {
+	out := make(map[string]value.Value, len(s.vals))
+	for k, v := range s.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// Task is a periodic DTM task. The three phases are split so the kernel
+// can enforce the latching discipline:
+//
+//	release instant r:      in = Latch(r)          (input latching)
+//	immediately after:      out, cost = Execute(r, in)
+//	deadline instant r+D:   Output(r+D, out)       (output latching)
+//
+// Execute reports its virtual execution cost; cost > Deadline is a
+// deadline miss (counted, outputs still latched at the deadline — the
+// overrun policy real COMDES kernels apply to soft tasks).
+type Task struct {
+	Name     string
+	Period   uint64
+	Offset   uint64
+	Deadline uint64
+
+	Latch   func(now uint64) map[string]value.Value
+	Execute func(now uint64, in map[string]value.Value) (map[string]value.Value, uint64, error)
+	Output  func(now uint64, out map[string]value.Value)
+
+	Releases       uint64
+	DeadlineMisses uint64
+	LastError      error
+}
+
+// Validate checks the task's timing and hooks.
+func (t *Task) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("dtm: task with empty name")
+	}
+	if t.Period == 0 || t.Deadline == 0 || t.Deadline > t.Period {
+		return fmt.Errorf("dtm: task %s: bad timing (period %d, deadline %d)", t.Name, t.Period, t.Deadline)
+	}
+	if t.Execute == nil {
+		return fmt.Errorf("dtm: task %s: no Execute", t.Name)
+	}
+	return nil
+}
+
+// Scheduler drives a set of tasks on a kernel.
+type Scheduler struct {
+	K      *Kernel
+	tasks  []*Task
+	halted bool
+}
+
+// NewScheduler wraps a kernel.
+func NewScheduler(k *Kernel) *Scheduler { return &Scheduler{K: k} }
+
+// Tasks returns the registered tasks.
+func (s *Scheduler) Tasks() []*Task { return s.tasks }
+
+// AddTask registers and validates a task; Start schedules it.
+func (s *Scheduler) AddTask(t *Task) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	for _, ex := range s.tasks {
+		if ex.Name == t.Name {
+			return fmt.Errorf("dtm: duplicate task %q", t.Name)
+		}
+	}
+	s.tasks = append(s.tasks, t)
+	return nil
+}
+
+// Start schedules the first release of every task at its offset.
+func (s *Scheduler) Start() {
+	for _, t := range s.tasks {
+		task := t
+		_ = s.K.Schedule(s.K.Now()+task.Offset, func(now uint64) { s.release(task, now) })
+	}
+}
+
+// Halt suspends releases (the debugger "pausing the target"); already
+// latched outputs still emit at their deadlines, matching a CPU halted
+// between task instances.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Resume re-enables releases.
+func (s *Scheduler) Resume() { s.halted = false }
+
+// Halted reports the halt state.
+func (s *Scheduler) Halted() bool { return s.halted }
+
+func (s *Scheduler) release(t *Task, now uint64) {
+	// Schedule the next period first so halting never loses the rhythm.
+	_ = s.K.Schedule(now+t.Period, func(n uint64) { s.release(t, n) })
+	if s.halted {
+		return
+	}
+	t.Releases++
+	var in map[string]value.Value
+	if t.Latch != nil {
+		in = t.Latch(now)
+	}
+	out, cost, err := t.Execute(now, in)
+	if err != nil {
+		t.LastError = err
+		return
+	}
+	if cost > t.Deadline {
+		t.DeadlineMisses++
+	}
+	if t.Output != nil {
+		deadline := now + t.Deadline
+		_ = s.K.Schedule(deadline, func(n uint64) { t.Output(n, out) })
+	}
+}
+
+// Network models the communication medium between nodes: labelled signal
+// messages delivered into remote Stores after a fixed latency. (COMDES
+// transactions assume a time-triggered network; a constant latency
+// preserves the deadline-latching analysis.)
+type Network struct {
+	K         *Kernel
+	LatencyNs uint64
+	Sent      uint64
+}
+
+// NewNetwork creates a network over the kernel with the given latency.
+func NewNetwork(k *Kernel, latencyNs uint64) *Network {
+	return &Network{K: k, LatencyNs: latencyNs}
+}
+
+// Send delivers signal=v into the destination store after the latency.
+func (n *Network) Send(signal string, v value.Value, dst *Store) {
+	n.Sent++
+	n.K.After(n.LatencyNs, func(now uint64) { dst.Set(signal, v) })
+}
+
+// JitterRecorder observes a Store and records the set of distinct times at
+// which a given signal changed, modulo the task period — for a jitter-free
+// system all output changes of an actor fall on deadline instants, so the
+// phase set has exactly one element.
+type JitterRecorder struct {
+	Signal string
+	Period uint64
+	Phases map[uint64]int
+}
+
+// NewJitterRecorder builds a recorder for signal with the given period.
+func NewJitterRecorder(signal string, period uint64) *JitterRecorder {
+	return &JitterRecorder{Signal: signal, Period: period, Phases: map[uint64]int{}}
+}
+
+// Observe is a Store.OnChange hook.
+func (j *JitterRecorder) Observe(now uint64, signal string, old, new value.Value) {
+	if signal != j.Signal {
+		return
+	}
+	j.Phases[now%j.Period]++
+}
+
+// JitterFree reports whether all observed changes share one phase.
+func (j *JitterRecorder) JitterFree() bool { return len(j.Phases) <= 1 }

@@ -1,0 +1,380 @@
+package dtm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	_ = k.Schedule(30, func(uint64) { order = append(order, 3) })
+	_ = k.Schedule(10, func(uint64) { order = append(order, 1) })
+	_ = k.Schedule(20, func(uint64) { order = append(order, 2) })
+	// Same-time events run FIFO.
+	_ = k.Schedule(20, func(uint64) { order = append(order, 4) })
+	for k.Step() {
+	}
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if k.Now() != 30 || k.Executed() != 4 || k.Pending() != 0 {
+		t.Errorf("kernel state: now=%d ran=%d pending=%d", k.Now(), k.Executed(), k.Pending())
+	}
+}
+
+func TestKernelSchedulePast(t *testing.T) {
+	k := NewKernel()
+	_ = k.Schedule(10, func(uint64) {})
+	k.RunUntil(10)
+	if err := k.Schedule(5, func(uint64) {}); err == nil {
+		t.Error("scheduling in the past should fail")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.After(100, func(now uint64) {
+		fired = true
+		if now != 100 {
+			t.Errorf("fired at %d", now)
+		}
+	})
+	k.RunUntil(50)
+	if fired {
+		t.Error("fired early")
+	}
+	if k.Now() != 50 {
+		t.Errorf("Now = %d", k.Now())
+	}
+	k.RunUntil(200)
+	if !fired || k.Now() != 200 {
+		t.Errorf("fired=%v now=%d", fired, k.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var rec func(now uint64)
+	rec = func(now uint64) {
+		count++
+		if count < 5 {
+			k.After(10, rec)
+		}
+	}
+	k.After(0, rec)
+	k.RunUntil(1000)
+	if count != 5 || k.Now() != 1000 {
+		t.Errorf("count=%d now=%d", count, k.Now())
+	}
+}
+
+func TestStoreStateMessages(t *testing.T) {
+	k := NewKernel()
+	s := NewStore(k.Now)
+	if v := s.Get("x"); v.IsValid() {
+		t.Error("unset signal should be invalid zero")
+	}
+	var changes []string
+	s.OnChange = func(now uint64, sig string, old, new value.Value) {
+		changes = append(changes, fmt.Sprintf("%d:%s:%s->%s", now, sig, old, new))
+	}
+	s.Set("x", value.F(1))
+	s.Set("x", value.F(1)) // no change, no callback
+	s.Set("x", value.F(2))
+	if len(changes) != 2 {
+		t.Fatalf("changes = %v", changes)
+	}
+	if s.Get("x").Float() != 2 {
+		t.Error("latest value wrong")
+	}
+	snap := s.Snapshot()
+	s.Set("x", value.F(3))
+	if snap["x"].Float() != 2 {
+		t.Error("snapshot not isolated")
+	}
+	// nil clock store is safe.
+	s2 := NewStore(nil)
+	s2.Set("y", value.I(1))
+}
+
+func TestTaskValidation(t *testing.T) {
+	exec := func(uint64, map[string]value.Value) (map[string]value.Value, uint64, error) {
+		return nil, 0, nil
+	}
+	bad := []*Task{
+		{Period: 10, Deadline: 5, Execute: exec},             // no name
+		{Name: "t", Deadline: 5, Execute: exec},              // no period
+		{Name: "t", Period: 10, Execute: exec},               // no deadline
+		{Name: "t", Period: 10, Deadline: 20, Execute: exec}, // deadline > period
+		{Name: "t", Period: 10, Deadline: 5},                 // no execute
+	}
+	for i, task := range bad {
+		if err := task.Validate(); err == nil {
+			t.Errorf("task %d should fail validation", i)
+		}
+	}
+	s := NewScheduler(NewKernel())
+	good := &Task{Name: "t", Period: 10, Deadline: 5, Execute: exec}
+	if err := s.AddTask(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTask(&Task{Name: "t", Period: 10, Deadline: 5, Execute: exec}); err == nil {
+		t.Error("duplicate task should fail")
+	}
+	if len(s.Tasks()) != 1 {
+		t.Error("Tasks() wrong")
+	}
+}
+
+// TestDTMLatching is the core jitter-elimination test (experiment-grade):
+// a task whose execution cost varies wildly still publishes outputs at
+// exact deadline instants, so the output phase is constant.
+func TestDTMLatching(t *testing.T) {
+	k := NewKernel()
+	store := NewStore(k.Now)
+	rec := NewJitterRecorder("out", 1000)
+	store.OnChange = rec.Observe
+	s := NewScheduler(k)
+	r := rand.New(rand.NewSource(1))
+	n := 0
+	task := &Task{
+		Name: "ctl", Period: 1000, Deadline: 600,
+		Latch: func(now uint64) map[string]value.Value {
+			return map[string]value.Value{"in": value.F(float64(now))}
+		},
+		Execute: func(now uint64, in map[string]value.Value) (map[string]value.Value, uint64, error) {
+			n++
+			cost := uint64(r.Intn(500)) // jittery execution time
+			return map[string]value.Value{"out": value.F(in["in"].Float() + 1)}, cost, nil
+		},
+		Output: func(now uint64, out map[string]value.Value) {
+			store.Set("out", out["out"])
+		},
+	}
+	if err := s.AddTask(task); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	k.RunUntil(50_000)
+	if task.Releases != 51 {
+		t.Errorf("releases = %d, want 51", task.Releases)
+	}
+	if !rec.JitterFree() {
+		t.Errorf("output jitter detected: phases %v", rec.Phases)
+	}
+	// The single phase must be the deadline offset (600).
+	for phase := range rec.Phases {
+		if phase != 600 {
+			t.Errorf("output phase %d, want 600", phase)
+		}
+	}
+	if task.DeadlineMisses != 0 {
+		t.Errorf("unexpected misses: %d", task.DeadlineMisses)
+	}
+}
+
+func TestDeadlineMissCounted(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k)
+	task := &Task{
+		Name: "slow", Period: 1000, Deadline: 100,
+		Execute: func(uint64, map[string]value.Value) (map[string]value.Value, uint64, error) {
+			return nil, 500, nil // exceeds deadline
+		},
+	}
+	_ = s.AddTask(task)
+	s.Start()
+	k.RunUntil(5000)
+	if task.DeadlineMisses != task.Releases || task.Releases == 0 {
+		t.Errorf("misses=%d releases=%d", task.DeadlineMisses, task.Releases)
+	}
+}
+
+func TestExecuteErrorRecorded(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k)
+	boom := fmt.Errorf("boom")
+	task := &Task{
+		Name: "bad", Period: 100, Deadline: 50,
+		Execute: func(uint64, map[string]value.Value) (map[string]value.Value, uint64, error) {
+			return nil, 0, boom
+		},
+		Output: func(uint64, map[string]value.Value) { t.Error("output after error") },
+	}
+	_ = s.AddTask(task)
+	s.Start()
+	k.RunUntil(250)
+	if task.LastError != boom {
+		t.Error("error not recorded")
+	}
+}
+
+func TestOffsetDelaysFirstRelease(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k)
+	var first uint64
+	task := &Task{
+		Name: "off", Period: 100, Offset: 37, Deadline: 50,
+		Execute: func(now uint64, _ map[string]value.Value) (map[string]value.Value, uint64, error) {
+			if first == 0 {
+				first = now
+			}
+			return nil, 0, nil
+		},
+	}
+	_ = s.AddTask(task)
+	s.Start()
+	k.RunUntil(500)
+	if first != 37 {
+		t.Errorf("first release at %d, want 37", first)
+	}
+}
+
+func TestHaltSuspendsReleases(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k)
+	task := &Task{
+		Name: "t", Period: 100, Deadline: 50,
+		Execute: func(uint64, map[string]value.Value) (map[string]value.Value, uint64, error) {
+			return nil, 0, nil
+		},
+	}
+	_ = s.AddTask(task)
+	s.Start()
+	k.RunUntil(500) // releases at 0..500: 6
+	if task.Releases != 6 {
+		t.Fatalf("releases = %d", task.Releases)
+	}
+	s.Halt()
+	if !s.Halted() {
+		t.Error("Halted() false")
+	}
+	k.RunUntil(1000)
+	if task.Releases != 6 {
+		t.Errorf("halted but released: %d", task.Releases)
+	}
+	s.Resume()
+	k.RunUntil(1500)
+	if task.Releases <= 6 {
+		t.Error("resume did not restart releases")
+	}
+}
+
+func TestNetworkLatency(t *testing.T) {
+	k := NewKernel()
+	remote := NewStore(k.Now)
+	var arrival uint64
+	remote.OnChange = func(now uint64, sig string, old, new value.Value) { arrival = now }
+	net := NewNetwork(k, 250)
+	k.After(100, func(uint64) { net.Send("s", value.F(1), remote) })
+	k.RunUntil(10_000)
+	if arrival != 350 {
+		t.Errorf("arrival at %d, want 350", arrival)
+	}
+	if net.Sent != 1 {
+		t.Error("Sent count wrong")
+	}
+}
+
+// Distributed transaction: actor A (node 1) publishes at its deadline; the
+// network carries the signal to node 2 where actor B consumes it. End-to-end
+// output of B still lands on B's deadline instants only.
+func TestDistributedTransactionJitterFree(t *testing.T) {
+	k := NewKernel()
+	s := NewScheduler(k)
+	net := NewNetwork(k, 200)
+	board1, board2 := NewStore(k.Now), NewStore(k.Now)
+	rec := NewJitterRecorder("final", 1000)
+	board2.OnChange = rec.Observe
+
+	taskA := &Task{
+		Name: "A", Period: 1000, Deadline: 300,
+		Execute: func(now uint64, _ map[string]value.Value) (map[string]value.Value, uint64, error) {
+			return map[string]value.Value{"x": value.F(float64(now))}, uint64(now % 250), nil
+		},
+		Output: func(now uint64, out map[string]value.Value) {
+			board1.Set("x", out["x"])
+			net.Send("x", out["x"], board2)
+		},
+	}
+	taskB := &Task{
+		Name: "B", Period: 1000, Offset: 600, Deadline: 400,
+		Latch: func(now uint64) map[string]value.Value {
+			return map[string]value.Value{"x": board2.Get("x")}
+		},
+		Execute: func(now uint64, in map[string]value.Value) (map[string]value.Value, uint64, error) {
+			return map[string]value.Value{"final": value.F(in["x"].Float() * 2)}, uint64(now % 333), nil
+		},
+		Output: func(now uint64, out map[string]value.Value) {
+			board2.Set("final", out["final"])
+		},
+	}
+	if err := s.AddTask(taskA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTask(taskB); err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	k.RunUntil(20_000)
+	if !rec.JitterFree() {
+		t.Errorf("transaction jitter: %v", rec.Phases)
+	}
+	if taskA.Releases == 0 || taskB.Releases == 0 || net.Sent == 0 {
+		t.Error("pipeline did not run")
+	}
+}
+
+// Property: for random periods/deadlines/costs, output changes only occur
+// at phase == deadline.
+func TestQuickJitterInvariant(t *testing.T) {
+	f := func(periodSeed, deadlineSeed uint16, costs []uint16) bool {
+		period := uint64(periodSeed%5000) + 100
+		deadline := uint64(deadlineSeed)%period + 1
+		k := NewKernel()
+		store := NewStore(k.Now)
+		rec := NewJitterRecorder("o", period)
+		store.OnChange = rec.Observe
+		s := NewScheduler(k)
+		i := 0
+		task := &Task{
+			Name: "t", Period: period, Deadline: deadline,
+			Execute: func(now uint64, _ map[string]value.Value) (map[string]value.Value, uint64, error) {
+				var c uint64
+				if len(costs) > 0 {
+					c = uint64(costs[i%len(costs)])
+					i++
+				}
+				return map[string]value.Value{"o": value.F(float64(now))}, c, nil
+			},
+			Output: func(now uint64, out map[string]value.Value) { store.Set("o", out["o"]) },
+		}
+		if err := s.AddTask(task); err != nil {
+			return false
+		}
+		s.Start()
+		k.RunUntil(period * 20)
+		if !rec.JitterFree() {
+			return false
+		}
+		for phase := range rec.Phases {
+			if phase != deadline%period {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/comdes"
+	"repro/internal/core"
+	"repro/internal/jtag"
+	"repro/internal/metamodel"
+	"repro/internal/protocol"
+)
+
+// This file is the COMDES-specific glue of the prototype (the paper:
+// "The COMDES design model is the only input model used in the current
+// tool"): the default abstraction mapping, the default command→reaction
+// bindings, the passive-interface event translator, and watch-list
+// construction from the generated symbol table. The core abstraction
+// engine itself stays language-agnostic.
+
+// DefaultCOMDESMapping returns the pairing the prototype ships with:
+// states as circles, transitions as arrows, function blocks as
+// rectangles, ports as triangles and dataflow connections as lines —
+// covering both COMDES viewpoints (state machine + dataflow) in one GDM.
+func DefaultCOMDESMapping() *core.Mapping {
+	m := core.NewMapping()
+	m.MustPair(core.Rule{MetaClass: "State", Pattern: "Circle"})
+	m.MustPair(core.Rule{MetaClass: "Transition", Pattern: "Arrow", Resolve: core.ResolveRefs("from", "to")})
+	m.MustPair(core.Rule{MetaClass: "FunctionBlock", Pattern: "Rectangle"})
+	m.MustPair(core.Rule{MetaClass: "SignalPort", Pattern: "Triangle"})
+	m.MustPair(core.Rule{MetaClass: "Connection", Pattern: "Line", Resolve: ResolveCOMDESConnection})
+	return m
+}
+
+// MinimalCOMDESMapping maps only the state-machine viewpoint (the Fig. 5
+// screenshot shows exactly this: the machine's states and transitions).
+func MinimalCOMDESMapping() *core.Mapping {
+	m := core.NewMapping()
+	m.MustPair(core.Rule{MetaClass: "State", Pattern: "Circle"})
+	m.MustPair(core.Rule{MetaClass: "Transition", Pattern: "Arrow", Resolve: core.ResolveRefs("from", "to")})
+	return m
+}
+
+// ResolveCOMDESConnection resolves a Connection object's endpoints to
+// block or network-port element ids following the bridge's id scheme.
+func ResolveCOMDESConnection(o *metamodel.Object) (string, string, error) {
+	net := o.Container()
+	if net == nil || !strings.HasPrefix(net.ID(), "net:") {
+		return "", "", fmt.Errorf("engine: connection %s has no network container", o.ID())
+	}
+	path := strings.TrimPrefix(net.ID(), "net:")
+	parse := func(ep, dir string) string {
+		if i := strings.LastIndex(ep, "."); i >= 0 {
+			return comdes.BlockID(path + "." + ep[:i])
+		}
+		return "port:net." + path + "." + dir + "." + ep
+	}
+	from := parse(o.GetString("from"), "in")
+	to := parse(o.GetString("to"), "out")
+	return from, to, nil
+}
+
+// BindCOMDES installs the prototype's default command→reaction table
+// (Fig. 6 step 4): active states highlight exclusively within their
+// machine, fired transitions pulse their arrow, and signal updates badge
+// the producing port with the live value.
+func BindCOMDES(g *core.GDM) error {
+	bindings := []core.Binding{
+		{
+			Name: "state-enter", Event: protocol.EvStateEnter,
+			KeyTemplate: "state:$source.$arg1", Reaction: core.ReactHighlightExclusive,
+		},
+		{
+			Name: "transition-fired", Event: protocol.EvTransition, ArrowMatch: true,
+			FromKey: "state:$source.$arg1", ToKey: "state:$source.$arg2",
+			Reaction: core.ReactPulse,
+		},
+		{
+			Name: "signal-update", Event: protocol.EvSignal,
+			KeyTemplate: "port:net.$sourceHead.out.$sourceTail", Reaction: core.ReactBadge,
+		},
+	}
+	for _, b := range bindings {
+		if err := g.Bind(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// smInfo describes one state machine for the watch translator.
+type smInfo struct {
+	path   string
+	states []string
+}
+
+// WatchTranslator builds the passive-interface translator: EvWatch
+// notifications on __state symbols become EvStateEnter commands, and
+// notifications on published output symbols become EvSignal commands —
+// so the GDM animates identically over JTAG and RS-232 (the paper's
+// "compatible with various embedded system applications").
+func WatchTranslator(sys *comdes.System) func(protocol.Event) protocol.Event {
+	machines := map[string]smInfo{}
+	pubs := map[string]string{}
+	var walkBlock func(path string, b comdes.Block)
+	walkBlock = func(path string, b comdes.Block) {
+		switch fb := b.(type) {
+		case *comdes.StateMachineFB:
+			names := make([]string, len(fb.States()))
+			for i, st := range fb.States() {
+				names[i] = st.Name
+			}
+			machines[path+".__state"] = smInfo{path: path, states: names}
+		case *comdes.CompositeFB:
+			for _, inner := range fb.Network().Blocks() {
+				walkBlock(path+"."+inner.Name(), inner)
+			}
+		case *comdes.ModalFB:
+			for _, md := range fb.Modes() {
+				walkBlock(fmt.Sprintf("%s.m%d.%s", path, md.Selector, md.Block.Name()), md.Block)
+			}
+			if fb.Fallback() != nil {
+				walkBlock(path+".fallback."+fb.Fallback().Name(), fb.Fallback())
+			}
+		}
+	}
+	for _, a := range sys.Actors {
+		for _, b := range a.Net.Blocks() {
+			walkBlock(a.Name()+"."+b.Name(), b)
+		}
+		for _, p := range a.Outputs() {
+			pubs[a.Name()+"."+p.Name+"__pub"] = a.Name() + "." + p.Name
+		}
+	}
+	return func(ev protocol.Event) protocol.Event {
+		if ev.Type != protocol.EvWatch {
+			return ev
+		}
+		if sm, ok := machines[ev.Source]; ok {
+			idx := int(ev.Value)
+			if idx >= 0 && idx < len(sm.states) {
+				return protocol.Event{
+					Type: protocol.EvStateEnter, Seq: ev.Seq, Time: ev.Time,
+					Source: sm.path, Arg1: sm.states[idx],
+				}
+			}
+		}
+		if sig, ok := pubs[ev.Source]; ok {
+			return protocol.Event{
+				Type: protocol.EvSignal, Seq: ev.Seq, Time: ev.Time,
+				Source: sig, Value: ev.Value, Arg2: ev.Arg2,
+			}
+		}
+		return ev
+	}
+}
+
+// AutoWatches registers the monitored variables the paper's Fig. 2
+// describes ("the user needs to select one or more monitored variables
+// that are considered to be critical, e.g. variable s is critical if it
+// saves state information"): every state variable and every published
+// actor output in the generated symbol table.
+func AutoWatches(w *jtag.Watcher, prog *codegen.Program) error {
+	for _, sym := range prog.Symbols.All() {
+		watch := strings.HasSuffix(sym.Name, ".__state") || strings.HasSuffix(sym.Name, "__pub")
+		if !watch {
+			continue
+		}
+		if err := w.Add(jtag.Watch{Symbol: sym.Name, Addr: sym.Addr, Size: int(sym.Size), Kind: sym.Kind}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

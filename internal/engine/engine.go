@@ -1,0 +1,316 @@
+// Package engine implements the GMDF Runtime Engine (Fig. 2 C of the
+// paper): the on-call server that displays the debug model, listens for
+// commands sent by the target code, performs reactions, and offers the
+// model-level debugging controls the paper promises — step-wise execution,
+// model-level breakpoints, trace recording and replay.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/jtag"
+	"repro/internal/protocol"
+	"repro/internal/serial"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// EventSource delivers target events to the session. Implementations:
+// SerialSource (active interface), WatcherSource (passive JTAG),
+// trace.Replayer (offline replay).
+type EventSource interface {
+	Poll(now uint64) []protocol.Event
+}
+
+// TargetControl is the slice of target behaviour the engine needs to pause
+// and resume execution. target.Board satisfies it; NopTarget serves replay
+// sessions.
+type TargetControl interface {
+	Halt()
+	Resume()
+	Halted() bool
+}
+
+// NopTarget is a TargetControl for sessions without a live target.
+type NopTarget struct{ halted bool }
+
+// Halt implements TargetControl.
+func (n *NopTarget) Halt() { n.halted = true }
+
+// Resume implements TargetControl.
+func (n *NopTarget) Resume() { n.halted = false }
+
+// Halted implements TargetControl.
+func (n *NopTarget) Halted() bool { return n.halted }
+
+// SerialSource adapts the host side of the RS-232 link: it drains received
+// bytes through the streaming frame decoder.
+type SerialSource struct {
+	Port *serial.Port
+	dec  protocol.Decoder
+}
+
+// NewSerialSource wraps a host serial port.
+func NewSerialSource(port *serial.Port) *SerialSource { return &SerialSource{Port: port} }
+
+// Poll implements EventSource.
+func (s *SerialSource) Poll(now uint64) []protocol.Event {
+	evs, _ := s.dec.Feed(s.Port.Recv())
+	return evs
+}
+
+// DecodeErrors reports damaged frames seen so far.
+func (s *SerialSource) DecodeErrors() int { return s.dec.Errors }
+
+// Send transmits a GDM -> target instruction over the link (remote pause,
+// variable read/write); the target firmware services it at its next run
+// slice and acknowledges with events.
+func (s *SerialSource) Send(in protocol.Instruction) error {
+	wire, err := protocol.EncodeInstruction(in)
+	if err != nil {
+		return err
+	}
+	s.Port.Send(wire)
+	return nil
+}
+
+// WatcherSource adapts the passive JTAG watch engine.
+type WatcherSource struct {
+	Watcher *jtag.Watcher
+}
+
+// Poll implements EventSource.
+func (w *WatcherSource) Poll(now uint64) []protocol.Event { return w.Watcher.Poll(now) }
+
+// Breakpoint is a model-level breakpoint: it matches incoming model events
+// rather than code addresses. Examples: "break when machine heater.ctrl
+// enters state Heating", "break when signal heater.power > 90".
+type Breakpoint struct {
+	ID      string
+	Event   protocol.EventType
+	Source  string // "" matches any source
+	Arg1    string // "" matches any (state name, from-state, …)
+	Cond    string // optional expression over value/arg1/arg2/source
+	OneShot bool
+	Enabled bool
+
+	Hits uint64
+	cond expr.Node
+}
+
+func (b *Breakpoint) matches(ev protocol.Event) (bool, error) {
+	if !b.Enabled || b.Event != ev.Type {
+		return false, nil
+	}
+	if b.Source != "" && b.Source != ev.Source {
+		return false, nil
+	}
+	if b.Arg1 != "" && b.Arg1 != ev.Arg1 {
+		return false, nil
+	}
+	if b.cond != nil {
+		env := expr.MapEnv{
+			"value":  value.F(ev.Value),
+			"source": value.S(ev.Source),
+			"arg1":   value.S(ev.Arg1),
+			"arg2":   value.S(ev.Arg2),
+		}
+		ok, err := expr.EvalBool(b.cond, env)
+		if err != nil {
+			return false, fmt.Errorf("engine: breakpoint %s condition: %w", b.ID, err)
+		}
+		return ok, nil
+	}
+	return true, nil
+}
+
+// Mode is the session run mode.
+type Mode uint8
+
+// Session run modes.
+const (
+	ModeRun  Mode = iota // run freely, react to events
+	ModeStep             // pause after the next model-level event
+)
+
+// Session is one model-level debugging session: a GDM animated by event
+// sources, with breakpoints and trace recording.
+type Session struct {
+	GDM    *core.GDM
+	Target TargetControl
+	Trace  *trace.Trace
+
+	sources []EventSource
+	breaks  []*Breakpoint
+	mode    Mode
+	paused  bool
+
+	// Translate, when set, rewrites raw events before handling (the
+	// passive-interface translator mapping watch notifications to
+	// model-level events).
+	Translate func(protocol.Event) protocol.Event
+
+	// OnReaction observes every applied reaction (UI hook).
+	OnReaction func(ev protocol.Event, rs []core.Reaction)
+
+	// Stats.
+	Handled uint64
+	// LastBreak is the most recently hit breakpoint (nil if none).
+	LastBreak *Breakpoint
+}
+
+// NewSession creates a session over a GDM and a target.
+func NewSession(g *core.GDM, target TargetControl) *Session {
+	if target == nil {
+		target = &NopTarget{}
+	}
+	return &Session{
+		GDM:    g,
+		Target: target,
+		Trace:  trace.New(g.Name),
+	}
+}
+
+// AddSource attaches an event source.
+func (s *Session) AddSource(src EventSource) { s.sources = append(s.sources, src) }
+
+// SetBreakpoint installs (or replaces) a model-level breakpoint.
+func (s *Session) SetBreakpoint(bp Breakpoint) error {
+	if bp.ID == "" {
+		return fmt.Errorf("engine: breakpoint with empty id")
+	}
+	if bp.Event == protocol.EvInvalid {
+		return fmt.Errorf("engine: breakpoint %s with no event type", bp.ID)
+	}
+	if bp.Cond != "" {
+		node, err := expr.Parse(bp.Cond)
+		if err != nil {
+			return fmt.Errorf("engine: breakpoint %s: %w", bp.ID, err)
+		}
+		bp.cond = node
+	}
+	bp.Enabled = true
+	for i, ex := range s.breaks {
+		if ex.ID == bp.ID {
+			s.breaks[i] = &bp
+			return nil
+		}
+	}
+	s.breaks = append(s.breaks, &bp)
+	return nil
+}
+
+// ClearBreakpoint removes a breakpoint by id.
+func (s *Session) ClearBreakpoint(id string) error {
+	for i, ex := range s.breaks {
+		if ex.ID == id {
+			s.breaks = append(s.breaks[:i], s.breaks[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: no breakpoint %q", id)
+}
+
+// Breakpoints returns the installed breakpoints.
+func (s *Session) Breakpoints() []*Breakpoint { return s.breaks }
+
+// Paused reports whether the session (and target) is paused.
+func (s *Session) Paused() bool { return s.paused }
+
+// Pause halts the target and the GDM (the user's pause button).
+func (s *Session) Pause() {
+	s.paused = true
+	s.Target.Halt()
+	s.GDM.SetHalted(true)
+}
+
+// Continue resumes free-running execution.
+func (s *Session) Continue() {
+	s.paused = false
+	s.mode = ModeRun
+	s.LastBreak = nil
+	s.Target.Resume()
+	s.GDM.SetHalted(false)
+}
+
+// Step resumes execution until the next model-level event, then pauses —
+// the paper's "model-level step-wise execution".
+func (s *Session) Step() {
+	s.paused = false
+	s.mode = ModeStep
+	s.LastBreak = nil
+	s.Target.Resume()
+	s.GDM.SetHalted(false)
+}
+
+// ProcessEvents drains every source, feeding events through translation,
+// trace recording, GDM reaction and breakpoint evaluation. It returns the
+// number of events handled. When a breakpoint hits (or step mode
+// completes), the target is halted; remaining already-received events are
+// still processed (they were on the wire), but new target execution stops.
+func (s *Session) ProcessEvents(now uint64) (int, error) {
+	n := 0
+	for _, src := range s.sources {
+		for _, ev := range src.Poll(now) {
+			if s.Translate != nil {
+				ev = s.Translate(ev)
+			}
+			s.Trace.Append(ev, now)
+			rs, err := s.GDM.HandleEvent(ev)
+			if err != nil {
+				return n, err
+			}
+			if s.OnReaction != nil {
+				s.OnReaction(ev, rs)
+			}
+			s.Handled++
+			n++
+			if err := s.checkBreakpoints(ev, now); err != nil {
+				return n, err
+			}
+			if s.mode == ModeStep && !s.paused {
+				s.pauseAt(now, nil)
+			}
+		}
+	}
+	return n, nil
+}
+
+func (s *Session) checkBreakpoints(ev protocol.Event, now uint64) error {
+	for _, bp := range s.breaks {
+		ok, err := bp.matches(ev)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		bp.Hits++
+		if bp.OneShot {
+			bp.Enabled = false
+		}
+		s.pauseAt(now, bp)
+	}
+	return nil
+}
+
+func (s *Session) pauseAt(now uint64, bp *Breakpoint) {
+	s.paused = true
+	s.Target.Halt()
+	s.GDM.SetHalted(true)
+	s.LastBreak = bp
+	hit := protocol.Event{Type: protocol.EvBreakHit, Time: now}
+	if bp != nil {
+		hit.Source = bp.ID
+	} else {
+		hit.Source = "step"
+	}
+	s.Trace.Append(hit, now)
+}
+
+// TimingDiagram projects the session trace (replay companion).
+func (s *Session) TimingDiagram() interface{ ASCII(int) string } {
+	return s.Trace.TimingDiagram()
+}

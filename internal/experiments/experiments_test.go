@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE1PipelineParity(t *testing.T) {
+	r, err := E1Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CodeLevelState != 1 {
+		t.Errorf("code-level state = %d, want 1 (Heating)", r.CodeLevelState)
+	}
+	if r.ModelLevelSeen != "state:heater.thermostat.Heating" {
+		t.Errorf("model-level = %q", r.ModelLevelSeen)
+	}
+	if r.ListingLines == 0 || r.Symbols == 0 {
+		t.Error("pipeline artifacts missing")
+	}
+	if !strings.Contains(r.String(), "Heating") {
+		t.Error("report malformed")
+	}
+}
+
+func TestE4AbstractionScalesLinearly(t *testing.T) {
+	rows, err := E4Abstraction([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatal("row count wrong")
+	}
+	for _, r := range rows {
+		if !r.Conforms {
+			t.Errorf("size %d does not conform", r.Machines)
+		}
+		// Each machine contributes 2 states + 2 transitions + 1 block
+		// rectangle, plus ports/lines; elements must grow with machines.
+		if r.Elements < 5*r.Machines {
+			t.Errorf("size %d: only %d elements", r.Machines, r.Elements)
+		}
+	}
+	if rows[2].Elements <= rows[0].Elements {
+		t.Error("elements did not grow with model size")
+	}
+	if !strings.Contains(FormatE4(rows), "machines") {
+		t.Error("table malformed")
+	}
+}
+
+func TestE5AnimationProducesFrames(t *testing.T) {
+	r, err := E5Animation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EventsHandled == 0 || r.Reactions == 0 {
+		t.Errorf("no animation: %+v", r)
+	}
+	if r.FrameBytes == 0 {
+		t.Error("no frame rendered")
+	}
+	if len(r.Highlighted) == 0 {
+		t.Error("nothing highlighted")
+	}
+	_ = r.String()
+}
+
+func TestE6WorkflowCompletes(t *testing.T) {
+	out, err := E6Workflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1:input-selection", "2:abstraction-guide", "3:command-setting", "4:gdm-created", "commands handled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workflow report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE7PassiveZeroOverhead asserts the paper's central performance claim.
+func TestE7PassiveZeroOverhead(t *testing.T) {
+	rows, err := E7ActiveVsPassive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	clean := rows[0]
+	if clean.InstrCycles != 0 {
+		t.Error("clean build has instrumentation cycles")
+	}
+	for _, r := range rows[1:3] {
+		if r.TotalCycles <= clean.TotalCycles {
+			t.Errorf("%s: active must cost more than clean (%d vs %d)", r.Config, r.TotalCycles, clean.TotalCycles)
+		}
+		if r.OverheadPct <= 0 {
+			t.Errorf("%s: overhead %.2f%% not positive", r.Config, r.OverheadPct)
+		}
+		if r.Events == 0 || r.SerialBytes == 0 {
+			t.Errorf("%s: no events/bytes delivered", r.Config)
+		}
+	}
+	passive := rows[3]
+	if passive.TotalCycles != clean.TotalCycles {
+		t.Errorf("passive changed target cycles: %d vs %d", passive.TotalCycles, clean.TotalCycles)
+	}
+	if passive.OverheadPct != 0 {
+		t.Errorf("passive overhead = %.4f%%, want 0", passive.OverheadPct)
+	}
+	if passive.Events == 0 {
+		t.Error("passive session saw no events")
+	}
+	if passive.ProbeHostMs == 0 {
+		t.Error("probe host time not accounted")
+	}
+	// Signals config must cost more than states+transitions only.
+	if rows[2].TotalCycles <= rows[1].TotalCycles {
+		t.Error("denser instrumentation must cost more")
+	}
+	if !strings.Contains(FormatE7(rows), "overhead") {
+		t.Error("table malformed")
+	}
+}
+
+func TestE9BothBugClasses(t *testing.T) {
+	r, err := E9Errors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CorrectBreakHit {
+		t.Error("correct model: cut-out breakpoint must hit")
+	}
+	if r.FaultyBreakHit {
+		t.Error("faulty model: cut-out breakpoint must NOT hit (that is the bug)")
+	}
+	if r.FaultyMaxTemp <= r.CorrectMaxTemp+3 {
+		t.Errorf("faulty model should overshoot: %.1f vs %.1f", r.FaultyMaxTemp, r.CorrectMaxTemp)
+	}
+	if r.CleanDivergence != -1 {
+		t.Errorf("clean build diverged at %d", r.CleanDivergence)
+	}
+	if r.FaultyDivergence < 0 {
+		t.Error("faulty build never diverged — implementation error undetected")
+	}
+	_ = r.String()
+}
+
+func TestE10ModelLevelWins(t *testing.T) {
+	r, err := E10StepsToBug()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CodeInstructions+r.CodeInspections < 10 {
+		t.Errorf("code-level effort suspiciously low: %+v", r)
+	}
+	if r.ModelEvents != 1 {
+		t.Errorf("model events = %d", r.ModelEvents)
+	}
+	_ = r.String()
+}
+
+func TestE11Generality(t *testing.T) {
+	r, err := E11MultiModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-type: both viewpoints in one GDM.
+	if r.HeatingPatterns["Circle"] == 0 || r.HeatingPatterns["Arrow"] == 0 ||
+		r.HeatingPatterns["Rectangle"] == 0 || r.HeatingPatterns["Line"] == 0 {
+		t.Errorf("multi-type GDM incomplete: %v", r.HeatingPatterns)
+	}
+	// Multi-instance: 6 machines × (2 states + 2 transitions) = 24.
+	if r.RingElements != 24 {
+		t.Errorf("ring elements = %d, want 24", r.RingElements)
+	}
+	if r.ForeignElements != 5 {
+		t.Errorf("petri elements = %d, want 5", r.ForeignElements)
+	}
+	_ = r.String()
+}
+
+func TestE12BreakAndStep(t *testing.T) {
+	r, err := E12Breakpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HitAtMs <= 0 {
+		t.Error("no hit time")
+	}
+	if r.StepEvents != 1 {
+		t.Errorf("step advanced %d events, want 1", r.StepEvents)
+	}
+	_ = r.String()
+}
+
+func TestAllReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in short mode")
+	}
+	out, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1", "E4", "E5", "E6", "E7", "E9", "E10", "E11", "E12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}
+
+// TestE7bBandwidthShape asserts the ablation's shape: faster lines deliver
+// at least as many commands; slow lines fall behind or drop bytes.
+func TestE7bBandwidthShape(t *testing.T) {
+	rows, err := E7bBaudSweep([]int{9600, 115200, 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatal("row count")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Delivered < rows[i-1].Delivered {
+			t.Errorf("faster line delivered fewer: %+v then %+v", rows[i-1], rows[i])
+		}
+	}
+	slow, fast := rows[0], rows[2]
+	if !(slow.Delivered < slow.Emitted || slow.DroppedBytes > 0) {
+		t.Errorf("slow line should lag or drop: %+v", slow)
+	}
+	if fast.Delivered < fast.Emitted*9/10 {
+		t.Errorf("fast line should keep up: %+v", fast)
+	}
+	if !strings.Contains(FormatE7b(rows), "baud") {
+		t.Error("table malformed")
+	}
+}

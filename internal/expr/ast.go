@@ -1,0 +1,111 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Node is an expression AST node. Nodes are immutable after parsing.
+type Node interface {
+	// String renders the node back to concrete syntax (fully parenthesised
+	// for binary operations so the rendering is unambiguous).
+	String() string
+	// walk visits the node and its children in prefix order.
+	walk(func(Node))
+}
+
+// Lit is a literal constant.
+type Lit struct {
+	Val value.Value
+}
+
+func (n *Lit) String() string {
+	if n.Val.Kind() == value.String {
+		return fmt.Sprintf("%q", n.Val.Str())
+	}
+	return n.Val.String()
+}
+func (n *Lit) walk(f func(Node)) { f(n) }
+
+// Ident is a (possibly dotted) variable reference.
+type Ident struct {
+	Name string
+}
+
+func (n *Ident) String() string    { return n.Name }
+func (n *Ident) walk(f func(Node)) { f(n) }
+
+// Unary is a prefix operation: "-" (negate) or "!" (logical not).
+type Unary struct {
+	Op string
+	X  Node
+}
+
+func (n *Unary) String() string { return n.Op + n.X.String() }
+func (n *Unary) walk(f func(Node)) {
+	f(n)
+	n.X.walk(f)
+}
+
+// Binary is an infix operation.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+func (n *Binary) String() string {
+	return "(" + n.L.String() + " " + n.Op + " " + n.R.String() + ")"
+}
+func (n *Binary) walk(f func(Node)) {
+	f(n)
+	n.L.walk(f)
+	n.R.walk(f)
+}
+
+// Call is a builtin function application.
+type Call struct {
+	Fn   string
+	Args []Node
+}
+
+func (n *Call) String() string {
+	parts := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		parts[i] = a.String()
+	}
+	return n.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+func (n *Call) walk(f func(Node)) {
+	f(n)
+	for _, a := range n.Args {
+		a.walk(f)
+	}
+}
+
+// Vars returns the sorted-unique set of identifier names referenced by the
+// expression; used by the debugger to derive the watch set of a breakpoint
+// predicate and by the code generator to allocate signal slots.
+func Vars(n Node) []string {
+	seen := map[string]bool{}
+	var names []string
+	n.walk(func(c Node) {
+		if id, ok := c.(*Ident); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			names = append(names, id.Name)
+		}
+	})
+	sortStrings(names)
+	return names
+}
+
+// sortStrings is a minimal insertion sort to avoid pulling in package sort
+// for tiny slices on hot paths.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

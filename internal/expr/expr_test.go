@@ -1,0 +1,317 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func evalOK(t *testing.T, src string, env Env) value.Value {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	v, err := Eval(n, env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestLiterals(t *testing.T) {
+	if v := evalOK(t, "42", nil); v.Kind() != value.Int || v.Int() != 42 {
+		t.Errorf("42 = %v", v)
+	}
+	if v := evalOK(t, "3.5", nil); v.Kind() != value.Float || v.Float() != 3.5 {
+		t.Errorf("3.5 = %v", v)
+	}
+	if v := evalOK(t, "1e3", nil); v.Float() != 1000 {
+		t.Errorf("1e3 = %v", v)
+	}
+	if v := evalOK(t, "2.5e-1", nil); v.Float() != 0.25 {
+		t.Errorf("2.5e-1 = %v", v)
+	}
+	if v := evalOK(t, "true", nil); !v.Bool() {
+		t.Errorf("true = %v", v)
+	}
+	if v := evalOK(t, "false", nil); v.Bool() {
+		t.Errorf("false = %v", v)
+	}
+	if v := evalOK(t, `"hi\n\t\"\\"`, nil); v.Str() != "hi\n\t\"\\" {
+		t.Errorf("string lit = %q", v.Str())
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	cases := map[string]float64{
+		"1+2*3":         7,
+		"(1+2)*3":       9,
+		"2*3+1":         7,
+		"10-4-3":        3, // left assoc
+		"100/10/5":      2,
+		"7%4":           3,
+		"-3+5":          2,
+		"--4":           4,
+		"2*-3":          -6,
+		"1+2.0":         3,
+		"min(3,7)":      3,
+		"max(3,7)":      7,
+		"abs(-4.5)":     4.5,
+		"clamp(5,0,3)":  3,
+		"clamp(-1,0,3)": 0,
+		"clamp(2,0,3)":  2,
+		"floor(2.7)":    2,
+		"ceil(2.1)":     3,
+		"sqrt(16)":      4,
+		"sign(-9)":      -1,
+		"sign(0)":       0,
+		"sign(2.5)":     1,
+	}
+	for src, want := range cases {
+		if v := evalOK(t, src, nil); math.Abs(v.Float()-want) > 1e-12 {
+			t.Errorf("%s = %v, want %g", src, v, want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	env := MapEnv{"t": value.F(25), "mode": value.I(2), "on": value.B(true)}
+	cases := map[string]bool{
+		"t > 20":                true,
+		"t >= 25":               true,
+		"t < 25":                false,
+		"t <= 24.9":             false,
+		"t == 25":               true,
+		"t != 25":               false,
+		"mode == 2 && t > 20":   true,
+		"mode == 1 || t > 20":   true,
+		"mode == 1 && t > 20":   false,
+		"!on":                   false,
+		"!(t < 0)":              true,
+		"on && mode == 2":       true,
+		`"abc" < "abd"`:         true,
+		`"x" == "x"`:            true,
+		"true && false || true": true, // && binds tighter
+		"mode == 2 || 1/0 > 0":  true, // short-circuit skips div-by-zero
+		"mode == 1 && 1/0 > 0":  false,
+	}
+	for src, want := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		got, err := EvalBool(n, env)
+		if err != nil {
+			t.Fatalf("EvalBool(%q): %v", src, err)
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestIntVsFloatDivision(t *testing.T) {
+	if v := evalOK(t, "7/2", nil); v.Kind() != value.Int || v.Int() != 3 {
+		t.Errorf("7/2 = %v, want int 3", v)
+	}
+	if v := evalOK(t, "7.0/2", nil); v.Kind() != value.Float || v.Float() != 3.5 {
+		t.Errorf("7.0/2 = %v, want float 3.5", v)
+	}
+}
+
+func TestDottedIdentifiers(t *testing.T) {
+	env := MapEnv{"heater.temp": value.F(30)}
+	if v := evalOK(t, "heater.temp - 5", env); v.Float() != 25 {
+		t.Errorf("dotted ident = %v", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "(1", "1)", "foo(", "1 = 2", "@", "1..2", "nosuchfn(1)",
+		"min(1)", "min(1,2,3)", `"unterminated`, `"bad\q"`, "1.e", "&& 1", "a b",
+		"1e", "1e+",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		"x + 1",        // unbound
+		"1/0",          // div by zero
+		`"a" + 1`,      // string arithmetic
+		"-true",        // negate bool
+		"sqrt(-1)",     // domain
+		"clamp(1,5,0)", // inverted range
+		`"a" < 1`,      // incomparable
+	}
+	for _, src := range bad {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if _, err := Eval(n, MapEnv{}); err == nil {
+			t.Errorf("Eval(%q) should fail", src)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	n := MustParse("b + a*2 > c.d && b < max(a, 10)")
+	got := Vars(n)
+	want := []string{"a", "b", "c.d"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBuiltinsList(t *testing.T) {
+	names := Builtins()
+	if len(names) != len(builtins) {
+		t.Fatalf("Builtins() returned %d names, want %d", len(names), len(builtins))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Builtins() not sorted: %v", names)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("((")
+}
+
+// TestStringRoundtrip: parse → String → parse yields an equivalent AST
+// (checked by evaluating both under a fixed env).
+func TestStringRoundtrip(t *testing.T) {
+	env := MapEnv{"a": value.F(3), "b": value.F(-2), "c": value.I(5)}
+	exprs := []string{
+		"a + b*c - 4", "a > b && c != 5 || !(a < 0)", "min(a, max(b, c))",
+		"-a * -b", "clamp(a, b, c) + sqrt(4)", `"s" == "s" && a >= b`,
+	}
+	for _, src := range exprs {
+		n1 := MustParse(src)
+		n2 := MustParse(n1.String())
+		v1, err1 := Eval(n1, env)
+		v2, err2 := Eval(n2, env)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: eval errors %v / %v", src, err1, err2)
+		}
+		if !value.Equal(v1, v2) {
+			t.Errorf("%s: %v != %v after roundtrip via %q", src, v1, v2, n1.String())
+		}
+	}
+}
+
+// randExpr generates a random arithmetic expression tree over variables a,b
+// together with its expected value. Division is avoided to dodge
+// divide-by-zero; only float arithmetic is generated.
+func randExpr(r *rand.Rand, depth int, env MapEnv) (string, float64) {
+	if depth == 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			f := float64(r.Intn(100)) / 4
+			return value.F(f).String(), f
+		case 1:
+			return "a", env["a"].Float()
+		default:
+			return "b", env["b"].Float()
+		}
+	}
+	ls, lv := randExpr(r, depth-1, env)
+	rs, rv := randExpr(r, depth-1, env)
+	switch r.Intn(3) {
+	case 0:
+		return "(" + ls + " + " + rs + ")", lv + rv
+	case 1:
+		return "(" + ls + " - " + rs + ")", lv - rv
+	default:
+		return "(" + ls + " * " + rs + ")", lv * rv
+	}
+}
+
+// Property: randomly generated expressions evaluate to their constructed
+// reference value.
+func TestQuickRandomArithmetic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	env := MapEnv{"a": value.F(1.5), "b": value.F(-2.25)}
+	for i := 0; i < 500; i++ {
+		src, want := randExpr(r, 4, env)
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		v, err := Eval(n, env)
+		if err != nil {
+			t.Fatalf("Eval(%q): %v", src, err)
+		}
+		if math.Abs(v.Float()-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("%s = %v, want %g", src, v, want)
+		}
+	}
+}
+
+// Property: comparison of random floats agrees with Go comparison.
+func TestQuickComparisons(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		env := MapEnv{"a": value.F(a), "b": value.F(b)}
+		lt, err := EvalBool(MustParse("a < b"), env)
+		if err != nil || lt != (a < b) {
+			return false
+		}
+		ge, err := EvalBool(MustParse("a >= b"), env)
+		if err != nil || ge != (a >= b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lexer never panics and either errors or produces tokens for
+// arbitrary strings.
+func TestQuickLexerTotal(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := lex(s)
+		if err != nil {
+			return true
+		}
+		return len(toks) >= 1 && toks[len(toks)-1].kind == tokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarsOfCallAndString(t *testing.T) {
+	n := MustParse(`max(x, y) > 0 && name == "idle"`)
+	vars := Vars(n)
+	joined := strings.Join(vars, ",")
+	if joined != "name,x,y" {
+		t.Errorf("Vars = %v", vars)
+	}
+}

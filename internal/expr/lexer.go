@@ -1,0 +1,197 @@
+// Package expr implements the small expression language used throughout the
+// COMDES models reproduced in this repository: transition guards and actions
+// of state machine function blocks, transfer formulas of basic function
+// blocks, and signal-predicate breakpoints in the model debugger.
+//
+// Grammar (precedence climbing, lowest first):
+//
+//	or:      and ("||" and)*
+//	and:     cmp ("&&" cmp)*
+//	cmp:     add (("=="|"!="|"<"|"<="|">"|">=") add)?
+//	add:     mul (("+"|"-") mul)*
+//	mul:     unary (("*"|"/"|"%") unary)*
+//	unary:   ("-"|"!")* primary
+//	primary: number | string | "true" | "false" | ident | ident "(" args ")" | "(" or ")"
+//
+// Identifiers may be dotted (actor.signal) to reference hierarchical names.
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokString
+	tokIdent
+	tokOp // + - * / % ! < > ( ) , and two-char ops
+	tokBoolLit
+)
+
+// token is a single lexeme with its source position (byte offset).
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer splits an expression string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// twoCharOps are the operators that consume two characters.
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+// lex tokenizes src, returning a token slice terminated by tokEOF.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			// Lookahead: "1.x" where x is not a digit would merge a dotted
+			// identifier; require digit or end after the dot inside numbers.
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if strings.HasSuffix(text, ".") || strings.HasSuffix(text, "e") || strings.HasSuffix(text, "E") ||
+		strings.HasSuffix(text, "+") || strings.HasSuffix(text, "-") {
+		return fmt.Errorf("expr: malformed number %q at offset %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return fmt.Errorf("expr: unterminated escape at offset %d", start)
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return fmt.Errorf("expr: unknown escape \\%c at offset %d", l.src[l.pos], l.pos)
+			}
+			l.pos++
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("expr: unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	kind := tokIdent
+	if text == "true" || text == "false" {
+		kind = tokBoolLit
+	}
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: start})
+}
+
+func (l *lexer) lexOp() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharOps[two] {
+			l.toks = append(l.toks, token{kind: tokOp, text: two, pos: l.pos})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '!', '(', ')', ',', '=':
+		if c == '=' {
+			return fmt.Errorf("expr: single '=' at offset %d (use '==')", l.pos)
+		}
+		l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("expr: unexpected character %q at offset %d", c, l.pos)
+}

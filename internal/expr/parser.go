@@ -1,0 +1,239 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// parser consumes a token stream produced by lex.
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses src into an AST.
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("expr: trailing input %q at offset %d", p.peek().text, p.peek().pos)
+	}
+	return n, nil
+}
+
+// MustParse parses src and panics on error; for tests and static tables.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptOp(ops ...string) (string, bool) {
+	t := p.peek()
+	if t.kind != tokOp {
+		return "", false
+	}
+	for _, op := range ops {
+		if t.text == op {
+			p.next()
+			return op, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) parseOr() (Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("||"); !ok {
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "||", L: left, R: right}
+	}
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if _, ok := p.acceptOp("&&"); !ok {
+			return left, nil
+		}
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "&&", L: left, R: right}
+	}
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := p.acceptOp("==", "!=", "<=", ">=", "<", ">"); ok {
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp("+", "-")
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp("*", "/", "%")
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if op, ok := p.acceptOp("-", "!"); ok {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("expr: bad number %q: %w", t.text, err)
+			}
+			return &Lit{Val: value.F(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad integer %q: %w", t.text, err)
+		}
+		return &Lit{Val: value.I(i)}, nil
+	case tokString:
+		p.next()
+		return &Lit{Val: value.S(t.text)}, nil
+	case tokBoolLit:
+		p.next()
+		return &Lit{Val: value.B(t.text == "true")}, nil
+	case tokIdent:
+		p.next()
+		if _, ok := p.acceptOp("("); ok {
+			return p.parseCallArgs(t.text)
+		}
+		return &Ident{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := p.acceptOp(")"); !ok {
+				return nil, fmt.Errorf("expr: missing ')' at offset %d", p.peek().pos)
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q at offset %d", t.text, t.pos)
+}
+
+func (p *parser) parseCallArgs(fn string) (Node, error) {
+	if _, ok := builtins[fn]; !ok {
+		return nil, fmt.Errorf("expr: unknown function %q", fn)
+	}
+	var args []Node
+	if _, ok := p.acceptOp(")"); ok {
+		return checkArity(&Call{Fn: fn, Args: args})
+	}
+	for {
+		a, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if _, ok := p.acceptOp(","); ok {
+			continue
+		}
+		if _, ok := p.acceptOp(")"); ok {
+			return checkArity(&Call{Fn: fn, Args: args})
+		}
+		return nil, fmt.Errorf("expr: expected ',' or ')' at offset %d", p.peek().pos)
+	}
+}
+
+func checkArity(c *Call) (Node, error) {
+	b := builtins[c.Fn]
+	if len(c.Args) < b.minArgs || len(c.Args) > b.maxArgs {
+		return nil, fmt.Errorf("expr: %s expects %d..%d args, got %d", c.Fn, b.minArgs, b.maxArgs, len(c.Args))
+	}
+	return c, nil
+}

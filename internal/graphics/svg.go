@@ -1,0 +1,90 @@
+package graphics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renders the scene to a standalone SVG document. Output is
+// deterministic for identical scenes (stable painter's order), which lets
+// tests compare animation frames byte-for-byte.
+func (sc *Scene) SVG() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		sc.W, sc.H, sc.W, sc.H)
+	b.WriteString(`<defs><marker id="ah" markerWidth="10" markerHeight="8" refX="9" refY="4" orient="auto"><path d="M0,0 L10,4 L0,8 z" fill="#222222"/></marker></defs>` + "\n")
+	if sc.Title != "" {
+		fmt.Fprintf(&b, `<title>%s</title>`+"\n", xmlEscape(sc.Title))
+	}
+	for _, s := range sc.Shapes() {
+		writeShapeSVG(&b, s)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func effectiveStyle(s *Shape) Style {
+	if s.Highlight {
+		return HighlightStyle
+	}
+	return s.Style
+}
+
+func writeShapeSVG(b *strings.Builder, s *Shape) {
+	st := effectiveStyle(s)
+	fill := st.Fill
+	if fill == "" {
+		fill = "none"
+	}
+	dash := ""
+	if st.Dashed {
+		dash = ` stroke-dasharray="4,3"`
+	}
+	paint := fmt.Sprintf(`stroke="%s" fill="%s" stroke-width="%g"%s`, st.Stroke, fill, st.Width, dash)
+	switch s.Kind {
+	case KindRect:
+		fmt.Fprintf(b, `<rect id=%q x="%g" y="%g" width="%g" height="%g" rx="3" %s/>`+"\n",
+			xmlEscape(s.ID), s.X, s.Y, s.W, s.H, paint)
+	case KindCircle:
+		cx, cy := s.Center()
+		r := minF(s.W, s.H) / 2
+		fmt.Fprintf(b, `<ellipse id=%q cx="%g" cy="%g" rx="%g" ry="%g" %s/>`+"\n",
+			xmlEscape(s.ID), cx, cy, s.W/2, s.H/2, paint)
+		_ = r
+	case KindTriangle:
+		fmt.Fprintf(b, `<polygon id=%q points="%g,%g %g,%g %g,%g" %s/>`+"\n",
+			xmlEscape(s.ID), s.X+s.W/2, s.Y, s.X, s.Y+s.H, s.X+s.W, s.Y+s.H, paint)
+	case KindArrow:
+		fmt.Fprintf(b, `<line id=%q x1="%g" y1="%g" x2="%g" y2="%g" %s marker-end="url(#ah)"/>`+"\n",
+			xmlEscape(s.ID), s.X, s.Y, s.X2, s.Y2, paint)
+	case KindLine:
+		fmt.Fprintf(b, `<line id=%q x1="%g" y1="%g" x2="%g" y2="%g" %s/>`+"\n",
+			xmlEscape(s.ID), s.X, s.Y, s.X2, s.Y2, paint)
+	case KindText:
+		fmt.Fprintf(b, `<text id=%q x="%g" y="%g" font-size="11" font-family="monospace" fill="%s">%s</text>`+"\n",
+			xmlEscape(s.ID), s.X, s.Y+s.H, st.Stroke, xmlEscape(s.Label))
+		return // label already emitted as content
+	}
+	if s.Label != "" {
+		cx, cy := s.Center()
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-size="11" font-family="monospace" text-anchor="middle" fill="#111111">%s</text>`+"\n",
+			cx, cy+4, xmlEscape(s.Label))
+	}
+	if s.Badge != "" {
+		cx, _ := s.Center()
+		fmt.Fprintf(b, `<text x="%g" y="%g" font-size="9" font-family="monospace" text-anchor="middle" fill="#005500">%s</text>`+"\n",
+			cx, s.Y+s.H+11, xmlEscape(s.Badge))
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

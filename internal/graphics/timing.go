@@ -1,0 +1,227 @@
+package graphics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timing diagrams: the paper's replay function associates the recorded
+// execution trace with a timing diagram so millisecond-scale model-level
+// behaviour (state transitions, signal changes) can be inspected offline.
+// A Diagram holds per-signal tracks of timestamped discrete values and
+// renders them as step waveforms in ASCII or SVG.
+
+// Change is one timestamped value on a track. T is in nanoseconds of
+// virtual target time.
+type Change struct {
+	T     uint64
+	Value string
+}
+
+// Track is the history of one observed variable or model element.
+type Track struct {
+	Name    string
+	Changes []Change
+}
+
+// valueAt returns the value in effect at time t ("" before first change).
+func (tr *Track) valueAt(t uint64) string {
+	v := ""
+	for _, c := range tr.Changes {
+		if c.T > t {
+			break
+		}
+		v = c.Value
+	}
+	return v
+}
+
+// Diagram is an ordered set of tracks over a common time window.
+type Diagram struct {
+	tracks []*Track
+	index  map[string]*Track
+}
+
+// NewDiagram creates an empty timing diagram.
+func NewDiagram() *Diagram {
+	return &Diagram{index: map[string]*Track{}}
+}
+
+// Record appends a change to the named track, creating it on first use.
+// Appends must be monotone in time per track; out-of-order samples are
+// clamped to the last timestamp (traces are recorded in order, so this
+// only triggers for merged replays).
+func (d *Diagram) Record(track string, t uint64, val string) {
+	tr := d.index[track]
+	if tr == nil {
+		tr = &Track{Name: track}
+		d.index[track] = tr
+		d.tracks = append(d.tracks, tr)
+	}
+	if n := len(tr.Changes); n > 0 && t < tr.Changes[n-1].T {
+		t = tr.Changes[n-1].T
+	}
+	// Coalesce repeated values.
+	if n := len(tr.Changes); n > 0 && tr.Changes[n-1].Value == val {
+		return
+	}
+	tr.Changes = append(tr.Changes, Change{T: t, Value: val})
+}
+
+// Tracks returns the tracks in creation order.
+func (d *Diagram) Tracks() []*Track { return d.tracks }
+
+// Track returns the named track, or nil.
+func (d *Diagram) Track(name string) *Track { return d.index[name] }
+
+// Span returns the [t0, t1] window covering all changes.
+func (d *Diagram) Span() (uint64, uint64) {
+	var t0, t1 uint64
+	first := true
+	for _, tr := range d.tracks {
+		for _, c := range tr.Changes {
+			if first {
+				t0, t1, first = c.T, c.T, false
+				continue
+			}
+			if c.T < t0 {
+				t0 = c.T
+			}
+			if c.T > t1 {
+				t1 = c.T
+			}
+		}
+	}
+	return t0, t1
+}
+
+// ASCII renders the diagram as one step-waveform row per track, width
+// columns wide. Each column covers an equal slice of the time window; the
+// value shown is the one in effect at the column's start instant. A header
+// row marks the window bounds in milliseconds.
+func (d *Diagram) ASCII(width int) string {
+	if width < 16 {
+		width = 16
+	}
+	if len(d.tracks) == 0 {
+		return "(empty timing diagram)\n"
+	}
+	t0, t1 := d.Span()
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	nameW := 0
+	for _, tr := range d.tracks {
+		if len(tr.Name) > nameW {
+			nameW = len(tr.Name)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  |%s|\n", nameW, "t(ms)",
+		centerPad(fmt.Sprintf("%.3f .. %.3f", float64(t0)/1e6, float64(t1)/1e6), width))
+	for _, tr := range d.tracks {
+		fmt.Fprintf(&b, "%*s  |", nameW, tr.Name)
+		prev := ""
+		pending := "" // value label waiting to be printed
+		for col := 0; col < width; col++ {
+			t := t0 + uint64(float64(col)*float64(t1-t0)/float64(width))
+			v := tr.valueAt(t)
+			if v != prev {
+				b.WriteByte('|')
+				prev = v
+				pending = v
+				continue
+			}
+			if pending != "" {
+				b.WriteByte(pending[0])
+				pending = pending[1:]
+				continue
+			}
+			b.WriteByte('_')
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// SVG renders the diagram with one horizontal band per track; value
+// changes draw vertical edges and value labels.
+func (d *Diagram) SVG(width, trackH int) string {
+	if width <= 0 {
+		width = 800
+	}
+	if trackH <= 0 {
+		trackH = 28
+	}
+	t0, t1 := d.Span()
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	labelW := 120
+	h := (len(d.tracks) + 1) * trackH
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width+labelW, h)
+	toX := func(t uint64) float64 {
+		return float64(labelW) + float64(width)*float64(t-t0)/float64(t1-t0)
+	}
+	fmt.Fprintf(&b, `<text x="4" y="%d" font-size="10" font-family="monospace">%.3f ms .. %.3f ms</text>`+"\n",
+		trackH/2, float64(t0)/1e6, float64(t1)/1e6)
+	for i, tr := range d.tracks {
+		yTop := float64((i + 1) * trackH)
+		yMid := yTop + float64(trackH)*0.55
+		fmt.Fprintf(&b, `<text x="4" y="%g" font-size="11" font-family="monospace">%s</text>`+"\n",
+			yMid, xmlEscape(tr.Name))
+		prevX := float64(labelW)
+		for j, c := range tr.Changes {
+			x := toX(c.T)
+			if j > 0 {
+				// horizontal segment for the previous value, then an edge
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333333"/>`+"\n", prevX, yMid, x, yMid)
+				fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#333333"/>`+"\n", x, yTop+4, x, yMid)
+			}
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="9" font-family="monospace" fill="#005500">%s</text>`+"\n",
+				x+2, yTop+12, xmlEscape(c.Value))
+			prevX = x
+		}
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%d" y2="%g" stroke="#333333"/>`+"\n",
+			prevX, yMid, labelW+width, yMid)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// MergedEvents returns all changes across tracks ordered by time then track
+// name — the flat event list used by replay fidelity tests.
+func (d *Diagram) MergedEvents() []struct {
+	Track string
+	Change
+} {
+	var out []struct {
+		Track string
+		Change
+	}
+	for _, tr := range d.tracks {
+		for _, c := range tr.Changes {
+			out = append(out, struct {
+				Track string
+				Change
+			}{tr.Name, c})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].Track < out[j].Track
+	})
+	return out
+}
+
+func centerPad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}

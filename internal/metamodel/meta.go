@@ -1,0 +1,319 @@
+// Package metamodel implements the MOF-lite metamodelling substrate of the
+// GMDF reproduction: a reflective meta-layer (classes, attributes,
+// references, enums) plus a dynamic instance layer, mirroring the role the
+// Eclipse Modeling Framework (EMF) plays in the paper's prototype.
+//
+// The paper states that "GMDF could accept all types of system model that
+// follow the MOF specification": the abstraction engine in internal/core
+// therefore operates purely reflectively over this package — it never
+// depends on a concrete modelling language. The COMDES language
+// (internal/comdes) and the GDM meta-model (internal/core) are both
+// expressed as Metamodel values.
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Multiplicity bounds. Upper == Unbounded means "*".
+const Unbounded = -1
+
+// Metamodel is the meta-layer: a named set of classes and enums
+// (the "input meta-model" of GMDF Fig. 2).
+type Metamodel struct {
+	Name    string
+	URI     string
+	classes map[string]*Class
+	enums   map[string]*Enum
+	order   []string // class insertion order, for deterministic output
+}
+
+// NewMetamodel creates an empty metamodel.
+func NewMetamodel(name, uri string) *Metamodel {
+	return &Metamodel{
+		Name:    name,
+		URI:     uri,
+		classes: map[string]*Class{},
+		enums:   map[string]*Enum{},
+	}
+}
+
+// Class describes one meta-class.
+type Class struct {
+	Name     string
+	Abstract bool
+	super    *Class
+	attrs    []*Attribute
+	refs     []*Reference
+	meta     *Metamodel
+}
+
+// Attribute is a scalar-valued structural feature.
+type Attribute struct {
+	Name     string
+	Type     value.Kind
+	Enum     string      // non-empty when Type is String constrained to an enum
+	Default  value.Value // zero Value means "kind zero value"
+	Required bool
+}
+
+// Reference is an object-valued structural feature.
+type Reference struct {
+	Name        string
+	Target      string // target class name
+	Containment bool
+	Lower       int
+	Upper       int // Unbounded for "*"
+}
+
+// Enum is a named set of string literals.
+type Enum struct {
+	Name     string
+	Literals []string
+}
+
+// AddEnum registers an enum; duplicate names are an error.
+func (m *Metamodel) AddEnum(name string, literals ...string) (*Enum, error) {
+	if _, dup := m.enums[name]; dup {
+		return nil, fmt.Errorf("metamodel: duplicate enum %q", name)
+	}
+	if len(literals) == 0 {
+		return nil, fmt.Errorf("metamodel: enum %q has no literals", name)
+	}
+	e := &Enum{Name: name, Literals: literals}
+	m.enums[name] = e
+	return e, nil
+}
+
+// Enum returns the named enum, or nil.
+func (m *Metamodel) Enum(name string) *Enum { return m.enums[name] }
+
+// Enums returns all enums sorted by name.
+func (m *Metamodel) Enums() []*Enum {
+	out := make([]*Enum, 0, len(m.enums))
+	for _, e := range m.enums {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Has reports whether the enum contains the literal.
+func (e *Enum) Has(lit string) bool {
+	for _, l := range e.Literals {
+		if l == lit {
+			return true
+		}
+	}
+	return false
+}
+
+// AddClass registers a new class. superName may be empty.
+func (m *Metamodel) AddClass(name string, abstract bool, superName string) (*Class, error) {
+	if _, dup := m.classes[name]; dup {
+		return nil, fmt.Errorf("metamodel: duplicate class %q", name)
+	}
+	var super *Class
+	if superName != "" {
+		super = m.classes[superName]
+		if super == nil {
+			return nil, fmt.Errorf("metamodel: class %q: unknown super %q", name, superName)
+		}
+	}
+	c := &Class{Name: name, Abstract: abstract, super: super, meta: m}
+	m.classes[name] = c
+	m.order = append(m.order, name)
+	return c, nil
+}
+
+// MustClass is AddClass that panics; for static metamodel definitions.
+func (m *Metamodel) MustClass(name string, abstract bool, superName string) *Class {
+	c, err := m.AddClass(name, abstract, superName)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Class returns the named class, or nil.
+func (m *Metamodel) Class(name string) *Class { return m.classes[name] }
+
+// Classes returns all classes in insertion order.
+func (m *Metamodel) Classes() []*Class {
+	out := make([]*Class, 0, len(m.order))
+	for _, n := range m.order {
+		out = append(out, m.classes[n])
+	}
+	return out
+}
+
+// Super returns the direct superclass (nil for roots).
+func (c *Class) Super() *Class { return c.super }
+
+// Metamodel returns the owning metamodel.
+func (c *Class) Metamodel() *Metamodel { return c.meta }
+
+// AddAttribute appends a scalar feature to the class.
+func (c *Class) AddAttribute(a Attribute) (*Class, error) {
+	if a.Name == "" {
+		return nil, fmt.Errorf("metamodel: %s: attribute with empty name", c.Name)
+	}
+	if c.FindAttribute(a.Name) != nil || c.FindReference(a.Name) != nil {
+		return nil, fmt.Errorf("metamodel: %s: duplicate feature %q", c.Name, a.Name)
+	}
+	if a.Enum != "" {
+		if a.Type != value.String {
+			return nil, fmt.Errorf("metamodel: %s.%s: enum attribute must have string type", c.Name, a.Name)
+		}
+		if c.meta.Enum(a.Enum) == nil {
+			return nil, fmt.Errorf("metamodel: %s.%s: unknown enum %q", c.Name, a.Name, a.Enum)
+		}
+	}
+	ac := a
+	c.attrs = append(c.attrs, &ac)
+	return c, nil
+}
+
+// Attr is AddAttribute that panics; for static metamodel definitions.
+func (c *Class) Attr(name string, t value.Kind) *Class {
+	_, err := c.AddAttribute(Attribute{Name: name, Type: t})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// AttrEnum declares a string attribute constrained to an enum, panicking on
+// error.
+func (c *Class) AttrEnum(name, enum string) *Class {
+	_, err := c.AddAttribute(Attribute{Name: name, Type: value.String, Enum: enum})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// AddReference appends an object feature to the class.
+func (c *Class) AddReference(r Reference) (*Class, error) {
+	if r.Name == "" {
+		return nil, fmt.Errorf("metamodel: %s: reference with empty name", c.Name)
+	}
+	if c.FindAttribute(r.Name) != nil || c.FindReference(r.Name) != nil {
+		return nil, fmt.Errorf("metamodel: %s: duplicate feature %q", c.Name, r.Name)
+	}
+	if c.meta.Class(r.Target) == nil {
+		return nil, fmt.Errorf("metamodel: %s.%s: unknown target class %q", c.Name, r.Name, r.Target)
+	}
+	if r.Upper != Unbounded && r.Upper < r.Lower {
+		return nil, fmt.Errorf("metamodel: %s.%s: upper %d < lower %d", c.Name, r.Name, r.Upper, r.Lower)
+	}
+	rc := r
+	c.refs = append(c.refs, &rc)
+	return c, nil
+}
+
+// Contain declares a containment reference with multiplicity 0..*,
+// panicking on error.
+func (c *Class) Contain(name, target string) *Class {
+	_, err := c.AddReference(Reference{Name: name, Target: target, Containment: true, Lower: 0, Upper: Unbounded})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// RefTo declares a non-containment reference with multiplicity lower..upper,
+// panicking on error.
+func (c *Class) RefTo(name, target string, lower, upper int) *Class {
+	_, err := c.AddReference(Reference{Name: name, Target: target, Lower: lower, Upper: upper})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FindAttribute resolves an attribute by name, searching superclasses.
+func (c *Class) FindAttribute(name string) *Attribute {
+	for k := c; k != nil; k = k.super {
+		for _, a := range k.attrs {
+			if a.Name == name {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// FindReference resolves a reference by name, searching superclasses.
+func (c *Class) FindReference(name string) *Reference {
+	for k := c; k != nil; k = k.super {
+		for _, r := range k.refs {
+			if r.Name == name {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// AllAttributes returns inherited + own attributes, supers first.
+func (c *Class) AllAttributes() []*Attribute {
+	var out []*Attribute
+	if c.super != nil {
+		out = c.super.AllAttributes()
+	}
+	return append(out, c.attrs...)
+}
+
+// AllReferences returns inherited + own references, supers first.
+func (c *Class) AllReferences() []*Reference {
+	var out []*Reference
+	if c.super != nil {
+		out = c.super.AllReferences()
+	}
+	return append(out, c.refs...)
+}
+
+// IsKindOf reports whether c equals or transitively specialises name.
+func (c *Class) IsKindOf(name string) bool {
+	for k := c; k != nil; k = k.super {
+		if k.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the structural sanity of the metamodel itself:
+// no inheritance cycles, all reference targets resolvable, enum
+// references valid. (Most of this is enforced at construction; Validate
+// re-checks to guard deserialized metamodels.)
+func (m *Metamodel) Validate() error {
+	for _, c := range m.classes {
+		// Inheritance cycle detection via tortoise walk bounded by class count.
+		steps := 0
+		for k := c.super; k != nil; k = k.super {
+			steps++
+			if steps > len(m.classes) {
+				return fmt.Errorf("metamodel: inheritance cycle involving %q", c.Name)
+			}
+			if k == c {
+				return fmt.Errorf("metamodel: inheritance cycle involving %q", c.Name)
+			}
+		}
+		for _, r := range c.refs {
+			if m.Class(r.Target) == nil {
+				return fmt.Errorf("metamodel: %s.%s: dangling target %q", c.Name, r.Name, r.Target)
+			}
+		}
+		for _, a := range c.attrs {
+			if a.Enum != "" && m.Enum(a.Enum) == nil {
+				return fmt.Errorf("metamodel: %s.%s: dangling enum %q", c.Name, a.Name, a.Enum)
+			}
+		}
+	}
+	return nil
+}

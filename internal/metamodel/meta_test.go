@@ -1,0 +1,321 @@
+package metamodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// fsmMeta builds a small state-machine metamodel used across the tests;
+// it mirrors the shape of the COMDES state machine language.
+func fsmMeta(t testing.TB) *Metamodel {
+	m := NewMetamodel("fsm", "urn:test:fsm")
+	if _, err := m.AddEnum("Kind", "initial", "normal", "final"); err != nil {
+		t.Fatal(err)
+	}
+	m.MustClass("Element", true, "").Attr("name", value.String)
+	m.MustClass("State", false, "Element").AttrEnum("kind", "Kind")
+	m.MustClass("Transition", false, "Element").
+		RefTo("from", "State", 1, 1).
+		RefTo("to", "State", 1, 1).
+		Attr("guard", value.String)
+	m.MustClass("Machine", false, "Element").
+		Contain("states", "State").
+		Contain("transitions", "Transition")
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fsmModel builds a two-state machine instance.
+func fsmModel(t testing.TB, meta *Metamodel) *Model {
+	mod := NewModel(meta)
+	mach := mod.MustObject("Machine", "m1").MustSet("name", value.S("Light"))
+	off := mod.MustObject("State", "off").MustSet("name", value.S("Off")).MustSet("kind", value.S("initial"))
+	on := mod.MustObject("State", "on").MustSet("name", value.S("On")).MustSet("kind", value.S("normal"))
+	tr := mod.MustObject("Transition", "t1").MustSet("name", value.S("switch")).MustSet("guard", value.S("btn == 1"))
+	tr.MustAppend("from", off).MustAppend("to", on)
+	mach.MustAppend("states", off).MustAppend("states", on).MustAppend("transitions", tr)
+	if err := mod.AddRoot(mach); err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestMetamodelConstruction(t *testing.T) {
+	m := fsmMeta(t)
+	if m.Class("State") == nil || m.Class("Nope") != nil {
+		t.Fatal("class lookup broken")
+	}
+	if !m.Class("State").IsKindOf("Element") {
+		t.Error("State should be kind of Element")
+	}
+	if m.Class("State").IsKindOf("Machine") {
+		t.Error("State is not a Machine")
+	}
+	if got := len(m.Classes()); got != 4 {
+		t.Errorf("Classes() = %d, want 4", got)
+	}
+	attrs := m.Class("Transition").AllAttributes()
+	if len(attrs) != 2 || attrs[0].Name != "name" || attrs[1].Name != "guard" {
+		t.Errorf("AllAttributes order wrong: %v", attrs)
+	}
+	if m.Class("Machine").Super().Name != "Element" {
+		t.Error("Super wrong")
+	}
+	if e := m.Enum("Kind"); e == nil || !e.Has("initial") || e.Has("bogus") {
+		t.Error("enum lookup broken")
+	}
+	if len(m.Enums()) != 1 {
+		t.Error("Enums() wrong")
+	}
+}
+
+func TestMetamodelErrors(t *testing.T) {
+	m := NewMetamodel("x", "")
+	if _, err := m.AddClass("A", false, "Missing"); err == nil {
+		t.Error("unknown super should fail")
+	}
+	m.MustClass("A", false, "")
+	if _, err := m.AddClass("A", false, ""); err == nil {
+		t.Error("duplicate class should fail")
+	}
+	if _, err := m.AddEnum("E"); err == nil {
+		t.Error("empty enum should fail")
+	}
+	if _, err := m.AddEnum("E", "a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.AddEnum("E", "b"); err == nil {
+		t.Error("duplicate enum should fail")
+	}
+	a := m.Class("A")
+	if _, err := a.AddAttribute(Attribute{Name: "", Type: value.Int}); err == nil {
+		t.Error("empty attr name should fail")
+	}
+	a.Attr("x", value.Int)
+	if _, err := a.AddAttribute(Attribute{Name: "x", Type: value.Int}); err == nil {
+		t.Error("duplicate feature should fail")
+	}
+	if _, err := a.AddAttribute(Attribute{Name: "e", Type: value.Int, Enum: "E"}); err == nil {
+		t.Error("non-string enum attr should fail")
+	}
+	if _, err := a.AddAttribute(Attribute{Name: "e", Type: value.String, Enum: "NoEnum"}); err == nil {
+		t.Error("unknown enum should fail")
+	}
+	if _, err := a.AddReference(Reference{Name: "r", Target: "Nope"}); err == nil {
+		t.Error("unknown target should fail")
+	}
+	if _, err := a.AddReference(Reference{Name: "r", Target: "A", Lower: 2, Upper: 1}); err == nil {
+		t.Error("upper<lower should fail")
+	}
+	if _, err := a.AddReference(Reference{Name: "x", Target: "A"}); err == nil {
+		t.Error("feature name clash with attr should fail")
+	}
+	if _, err := a.AddReference(Reference{Name: "", Target: "A"}); err == nil {
+		t.Error("empty ref name should fail")
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	meta := fsmMeta(t)
+	mod := fsmModel(t, meta)
+
+	if mod.Len() != 4 {
+		t.Errorf("Len = %d, want 4", mod.Len())
+	}
+	if mod.Lookup("off") == nil || mod.Lookup("ghost") != nil {
+		t.Error("Lookup broken")
+	}
+	off := mod.Lookup("off")
+	if off.GetString("name") != "Off" || off.GetString("kind") != "initial" {
+		t.Error("attribute get broken")
+	}
+	if off.Container() == nil || off.Container().ID() != "m1" {
+		t.Error("containment not set")
+	}
+	tr := mod.Lookup("t1")
+	if tr.Ref("from") != off || tr.Ref("to").ID() != "on" {
+		t.Error("references broken")
+	}
+	if tr.Ref("nonexistent") != nil {
+		t.Error("Ref of unset name should be nil")
+	}
+	if err := mod.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+
+	var order []string
+	mod.Walk(func(o *Object) { order = append(order, o.ID()) })
+	want := "m1,off,on,t1"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("Walk order = %s, want %s", got, want)
+	}
+
+	states := mod.InstancesOf("State")
+	if len(states) != 2 {
+		t.Errorf("InstancesOf(State) = %d", len(states))
+	}
+	elems := mod.InstancesOf("Element")
+	if len(elems) != 4 {
+		t.Errorf("InstancesOf(Element) = %d", len(elems))
+	}
+}
+
+func TestObjectErrors(t *testing.T) {
+	meta := fsmMeta(t)
+	mod := NewModel(meta)
+	if _, err := mod.NewObject("Nope"); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if _, err := mod.NewObject("Element"); err == nil {
+		t.Error("abstract class should fail")
+	}
+	s := mod.MustObject("State", "s")
+	if _, err := mod.NewObjectID("State", "s"); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if err := s.Set("nope", value.I(1)); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if err := s.Set("name", value.I(1)); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	if err := s.Set("kind", value.S("bogus")); err == nil {
+		t.Error("enum violation should fail")
+	}
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("unknown attribute get should fail")
+	}
+	if s.GetString("nope") != "" {
+		t.Error("GetString of unknown attr should be empty")
+	}
+	m2 := mod.MustObject("Machine", "m")
+	tr := mod.MustObject("Transition", "t")
+	if err := tr.Append("nope", s); err == nil {
+		t.Error("unknown reference should fail")
+	}
+	if err := tr.Append("from", m2); err == nil {
+		t.Error("class mismatch should fail")
+	}
+	tr.MustAppend("from", s)
+	if err := tr.Append("from", s); err == nil {
+		t.Error("upper bound should fail")
+	}
+	// containment checks
+	m2.MustAppend("states", s)
+	if err := m2.Append("states", s); err == nil {
+		t.Error("double containment should fail")
+	}
+	other := NewModel(meta)
+	os2 := other.MustObject("State", "s2")
+	if err := m2.Append("states", os2); err == nil {
+		t.Error("cross-model reference should fail")
+	}
+	if err := other.AddRoot(s); err == nil {
+		t.Error("AddRoot of foreign object should fail")
+	}
+	if err := mod.AddRoot(s); err == nil {
+		t.Error("AddRoot of contained object should fail")
+	}
+	if err := mod.AddRoot(m2); err != nil {
+		t.Error(err)
+	}
+	if err := mod.AddRoot(m2); err == nil {
+		t.Error("double AddRoot should fail")
+	}
+}
+
+func TestContainmentCycleRejected(t *testing.T) {
+	meta := NewMetamodel("rec", "")
+	meta.MustClass("Node", false, "").Contain("kids", "Node")
+	mod := NewModel(meta)
+	a := mod.MustObject("Node", "a")
+	b := mod.MustObject("Node", "b")
+	a.MustAppend("kids", b)
+	if err := b.Append("kids", a); err == nil {
+		t.Error("containment cycle should fail")
+	}
+	if err := a.Append("kids", a); err == nil {
+		t.Error("self containment should fail")
+	}
+}
+
+func TestValidateMultiplicity(t *testing.T) {
+	meta := fsmMeta(t)
+	mod := NewModel(meta)
+	mach := mod.MustObject("Machine", "m")
+	tr := mod.MustObject("Transition", "t") // missing from/to (lower 1)
+	mach.MustAppend("transitions", tr)
+	if err := mod.AddRoot(mach); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Validate(); err == nil {
+		t.Error("missing mandatory reference should fail validation")
+	}
+}
+
+func TestRequiredAttribute(t *testing.T) {
+	meta := NewMetamodel("req", "")
+	c := meta.MustClass("C", false, "")
+	if _, err := c.AddAttribute(Attribute{Name: "must", Type: value.Int, Required: true}); err != nil {
+		t.Fatal(err)
+	}
+	mod := NewModel(meta)
+	o := mod.MustObject("C", "o")
+	if err := mod.AddRoot(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Validate(); err == nil {
+		t.Error("unset required attribute should fail validation")
+	}
+	o.MustSet("must", value.I(1))
+	if err := mod.Validate(); err != nil {
+		t.Errorf("Validate after set: %v", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	meta := NewMetamodel("d", "")
+	c := meta.MustClass("C", false, "")
+	if _, err := c.AddAttribute(Attribute{Name: "x", Type: value.Float, Default: value.F(9.5)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Attr("y", value.Int)
+	mod := NewModel(meta)
+	o := mod.MustObject("C", "o")
+	v, err := o.Get("x")
+	if err != nil || v.Float() != 9.5 {
+		t.Errorf("default Get = %v, %v", v, err)
+	}
+	v, err = o.Get("y")
+	if err != nil || v.Kind() != value.Int || v.Int() != 0 {
+		t.Errorf("zero Get = %v, %v", v, err)
+	}
+}
+
+func TestAutoIDs(t *testing.T) {
+	meta := fsmMeta(t)
+	mod := NewModel(meta)
+	a, _ := mod.NewObject("State")
+	b, _ := mod.NewObject("State")
+	if a.ID() == b.ID() || a.ID() == "" {
+		t.Errorf("auto ids not unique: %q %q", a.ID(), b.ID())
+	}
+	if mod.Lookup(a.ID()) != a {
+		t.Error("auto id not indexed")
+	}
+}
+
+func TestInheritanceCycleValidation(t *testing.T) {
+	// Build a corrupt metamodel by hand to exercise Validate.
+	m := NewMetamodel("bad", "")
+	a := m.MustClass("A", false, "")
+	b := m.MustClass("B", false, "A")
+	a.super = b // forge a cycle
+	if err := m.Validate(); err == nil {
+		t.Error("inheritance cycle should fail validation")
+	}
+}

@@ -1,0 +1,311 @@
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Object is a dynamic instance of a Class (the M1 layer). Objects live
+// inside a Model which owns the identifier index.
+type Object struct {
+	id    string
+	class *Class
+	attrs map[string]value.Value
+	refs  map[string][]*Object
+
+	container    *Object
+	containerRef string
+	model        *Model
+}
+
+// Model is an instance model: a forest of containment trees of Objects all
+// conforming to one Metamodel.
+type Model struct {
+	Meta  *Metamodel
+	roots []*Object
+	index map[string]*Object
+	seq   int
+}
+
+// NewModel creates an empty model over meta.
+func NewModel(meta *Metamodel) *Model {
+	return &Model{Meta: meta, index: map[string]*Object{}}
+}
+
+// NewObject creates an object of the named class with an auto-generated id.
+func (m *Model) NewObject(className string) (*Object, error) {
+	return m.NewObjectID(className, "")
+}
+
+// NewObjectID creates an object with an explicit id ("" auto-generates).
+// The object starts detached; attach it with AddRoot or via a containment
+// reference on a parent.
+func (m *Model) NewObjectID(className, id string) (*Object, error) {
+	c := m.Meta.Class(className)
+	if c == nil {
+		return nil, fmt.Errorf("metamodel: unknown class %q", className)
+	}
+	if c.Abstract {
+		return nil, fmt.Errorf("metamodel: cannot instantiate abstract class %q", className)
+	}
+	if id == "" {
+		for {
+			m.seq++
+			id = fmt.Sprintf("%s_%d", className, m.seq)
+			if _, taken := m.index[id]; !taken {
+				break
+			}
+		}
+	}
+	if _, dup := m.index[id]; dup {
+		return nil, fmt.Errorf("metamodel: duplicate object id %q", id)
+	}
+	o := &Object{
+		id:    id,
+		class: c,
+		attrs: map[string]value.Value{},
+		refs:  map[string][]*Object{},
+		model: m,
+	}
+	m.index[id] = o
+	return o, nil
+}
+
+// MustObject is NewObjectID that panics; for test fixtures and static models.
+func (m *Model) MustObject(className, id string) *Object {
+	o, err := m.NewObjectID(className, id)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// AddRoot attaches a detached object as a containment root.
+func (m *Model) AddRoot(o *Object) error {
+	if o.model != m {
+		return fmt.Errorf("metamodel: object %q belongs to another model", o.id)
+	}
+	if o.container != nil {
+		return fmt.Errorf("metamodel: object %q is already contained", o.id)
+	}
+	for _, r := range m.roots {
+		if r == o {
+			return fmt.Errorf("metamodel: object %q is already a root", o.id)
+		}
+	}
+	m.roots = append(m.roots, o)
+	return nil
+}
+
+// Roots returns the containment roots in attachment order.
+func (m *Model) Roots() []*Object { return m.roots }
+
+// Lookup finds an object by id.
+func (m *Model) Lookup(id string) *Object { return m.index[id] }
+
+// Len returns the number of objects in the model (attached or not).
+func (m *Model) Len() int { return len(m.index) }
+
+// Objects returns all objects sorted by id (deterministic iteration).
+func (m *Model) Objects() []*Object {
+	out := make([]*Object, 0, len(m.index))
+	for _, o := range m.index {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Walk visits every object reachable from the roots in containment
+// preorder, deterministically.
+func (m *Model) Walk(visit func(*Object)) {
+	for _, r := range m.roots {
+		r.walk(visit)
+	}
+}
+
+func (o *Object) walk(visit func(*Object)) {
+	visit(o)
+	for _, r := range o.class.AllReferences() {
+		if !r.Containment {
+			continue
+		}
+		for _, child := range o.refs[r.Name] {
+			child.walk(visit)
+		}
+	}
+}
+
+// ID returns the object identifier, unique within its model.
+func (o *Object) ID() string { return o.id }
+
+// Class returns the object's meta-class.
+func (o *Object) Class() *Class { return o.class }
+
+// Container returns the containing object (nil for roots/detached).
+func (o *Object) Container() *Object { return o.container }
+
+// Model returns the owning model.
+func (o *Object) Model() *Model { return o.model }
+
+// Set assigns an attribute value, checking the feature exists, the kind
+// matches, and enum constraints hold.
+func (o *Object) Set(name string, v value.Value) error {
+	a := o.class.FindAttribute(name)
+	if a == nil {
+		return fmt.Errorf("metamodel: %s has no attribute %q", o.class.Name, name)
+	}
+	if v.Kind() != a.Type {
+		return fmt.Errorf("metamodel: %s.%s: kind %v, want %v", o.class.Name, name, v.Kind(), a.Type)
+	}
+	if a.Enum != "" {
+		e := o.class.meta.Enum(a.Enum)
+		if !e.Has(v.Str()) {
+			return fmt.Errorf("metamodel: %s.%s: %q not in enum %s %v", o.class.Name, name, v.Str(), a.Enum, e.Literals)
+		}
+	}
+	o.attrs[name] = v
+	return nil
+}
+
+// MustSet is Set that panics; for fixtures.
+func (o *Object) MustSet(name string, v value.Value) *Object {
+	if err := o.Set(name, v); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Get returns the attribute value, falling back to the declared default and
+// then the kind's zero value.
+func (o *Object) Get(name string) (value.Value, error) {
+	a := o.class.FindAttribute(name)
+	if a == nil {
+		return value.Value{}, fmt.Errorf("metamodel: %s has no attribute %q", o.class.Name, name)
+	}
+	if v, ok := o.attrs[name]; ok {
+		return v, nil
+	}
+	if a.Default.IsValid() {
+		return a.Default, nil
+	}
+	return value.Zero(a.Type), nil
+}
+
+// GetString returns a string attribute's value ("" on error), a convenience
+// for the reflective consumers in core and workbench.
+func (o *Object) GetString(name string) string {
+	v, err := o.Get(name)
+	if err != nil {
+		return ""
+	}
+	return v.Str()
+}
+
+// Append adds target to a multi-valued reference (or sets a single-valued
+// one), enforcing target class conformance, upper bounds and single
+// containment.
+func (o *Object) Append(refName string, target *Object) error {
+	r := o.class.FindReference(refName)
+	if r == nil {
+		return fmt.Errorf("metamodel: %s has no reference %q", o.class.Name, refName)
+	}
+	if target.model != o.model {
+		return fmt.Errorf("metamodel: cross-model reference %s.%s", o.class.Name, refName)
+	}
+	if !target.class.IsKindOf(r.Target) {
+		return fmt.Errorf("metamodel: %s.%s: %s is not a %s", o.class.Name, refName, target.class.Name, r.Target)
+	}
+	cur := o.refs[refName]
+	if r.Upper != Unbounded && len(cur) >= r.Upper {
+		return fmt.Errorf("metamodel: %s.%s: upper bound %d exceeded", o.class.Name, refName, r.Upper)
+	}
+	if r.Containment {
+		if target.container != nil {
+			return fmt.Errorf("metamodel: %q is already contained by %q", target.id, target.container.id)
+		}
+		// Reject containment cycles: target must not be an ancestor of o.
+		for anc := o; anc != nil; anc = anc.container {
+			if anc == target {
+				return fmt.Errorf("metamodel: containment cycle via %q", target.id)
+			}
+		}
+		target.container = o
+		target.containerRef = refName
+	}
+	o.refs[refName] = append(cur, target)
+	return nil
+}
+
+// MustAppend is Append that panics; for fixtures.
+func (o *Object) MustAppend(refName string, target *Object) *Object {
+	if err := o.Append(refName, target); err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Refs returns the targets of a reference (nil if unset).
+func (o *Object) Refs(name string) []*Object { return o.refs[name] }
+
+// Ref returns the single target of a reference, or nil.
+func (o *Object) Ref(name string) *Object {
+	t := o.refs[name]
+	if len(t) == 0 {
+		return nil
+	}
+	return t[0]
+}
+
+// Validate checks that every object reachable from the roots satisfies its
+// class's multiplicities and required attributes, and that ids are unique
+// (guaranteed by construction, re-checked for deserialized models).
+func (m *Model) Validate() error {
+	seen := map[*Object]bool{}
+	var firstErr error
+	m.Walk(func(o *Object) {
+		if firstErr != nil {
+			return
+		}
+		if seen[o] {
+			firstErr = fmt.Errorf("metamodel: object %q reached twice", o.id)
+			return
+		}
+		seen[o] = true
+		for _, a := range o.class.AllAttributes() {
+			if a.Required {
+				if _, set := o.attrs[a.Name]; !set {
+					firstErr = fmt.Errorf("metamodel: %s %q: required attribute %q unset", o.class.Name, o.id, a.Name)
+					return
+				}
+			}
+		}
+		for _, r := range o.class.AllReferences() {
+			n := len(o.refs[r.Name])
+			if n < r.Lower {
+				firstErr = fmt.Errorf("metamodel: %s %q: reference %q has %d targets, needs >= %d", o.class.Name, o.id, r.Name, n, r.Lower)
+				return
+			}
+			if r.Upper != Unbounded && n > r.Upper {
+				firstErr = fmt.Errorf("metamodel: %s %q: reference %q has %d targets, max %d", o.class.Name, o.id, r.Name, n, r.Upper)
+				return
+			}
+		}
+	})
+	return firstErr
+}
+
+// InstancesOf returns all reachable objects whose class is (a kind of) the
+// named class, in walk order. This is the query the abstraction engine uses
+// to enumerate candidates for each mapping rule.
+func (m *Model) InstancesOf(className string) []*Object {
+	var out []*Object
+	m.Walk(func(o *Object) {
+		if o.class.IsKindOf(className) {
+			out = append(out, o)
+		}
+	})
+	return out
+}

@@ -1,0 +1,299 @@
+package metamodel
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"repro/internal/value"
+)
+
+// This file implements the persistence formats of the substrate: an
+// XMI-flavoured XML form (the paper's prototype stores EMF models as XMI)
+// and a JSON form. Both carry metamodels and models losslessly and are
+// covered by roundtrip tests.
+
+// ---- wire DTOs ----
+
+type xmlMetamodel struct {
+	XMLName xml.Name   `xml:"metamodel" json:"-"`
+	Name    string     `xml:"name,attr" json:"name"`
+	URI     string     `xml:"uri,attr" json:"uri"`
+	Enums   []xmlEnum  `xml:"enum" json:"enums,omitempty"`
+	Classes []xmlClass `xml:"class" json:"classes"`
+}
+
+type xmlEnum struct {
+	Name     string   `xml:"name,attr" json:"name"`
+	Literals []string `xml:"literal" json:"literals"`
+}
+
+type xmlClass struct {
+	Name     string    `xml:"name,attr" json:"name"`
+	Abstract bool      `xml:"abstract,attr,omitempty" json:"abstract,omitempty"`
+	Super    string    `xml:"super,attr,omitempty" json:"super,omitempty"`
+	Attrs    []xmlAttr `xml:"attribute" json:"attributes,omitempty"`
+	Refs     []xmlRef  `xml:"reference" json:"references,omitempty"`
+}
+
+type xmlAttr struct {
+	Name     string `xml:"name,attr" json:"name"`
+	Type     string `xml:"type,attr" json:"type"`
+	Enum     string `xml:"enum,attr,omitempty" json:"enum,omitempty"`
+	Default  string `xml:"default,attr,omitempty" json:"default,omitempty"`
+	HasDef   bool   `xml:"hasDefault,attr,omitempty" json:"hasDefault,omitempty"`
+	Required bool   `xml:"required,attr,omitempty" json:"required,omitempty"`
+}
+
+type xmlRef struct {
+	Name        string `xml:"name,attr" json:"name"`
+	Target      string `xml:"target,attr" json:"target"`
+	Containment bool   `xml:"containment,attr,omitempty" json:"containment,omitempty"`
+	Lower       int    `xml:"lower,attr,omitempty" json:"lower,omitempty"`
+	Upper       int    `xml:"upper,attr,omitempty" json:"upper,omitempty"`
+}
+
+type xmlModel struct {
+	XMLName   xml.Name    `xml:"model" json:"-"`
+	Metamodel string      `xml:"metamodel,attr" json:"metamodel"`
+	Roots     []string    `xml:"roots>root" json:"roots"`
+	Objects   []xmlObject `xml:"object" json:"objects"`
+}
+
+type xmlObject struct {
+	ID    string       `xml:"id,attr" json:"id"`
+	Class string       `xml:"class,attr" json:"class"`
+	Attrs []xmlObjAttr `xml:"attr" json:"attrs,omitempty"`
+	Refs  []xmlObjRef  `xml:"ref" json:"refs,omitempty"`
+}
+
+type xmlObjAttr struct {
+	Name  string `xml:"name,attr" json:"name"`
+	Kind  string `xml:"kind,attr" json:"kind"`
+	Value string `xml:",chardata" json:"value"`
+}
+
+type xmlObjRef struct {
+	Name    string   `xml:"name,attr" json:"name"`
+	Targets []string `xml:"target" json:"targets"`
+}
+
+// ---- metamodel encode/decode ----
+
+func (m *Metamodel) toDTO() xmlMetamodel {
+	dto := xmlMetamodel{Name: m.Name, URI: m.URI}
+	for _, e := range m.Enums() {
+		dto.Enums = append(dto.Enums, xmlEnum{Name: e.Name, Literals: e.Literals})
+	}
+	for _, c := range m.Classes() {
+		xc := xmlClass{Name: c.Name, Abstract: c.Abstract}
+		if c.super != nil {
+			xc.Super = c.super.Name
+		}
+		for _, a := range c.attrs {
+			xa := xmlAttr{Name: a.Name, Type: a.Type.String(), Enum: a.Enum, Required: a.Required}
+			if a.Default.IsValid() {
+				xa.Default = a.Default.String()
+				xa.HasDef = true
+			}
+			xc.Attrs = append(xc.Attrs, xa)
+		}
+		for _, r := range c.refs {
+			xc.Refs = append(xc.Refs, xmlRef{
+				Name: r.Name, Target: r.Target, Containment: r.Containment,
+				Lower: r.Lower, Upper: r.Upper,
+			})
+		}
+		dto.Classes = append(dto.Classes, xc)
+	}
+	return dto
+}
+
+func metamodelFromDTO(dto xmlMetamodel) (*Metamodel, error) {
+	m := NewMetamodel(dto.Name, dto.URI)
+	for _, e := range dto.Enums {
+		if _, err := m.AddEnum(e.Name, e.Literals...); err != nil {
+			return nil, err
+		}
+	}
+	for _, xc := range dto.Classes {
+		c, err := m.AddClass(xc.Name, xc.Abstract, xc.Super)
+		if err != nil {
+			return nil, err
+		}
+		for _, xa := range xc.Attrs {
+			k, err := value.ParseKind(xa.Type)
+			if err != nil {
+				return nil, fmt.Errorf("metamodel: class %s attr %s: %w", xc.Name, xa.Name, err)
+			}
+			a := Attribute{Name: xa.Name, Type: k, Enum: xa.Enum, Required: xa.Required}
+			if xa.HasDef {
+				d, err := value.Parse(k, xa.Default)
+				if err != nil {
+					return nil, fmt.Errorf("metamodel: class %s attr %s default: %w", xc.Name, xa.Name, err)
+				}
+				a.Default = d
+			}
+			if _, err := c.AddAttribute(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Second pass for references so forward targets resolve.
+	for _, xc := range dto.Classes {
+		c := m.Class(xc.Name)
+		for _, xr := range xc.Refs {
+			r := Reference{Name: xr.Name, Target: xr.Target, Containment: xr.Containment, Lower: xr.Lower, Upper: xr.Upper}
+			if _, err := c.AddReference(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, m.Validate()
+}
+
+// WriteXML serializes the metamodel as indented XML.
+func (m *Metamodel) WriteXML(w io.Writer) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(m.toDTO()); err != nil {
+		return fmt.Errorf("metamodel: xml encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// ReadMetamodelXML parses a metamodel from XML.
+func ReadMetamodelXML(r io.Reader) (*Metamodel, error) {
+	var dto xmlMetamodel
+	if err := xml.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("metamodel: xml decode: %w", err)
+	}
+	return metamodelFromDTO(dto)
+}
+
+// MarshalJSON / metamodel JSON form.
+func (m *Metamodel) MarshalJSON() ([]byte, error) { return json.Marshal(m.toDTO()) }
+
+// ReadMetamodelJSON parses a metamodel from JSON.
+func ReadMetamodelJSON(data []byte) (*Metamodel, error) {
+	var dto xmlMetamodel
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, fmt.Errorf("metamodel: json decode: %w", err)
+	}
+	return metamodelFromDTO(dto)
+}
+
+// ---- model encode/decode ----
+
+func (m *Model) toDTO() xmlModel {
+	dto := xmlModel{Metamodel: m.Meta.Name}
+	for _, r := range m.roots {
+		dto.Roots = append(dto.Roots, r.id)
+	}
+	for _, o := range m.Objects() {
+		xo := xmlObject{ID: o.id, Class: o.class.Name}
+		for _, a := range o.class.AllAttributes() {
+			v, ok := o.attrs[a.Name]
+			if !ok {
+				continue
+			}
+			xo.Attrs = append(xo.Attrs, xmlObjAttr{Name: a.Name, Kind: v.Kind().String(), Value: v.String()})
+		}
+		for _, r := range o.class.AllReferences() {
+			targets := o.refs[r.Name]
+			if len(targets) == 0 {
+				continue
+			}
+			xr := xmlObjRef{Name: r.Name}
+			for _, t := range targets {
+				xr.Targets = append(xr.Targets, t.id)
+			}
+			xo.Refs = append(xo.Refs, xr)
+		}
+		dto.Objects = append(dto.Objects, xo)
+	}
+	return dto
+}
+
+func modelFromDTO(meta *Metamodel, dto xmlModel) (*Model, error) {
+	if dto.Metamodel != meta.Name {
+		return nil, fmt.Errorf("metamodel: model references metamodel %q, have %q", dto.Metamodel, meta.Name)
+	}
+	m := NewModel(meta)
+	// Pass 1: create all objects.
+	for _, xo := range dto.Objects {
+		if _, err := m.NewObjectID(xo.Class, xo.ID); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: attributes and references.
+	for _, xo := range dto.Objects {
+		o := m.Lookup(xo.ID)
+		for _, xa := range xo.Attrs {
+			k, err := value.ParseKind(xa.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("metamodel: object %s attr %s: %w", xo.ID, xa.Name, err)
+			}
+			v, err := value.Parse(k, xa.Value)
+			if err != nil {
+				return nil, fmt.Errorf("metamodel: object %s attr %s: %w", xo.ID, xa.Name, err)
+			}
+			if err := o.Set(xa.Name, v); err != nil {
+				return nil, err
+			}
+		}
+		for _, xr := range xo.Refs {
+			for _, tid := range xr.Targets {
+				t := m.Lookup(tid)
+				if t == nil {
+					return nil, fmt.Errorf("metamodel: object %s ref %s: dangling target %q", xo.ID, xr.Name, tid)
+				}
+				if err := o.Append(xr.Name, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, rid := range dto.Roots {
+		r := m.Lookup(rid)
+		if r == nil {
+			return nil, fmt.Errorf("metamodel: dangling root %q", rid)
+		}
+		if err := m.AddRoot(r); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// WriteXML serializes the model as indented XML.
+func (m *Model) WriteXML(w io.Writer) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(m.toDTO()); err != nil {
+		return fmt.Errorf("metamodel: model xml encode: %w", err)
+	}
+	return enc.Flush()
+}
+
+// ReadModelXML parses a model from XML, resolving it against meta.
+func ReadModelXML(meta *Metamodel, r io.Reader) (*Model, error) {
+	var dto xmlModel
+	if err := xml.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("metamodel: model xml decode: %w", err)
+	}
+	return modelFromDTO(meta, dto)
+}
+
+// MarshalJSON / model JSON form.
+func (m *Model) MarshalJSON() ([]byte, error) { return json.Marshal(m.toDTO()) }
+
+// ReadModelJSON parses a model from JSON, resolving it against meta.
+func ReadModelJSON(meta *Metamodel, data []byte) (*Model, error) {
+	var dto xmlModel
+	if err := json.Unmarshal(data, &dto); err != nil {
+		return nil, fmt.Errorf("metamodel: model json decode: %w", err)
+	}
+	return modelFromDTO(meta, dto)
+}

@@ -1,0 +1,120 @@
+package plant
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThermalHeatsAndCools(t *testing.T) {
+	p := NewThermal(15)
+	for i := 0; i < 100; i++ {
+		p.Step(1_000_000_000, 100) // 1 s at full power
+	}
+	if p.TempC <= 15 {
+		t.Errorf("no heating: %g", p.TempC)
+	}
+	hot := p.TempC
+	for i := 0; i < 1000; i++ {
+		p.Step(1_000_000_000, 0)
+	}
+	if p.TempC >= hot {
+		t.Error("no cooling")
+	}
+	// Long idle converges to ambient.
+	if d := p.TempC - p.AmbientC; d > 0.5 {
+		t.Errorf("did not settle to ambient: %g", p.TempC)
+	}
+}
+
+func TestThermalPowerClamped(t *testing.T) {
+	a, b := NewThermal(20), NewThermal(20)
+	a.Step(1e9, 150)
+	b.Step(1e9, 100)
+	if a.TempC != b.TempC {
+		t.Error("power not clamped high")
+	}
+	a2, b2 := NewThermal(20), NewThermal(20)
+	a2.Step(1e9, -10)
+	b2.Step(1e9, 0)
+	if a2.TempC != b2.TempC {
+		t.Error("power not clamped low")
+	}
+}
+
+func TestTankFillAndDrain(t *testing.T) {
+	p := NewTank()
+	start := p.LevelM
+	for i := 0; i < 60; i++ {
+		p.Step(1e9, 1)
+	}
+	if p.LevelM <= start {
+		t.Error("no fill")
+	}
+	high := p.LevelM
+	for i := 0; i < 600; i++ {
+		p.Step(1e9, 0)
+	}
+	if p.LevelM >= high {
+		t.Error("no drain")
+	}
+}
+
+func TestTankOverflowAndEmpty(t *testing.T) {
+	p := NewTank()
+	for i := 0; i < 10000 && !p.Overflowed; i++ {
+		p.Step(1e9, 1)
+	}
+	if !p.Overflowed || p.LevelM != p.CapacityM {
+		t.Errorf("overflow not detected: level %g", p.LevelM)
+	}
+	p2 := NewTank()
+	p2.LevelM = 0.001
+	for i := 0; i < 10000; i++ {
+		p2.Step(1e9, 0)
+	}
+	if p2.LevelM < 0 {
+		t.Error("level went negative")
+	}
+}
+
+func TestConveyorItemCounting(t *testing.T) {
+	p := NewConveyor()
+	seen := 0
+	for i := 0; i < 100; i++ {
+		if p.Step(100_000_000, 1) { // 0.1 s steps
+			seen++
+		}
+	}
+	// 10 s at 0.25 m/s = 2.5 m = 5 items of 0.5 m spacing.
+	if p.Items != 5 {
+		t.Errorf("items = %d, want 5", p.Items)
+	}
+	if seen == 0 {
+		t.Error("sensor never fired")
+	}
+	// Stopped belt makes no progress.
+	before := p.PositionM
+	p.Step(1e9, 0)
+	if p.PositionM != before {
+		t.Error("belt moved while stopped")
+	}
+}
+
+// Property: thermal model is bounded: with clamped power the temperature
+// stays within [ambient-1, ambient + Gain/Loss + 1].
+func TestQuickThermalBounded(t *testing.T) {
+	f := func(powers []uint8) bool {
+		p := NewThermal(20)
+		upper := p.AmbientC + p.GainCPerS/p.LossPerS + 1
+		for _, pw := range powers {
+			p.Step(1e9, float64(pw%120))
+			if p.TempC < p.AmbientC-1 || p.TempC > upper {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package protocol defines the GMDF command interface: the wire vocabulary
+// spoken between the executable code on the embedded target (the client)
+// and the Graphical Debugger Model server (Fig. 2 B of the paper).
+//
+// Two message directions exist:
+//
+//   - Event (target → GDM): the "commands" in the paper's terminology —
+//     notifications the instrumented code (active solution) or the JTAG
+//     watch engine (passive solution) sends at model-significant execution
+//     points: state entries, transitions, signal updates, task start and
+//     deadline instants.
+//   - Instruction (GDM → target): debugger control — pause, resume, step,
+//     breakpoint arming, variable reads/writes.
+//
+// Framing is byte-oriented so it can cross the RS-232 UART byte stream:
+//
+//	SOF(0x7E) | type(1) | seq(2 BE) | time(8 BE ns) | len(2 BE) | payload | crc16(2 BE)
+//
+// The CRC-16/CCITT-FALSE covers everything between SOF and the CRC field.
+// The streaming decoder resynchronises on the next SOF after any damaged
+// frame, so a debugger attaching mid-stream recovers (tested by property).
+package protocol
+
+import "fmt"
+
+// SOF is the start-of-frame marker.
+const SOF = 0x7E
+
+// MaxPayload bounds the variable part of one frame.
+const MaxPayload = 1024
+
+// EventType enumerates target → GDM notifications.
+type EventType uint8
+
+// Event types. EvWatch is produced host-side by the passive JTAG watch
+// engine but shares the vocabulary so the GDM is transport-agnostic.
+const (
+	EvInvalid      EventType = iota
+	EvHello                  // target boot/attach announcement; Source = program name
+	EvStateEnter             // Source = state machine instance, Arg1 = state name
+	EvTransition             // Source = machine, Arg1 = from, Arg2 = to
+	EvSignal                 // Source = signal name, Value = new value
+	EvTaskStart              // Source = task name (input latch instant)
+	EvTaskDeadline           // Source = task name (output latch instant)
+	EvBreakHit               // Source = breakpoint id; target auto-halted
+	EvHalted                 // target confirms pause
+	EvResumed                // target confirms resume
+	EvWatch                  // Source = watched symbol, Arg1 = old, Arg2 = new, Value = new numeric
+)
+
+// String names the event type for traces and logs.
+func (t EventType) String() string {
+	switch t {
+	case EvHello:
+		return "Hello"
+	case EvStateEnter:
+		return "StateEnter"
+	case EvTransition:
+		return "Transition"
+	case EvSignal:
+		return "Signal"
+	case EvTaskStart:
+		return "TaskStart"
+	case EvTaskDeadline:
+		return "TaskDeadline"
+	case EvBreakHit:
+		return "BreakHit"
+	case EvHalted:
+		return "Halted"
+	case EvResumed:
+		return "Resumed"
+	case EvWatch:
+		return "Watch"
+	default:
+		return fmt.Sprintf("EventType(%d)", t)
+	}
+}
+
+// Event is one target → GDM notification.
+type Event struct {
+	Type   EventType
+	Seq    uint16
+	Time   uint64 // target virtual time, nanoseconds
+	Source string // originating model element (machine, signal, task, bp id)
+	Arg1   string
+	Arg2   string
+	Value  float64
+}
+
+// String renders a compact human-readable form used in traces.
+func (e Event) String() string {
+	switch e.Type {
+	case EvStateEnter:
+		return fmt.Sprintf("[%d ns] %s: enter %s", e.Time, e.Source, e.Arg1)
+	case EvTransition:
+		return fmt.Sprintf("[%d ns] %s: %s -> %s", e.Time, e.Source, e.Arg1, e.Arg2)
+	case EvSignal:
+		return fmt.Sprintf("[%d ns] %s = %g", e.Time, e.Source, e.Value)
+	case EvWatch:
+		return fmt.Sprintf("[%d ns] watch %s: %s -> %s", e.Time, e.Source, e.Arg1, e.Arg2)
+	default:
+		return fmt.Sprintf("[%d ns] %s %s", e.Time, e.Type, e.Source)
+	}
+}
+
+// InstructionType enumerates GDM → target control messages.
+type InstructionType uint8
+
+// Instruction types.
+const (
+	InInvalid InstructionType = iota
+	InPause
+	InResume
+	InStep       // run until the next model-level event, then halt
+	InSetBreak   // Source = breakpoint id, Arg1 = encoded condition
+	InClearBreak // Source = breakpoint id
+	InReadVar    // Source = symbol name
+	InWriteVar   // Source = symbol name, Value = new value
+)
+
+// String names the instruction type.
+func (t InstructionType) String() string {
+	switch t {
+	case InPause:
+		return "Pause"
+	case InResume:
+		return "Resume"
+	case InStep:
+		return "Step"
+	case InSetBreak:
+		return "SetBreak"
+	case InClearBreak:
+		return "ClearBreak"
+	case InReadVar:
+		return "ReadVar"
+	case InWriteVar:
+		return "WriteVar"
+	default:
+		return fmt.Sprintf("InstructionType(%d)", t)
+	}
+}
+
+// Instruction is one GDM → target control message.
+type Instruction struct {
+	Type   InstructionType
+	Seq    uint16
+	Source string
+	Arg1   string
+	Value  float64
+}
+
+// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), the
+// checksum traditionally used on serial debug links.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

@@ -1,0 +1,159 @@
+// Package serial models the RS-232 link used by the paper's prototype as
+// its *active* command interface: the instrumented code on the target
+// writes command frames into its UART, which the Graphical Debugger Model
+// host reads at the other end.
+//
+// The model is a full-duplex 8N1 UART pair driven by virtual time: each
+// byte occupies the line for 10 bit times (start + 8 data + stop) at the
+// configured baud rate, and consecutive bytes queue behind each other.
+// This pacing is what makes the paper's overhead argument measurable —
+// an instrumented target both spends CPU cycles building frames and is
+// throttled by the line rate, whereas the passive JTAG solution touches
+// neither (see internal/jtag).
+package serial
+
+import "fmt"
+
+// bitsPerByte is start + 8 data + stop for the 8N1 format.
+const bitsPerByte = 10
+
+// Stats accumulates per-direction line statistics.
+type Stats struct {
+	Bytes    uint64 // bytes fully delivered
+	BusyNs   uint64 // total line-busy time
+	Dropped  uint64 // bytes dropped on overflow
+	Overruns uint64 // occasions the sender found the queue full
+}
+
+// Link is a point-to-point full-duplex serial line between port A (target)
+// and port B (host).
+type Link struct {
+	baud       int
+	byteTimeNs uint64
+	now        uint64
+	limit      int // max in-flight bytes per direction
+
+	dirs [2]direction
+}
+
+type inflight struct {
+	b       byte
+	arrival uint64
+}
+
+type direction struct {
+	queue    []inflight
+	rx       []byte
+	lineFree uint64 // time the line becomes free for the next byte
+	stats    Stats
+}
+
+// NewLink creates a link at the given baud rate (e.g. 115200). The
+// in-flight queue per direction holds up to 4096 bytes; senders beyond
+// that drop bytes and record overruns, mimicking a saturated UART FIFO.
+func NewLink(baud int) (*Link, error) {
+	if baud <= 0 {
+		return nil, fmt.Errorf("serial: invalid baud %d", baud)
+	}
+	return &Link{
+		baud:       baud,
+		byteTimeNs: uint64(bitsPerByte * 1_000_000_000 / baud),
+		limit:      4096,
+	}, nil
+}
+
+// MustLink is NewLink that panics; for fixtures.
+func MustLink(baud int) *Link {
+	l, err := NewLink(baud)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Baud returns the configured line rate.
+func (l *Link) Baud() int { return l.baud }
+
+// ByteTimeNs returns the virtual time one byte occupies the line.
+func (l *Link) ByteTimeNs() uint64 { return l.byteTimeNs }
+
+// Now returns the link's current virtual time.
+func (l *Link) Now() uint64 { return l.now }
+
+// Advance moves virtual time forward and delivers bytes whose transmission
+// completes by then. Time never moves backwards.
+func (l *Link) Advance(now uint64) {
+	if now < l.now {
+		return
+	}
+	l.now = now
+	for d := range l.dirs {
+		dir := &l.dirs[d]
+		i := 0
+		for ; i < len(dir.queue); i++ {
+			if dir.queue[i].arrival > now {
+				break
+			}
+			dir.rx = append(dir.rx, dir.queue[i].b)
+			dir.stats.Bytes++
+		}
+		dir.queue = dir.queue[i:]
+	}
+}
+
+// send enqueues data in direction d at the current time.
+func (l *Link) send(d int, data []byte) {
+	dir := &l.dirs[d]
+	for _, b := range data {
+		if len(dir.queue) >= l.limit {
+			dir.stats.Dropped++
+			dir.stats.Overruns++
+			continue
+		}
+		start := dir.lineFree
+		if start < l.now {
+			start = l.now
+		}
+		arrival := start + l.byteTimeNs
+		dir.lineFree = arrival
+		dir.stats.BusyNs += l.byteTimeNs
+		dir.queue = append(dir.queue, inflight{b: b, arrival: arrival})
+	}
+}
+
+// recv drains the received bytes for direction d.
+func (l *Link) recv(d int) []byte {
+	dir := &l.dirs[d]
+	out := dir.rx
+	dir.rx = nil
+	return out
+}
+
+// busyUntil reports when direction d's line is free.
+func (l *Link) busyUntil(d int) uint64 { return l.dirs[d].lineFree }
+
+// Port is one endpoint of the link.
+type Port struct {
+	l   *Link
+	out int // direction index this port transmits on
+}
+
+// PortA returns the target-side endpoint (transmits on direction 0).
+func (l *Link) PortA() *Port { return &Port{l: l, out: 0} }
+
+// PortB returns the host-side endpoint (transmits on direction 1).
+func (l *Link) PortB() *Port { return &Port{l: l, out: 1} }
+
+// Send queues data for transmission at the link's current virtual time.
+func (p *Port) Send(data []byte) { p.l.send(p.out, data) }
+
+// Recv returns the bytes that have fully arrived at this port.
+func (p *Port) Recv() []byte { return p.l.recv(1 - p.out) }
+
+// BusyUntil reports when this port's transmit line becomes free; the
+// instrumented target uses it to account for stalls when its UART FIFO
+// would block.
+func (p *Port) BusyUntil() uint64 { return p.l.busyUntil(p.out) }
+
+// Stats returns this port's transmit-direction statistics.
+func (p *Port) Stats() Stats { return p.l.dirs[p.out].stats }

@@ -1,0 +1,173 @@
+package serial
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkCreation(t *testing.T) {
+	if _, err := NewLink(0); err == nil {
+		t.Error("baud 0 should fail")
+	}
+	if _, err := NewLink(-9600); err == nil {
+		t.Error("negative baud should fail")
+	}
+	l := MustLink(115200)
+	if l.Baud() != 115200 {
+		t.Error("Baud() wrong")
+	}
+	// 10 bits at 115200 baud ≈ 86.8 µs
+	if got := l.ByteTimeNs(); got != 86805 {
+		t.Errorf("ByteTimeNs = %d, want 86805", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLink(0) should panic")
+		}
+	}()
+	MustLink(0)
+}
+
+func TestByteDeliveryTiming(t *testing.T) {
+	l := MustLink(1_000_000) // 10 µs per byte
+	a, b := l.PortA(), l.PortB()
+	a.Send([]byte{0x41})
+	// Not yet delivered.
+	l.Advance(l.ByteTimeNs() - 1)
+	if got := b.Recv(); len(got) != 0 {
+		t.Fatalf("early delivery: %v", got)
+	}
+	l.Advance(l.ByteTimeNs())
+	if got := b.Recv(); !bytes.Equal(got, []byte{0x41}) {
+		t.Fatalf("Recv = %v", got)
+	}
+	// Already drained.
+	if got := b.Recv(); len(got) != 0 {
+		t.Fatalf("double delivery: %v", got)
+	}
+}
+
+func TestBytesQueueSequentially(t *testing.T) {
+	l := MustLink(1_000_000)
+	a, b := l.PortA(), l.PortB()
+	a.Send([]byte{1, 2, 3})
+	bt := l.ByteTimeNs()
+	if a.BusyUntil() != 3*bt {
+		t.Errorf("BusyUntil = %d, want %d", a.BusyUntil(), 3*bt)
+	}
+	l.Advance(bt)
+	if got := b.Recv(); !bytes.Equal(got, []byte{1}) {
+		t.Fatalf("after 1 byte time: %v", got)
+	}
+	l.Advance(2 * bt)
+	if got := b.Recv(); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("after 2 byte times: %v", got)
+	}
+	l.Advance(30 * bt)
+	if got := b.Recv(); !bytes.Equal(got, []byte{3}) {
+		t.Fatalf("final: %v", got)
+	}
+	st := a.Stats()
+	if st.Bytes != 3 || st.BusyNs != 3*bt || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFullDuplexIndependence(t *testing.T) {
+	l := MustLink(1_000_000)
+	a, b := l.PortA(), l.PortB()
+	a.Send([]byte("to host"))
+	b.Send([]byte("to target"))
+	l.Advance(1_000_000_000)
+	if got := string(b.Recv()); got != "to host" {
+		t.Errorf("host received %q", got)
+	}
+	if got := string(a.Recv()); got != "to target" {
+		t.Errorf("target received %q", got)
+	}
+}
+
+func TestLaterSendStartsAtNow(t *testing.T) {
+	l := MustLink(1_000_000)
+	a, b := l.PortA(), l.PortB()
+	bt := l.ByteTimeNs()
+	l.Advance(100 * bt)
+	a.Send([]byte{9})
+	l.Advance(100*bt + bt - 1)
+	if len(b.Recv()) != 0 {
+		t.Fatal("delivered too early")
+	}
+	l.Advance(100*bt + bt)
+	if got := b.Recv(); !bytes.Equal(got, []byte{9}) {
+		t.Fatalf("Recv = %v", got)
+	}
+}
+
+func TestTimeNeverMovesBackwards(t *testing.T) {
+	l := MustLink(1_000_000)
+	l.Advance(500)
+	l.Advance(100) // ignored
+	if l.Now() != 500 {
+		t.Errorf("Now = %d, want 500", l.Now())
+	}
+}
+
+func TestOverflowDropsBytes(t *testing.T) {
+	l := MustLink(9600)
+	a := l.PortA()
+	big := make([]byte, 5000)
+	a.Send(big)
+	st := a.Stats()
+	if st.Dropped != 5000-4096 {
+		t.Errorf("Dropped = %d, want %d", st.Dropped, 5000-4096)
+	}
+	if st.Overruns == 0 {
+		t.Error("overruns not recorded")
+	}
+	l.Advance(1 << 62)
+	if got := l.PortB().Recv(); len(got) != 4096 {
+		t.Errorf("delivered %d bytes, want 4096", len(got))
+	}
+}
+
+// Property: every sent byte (within queue limits) arrives exactly once, in
+// order, never before its line time.
+func TestQuickDeliveryOrder(t *testing.T) {
+	f := func(data []byte, steps uint8) bool {
+		if len(data) > 1000 {
+			data = data[:1000]
+		}
+		l := MustLink(2_000_000)
+		a, b := l.PortA(), l.PortB()
+		a.Send(data)
+		var got []byte
+		// Advance in uneven steps.
+		step := uint64(steps%37+1) * 1000
+		for tme := uint64(0); tme < uint64(len(data)+2)*l.ByteTimeNs(); tme += step {
+			l.Advance(tme)
+			got = append(got, b.Recv()...)
+		}
+		l.Advance(1 << 62)
+		got = append(got, b.Recv()...)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: line busy time equals bytes × byte time (no overlap on a
+// single line).
+func TestQuickBusyAccounting(t *testing.T) {
+	f := func(n uint16) bool {
+		count := int(n % 500)
+		l := MustLink(1_000_000)
+		a := l.PortA()
+		a.Send(make([]byte, count))
+		return a.Stats().BusyNs == uint64(count)*l.ByteTimeNs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package trace records the model-level execution history of a debugging
+// session. The paper motivates it directly: "model-level animation ...
+// might occur in milliseconds. Therefore, GDM animation will trace
+// model-level behavior and always make a record of the execution trace.
+// The user can then monitor the application's behavior via a replay
+// function associated with a timing diagram."
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graphics"
+	"repro/internal/protocol"
+)
+
+// Record is one captured command with its target timestamp (inside the
+// event) and the host receive time.
+type Record struct {
+	Seq    uint64         `json:"seq"`
+	RecvNs uint64         `json:"recvNs"`
+	Event  protocol.Event `json:"event"`
+}
+
+// Trace is an append-only event log for one session.
+type Trace struct {
+	Program string   `json:"program"`
+	Records []Record `json:"records"`
+	nextSeq uint64
+}
+
+// New creates an empty trace for a program.
+func New(program string) *Trace { return &Trace{Program: program} }
+
+// Append records an event received at recvNs host time.
+func (t *Trace) Append(ev protocol.Event, recvNs uint64) Record {
+	t.nextSeq++
+	r := Record{Seq: t.nextSeq, RecvNs: recvNs, Event: ev}
+	t.Records = append(t.Records, r)
+	return r
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Span returns the [first, last] target-time window covered.
+func (t *Trace) Span() (uint64, uint64) {
+	if len(t.Records) == 0 {
+		return 0, 0
+	}
+	lo, hi := t.Records[0].Event.Time, t.Records[0].Event.Time
+	for _, r := range t.Records {
+		if r.Event.Time < lo {
+			lo = r.Event.Time
+		}
+		if r.Event.Time > hi {
+			hi = r.Event.Time
+		}
+	}
+	return lo, hi
+}
+
+// Filter returns a new trace containing the records keep accepts.
+func (t *Trace) Filter(keep func(Record) bool) *Trace {
+	out := New(t.Program)
+	for _, r := range t.Records {
+		if keep(r) {
+			out.Records = append(out.Records, r)
+			if r.Seq > out.nextSeq {
+				out.nextSeq = r.Seq
+			}
+		}
+	}
+	return out
+}
+
+// Between selects records with target time in [t0, t1].
+func (t *Trace) Between(t0, t1 uint64) *Trace {
+	return t.Filter(func(r Record) bool { return r.Event.Time >= t0 && r.Event.Time <= t1 })
+}
+
+// OfType selects records of one event type.
+func (t *Trace) OfType(typ protocol.EventType) *Trace {
+	return t.Filter(func(r Record) bool { return r.Event.Type == typ })
+}
+
+// WriteJSONL streams the trace as one JSON object per line, preceded by a
+// header line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr, err := json.Marshal(map[string]string{"program": t.Program})
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(append(hdr, '\n')); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("trace: encode seq %d: %w", r.Seq, err)
+		}
+		if _, err := bw.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: missing header")
+	}
+	var hdr map[string]string
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: bad header: %w", err)
+	}
+	t := New(hdr["program"])
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: bad record: %w", err)
+		}
+		t.Records = append(t.Records, rec)
+		if rec.Seq > t.nextSeq {
+			t.nextSeq = rec.Seq
+		}
+	}
+	return t, sc.Err()
+}
+
+// TimingDiagram projects the trace onto per-element tracks: state machines
+// show their active state, signals and watches their value — the timing
+// diagram the paper couples to the replay function.
+func (t *Trace) TimingDiagram() *graphics.Diagram {
+	d := graphics.NewDiagram()
+	for _, r := range t.Records {
+		ev := r.Event
+		switch ev.Type {
+		case protocol.EvStateEnter:
+			d.Record(ev.Source, ev.Time, ev.Arg1)
+		case protocol.EvSignal:
+			d.Record(ev.Source, ev.Time, trimFloat(ev.Value))
+		case protocol.EvWatch:
+			d.Record(ev.Source, ev.Time, ev.Arg2)
+		case protocol.EvTaskStart:
+			d.Record("task:"+ev.Source, ev.Time, "run")
+		case protocol.EvTaskDeadline:
+			d.Record("task:"+ev.Source, ev.Time, "idle")
+		case protocol.EvBreakHit:
+			d.Record("breakpoints", ev.Time, ev.Source)
+		}
+	}
+	return d
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// Replayer feeds a recorded trace back through the same reaction pipeline,
+// optionally time-scaled. It implements the engine's EventSource contract:
+// Poll(now) returns every event whose scaled timestamp has been reached.
+type Replayer struct {
+	trace *Trace
+	pos   int
+	// Speed scales replay: 1 = real (virtual) time, 2 = twice as fast,
+	// 0 = deliver everything immediately.
+	Speed float64
+	base  uint64 // first event's target time
+}
+
+// NewReplayer creates a replayer at the given speed.
+func NewReplayer(t *Trace, speed float64) *Replayer {
+	r := &Replayer{trace: t, Speed: speed}
+	if len(t.Records) > 0 {
+		r.base = t.Records[0].Event.Time
+	}
+	return r
+}
+
+// Poll returns the events due by (host-relative) time now, in order.
+func (r *Replayer) Poll(now uint64) []protocol.Event {
+	var out []protocol.Event
+	for r.pos < len(r.trace.Records) {
+		rec := r.trace.Records[r.pos]
+		if r.Speed > 0 {
+			due := uint64(float64(rec.Event.Time-r.base) / r.Speed)
+			if due > now {
+				break
+			}
+		}
+		out = append(out, rec.Event)
+		r.pos++
+	}
+	return out
+}
+
+// Done reports whether the whole trace has been replayed.
+func (r *Replayer) Done() bool { return r.pos >= len(r.trace.Records) }
+
+// Reset rewinds the replayer.
+func (r *Replayer) Reset() { r.pos = 0 }

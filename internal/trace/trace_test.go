@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func sampleTrace() *Trace {
+	t := New("heater_v1")
+	t.Append(protocol.Event{Type: protocol.EvHello, Time: 0, Source: "heater_v1"}, 10)
+	t.Append(protocol.Event{Type: protocol.EvStateEnter, Time: 1_000_000, Source: "heater.ctrl", Arg1: "Idle"}, 20)
+	t.Append(protocol.Event{Type: protocol.EvSignal, Time: 2_000_000, Source: "heater.power", Value: 100}, 30)
+	t.Append(protocol.Event{Type: protocol.EvStateEnter, Time: 3_000_000, Source: "heater.ctrl", Arg1: "Heating"}, 40)
+	t.Append(protocol.Event{Type: protocol.EvWatch, Time: 4_000_000, Source: "heater.ctrl.__state", Arg1: "0", Arg2: "1"}, 50)
+	t.Append(protocol.Event{Type: protocol.EvTaskStart, Time: 5_000_000, Source: "heater"}, 60)
+	t.Append(protocol.Event{Type: protocol.EvTaskDeadline, Time: 5_500_000, Source: "heater"}, 70)
+	t.Append(protocol.Event{Type: protocol.EvBreakHit, Time: 6_000_000, Source: "bp1"}, 80)
+	return t
+}
+
+func TestAppendAndSpan(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	lo, hi := tr.Span()
+	if lo != 0 || hi != 6_000_000 {
+		t.Errorf("Span = %d..%d", lo, hi)
+	}
+	if tr.Records[0].Seq != 1 || tr.Records[7].Seq != 8 {
+		t.Error("sequence numbering wrong")
+	}
+	var empty Trace
+	if l, h := empty.Span(); l != 0 || h != 0 {
+		t.Error("empty span wrong")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	tr := sampleTrace()
+	states := tr.OfType(protocol.EvStateEnter)
+	if states.Len() != 2 {
+		t.Errorf("state records = %d", states.Len())
+	}
+	mid := tr.Between(2_000_000, 4_000_000)
+	if mid.Len() != 3 {
+		t.Errorf("between records = %d", mid.Len())
+	}
+	if mid.Program != "heater_v1" {
+		t.Error("filter lost program name")
+	}
+}
+
+func TestJSONLRoundtrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != tr.Program || got.Len() != tr.Len() {
+		t.Fatal("roundtrip shape wrong")
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+	// Appending after reload continues the sequence.
+	r := got.Append(protocol.Event{Type: protocol.EvHello}, 0)
+	if r.Seq != 9 {
+		t.Errorf("resumed seq = %d", r.Seq)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("bad header should fail")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"program\":\"x\"}\ngarbage\n")); err == nil {
+		t.Error("bad record should fail")
+	}
+}
+
+func TestTimingDiagram(t *testing.T) {
+	tr := sampleTrace()
+	d := tr.TimingDiagram()
+	if d.Track("heater.ctrl") == nil {
+		t.Fatal("state track missing")
+	}
+	ch := d.Track("heater.ctrl").Changes
+	if len(ch) != 2 || ch[0].Value != "Idle" || ch[1].Value != "Heating" {
+		t.Errorf("state track = %+v", ch)
+	}
+	if d.Track("heater.power") == nil || d.Track("heater.power").Changes[0].Value != "100" {
+		t.Error("signal track wrong")
+	}
+	if d.Track("heater.ctrl.__state") == nil {
+		t.Error("watch track missing")
+	}
+	if d.Track("task:heater") == nil || len(d.Track("task:heater").Changes) != 2 {
+		t.Error("task track wrong")
+	}
+	if d.Track("breakpoints") == nil {
+		t.Error("breakpoint track missing")
+	}
+	art := d.ASCII(60)
+	if !strings.Contains(art, "heater.ctrl") {
+		t.Error("ASCII diagram incomplete")
+	}
+}
+
+func TestReplayerTiming(t *testing.T) {
+	tr := sampleTrace()
+	r := NewReplayer(tr, 1)
+	// Nothing due before the first delta.
+	if evs := r.Poll(0); len(evs) != 1 { // first event at base time 0 is due immediately
+		t.Fatalf("at 0: %d events", len(evs))
+	}
+	if evs := r.Poll(999_999); len(evs) != 0 {
+		t.Fatal("early delivery")
+	}
+	if evs := r.Poll(1_000_000); len(evs) != 1 || evs[0].Arg1 != "Idle" {
+		t.Fatal("second event late/wrong")
+	}
+	// Double speed halves the due times.
+	r2 := NewReplayer(tr, 2)
+	evs := r2.Poll(1_500_000)
+	if len(evs) != 4 { // events at t=0,1ms,2ms,3ms are due by 1.5ms at 2x
+		t.Fatalf("2x replay: %d events", len(evs))
+	}
+	// Speed 0 floods everything.
+	r3 := NewReplayer(tr, 0)
+	if evs := r3.Poll(0); len(evs) != tr.Len() {
+		t.Fatalf("flood replay: %d", len(evs))
+	}
+	if !r3.Done() {
+		t.Error("Done false after flood")
+	}
+	r3.Reset()
+	if r3.Done() {
+		t.Error("Reset did not rewind")
+	}
+}
+
+// Replay determinism: two replays of the same trace produce identical
+// event sequences.
+func TestReplayDeterminism(t *testing.T) {
+	tr := sampleTrace()
+	collect := func() []string {
+		r := NewReplayer(tr, 1)
+		var out []string
+		for tick := uint64(0); !r.Done(); tick += 100_000 {
+			for _, e := range r.Poll(tick) {
+				out = append(out, e.String())
+			}
+			if tick > 1e9 {
+				t.Fatal("replay stuck")
+			}
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Error("replay not deterministic")
+	}
+	if len(a) != tr.Len() {
+		t.Errorf("replayed %d of %d", len(a), tr.Len())
+	}
+}

@@ -1,0 +1,77 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Byte-level encoding of values as they are laid out in the simulated
+// target's RAM. The code generator allocates each signal and state
+// variable a fixed address and size; the JTAG watch engine reads those
+// same bytes back and decodes them with DecodeBytes — which is exactly how
+// the paper's passive command interface recovers model-level values from
+// raw chip memory.
+//
+// Layout (little-endian, matching common embedded targets):
+//
+//	Float  8 bytes  IEEE-754 bits
+//	Int    8 bytes  two's complement
+//	Bool   1 byte   0 or 1
+//	String not RAM-representable (models carry scalars at runtime)
+
+// ByteSize returns the RAM footprint of kind k, or 0 if not representable.
+func ByteSize(k Kind) int {
+	switch k {
+	case Float, Int:
+		return 8
+	case Bool:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// EncodeBytes writes v into dst (which must be at least ByteSize large)
+// and returns the number of bytes written.
+func EncodeBytes(v Value, dst []byte) (int, error) {
+	n := ByteSize(v.Kind())
+	if n == 0 {
+		return 0, fmt.Errorf("value: kind %v has no byte encoding", v.Kind())
+	}
+	if len(dst) < n {
+		return 0, fmt.Errorf("value: buffer %d too small for %v (%d)", len(dst), v.Kind(), n)
+	}
+	switch v.Kind() {
+	case Float:
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(v.Float()))
+	case Int:
+		binary.LittleEndian.PutUint64(dst, uint64(v.Int()))
+	case Bool:
+		if v.Bool() {
+			dst[0] = 1
+		} else {
+			dst[0] = 0
+		}
+	}
+	return n, nil
+}
+
+// DecodeBytes reads a value of kind k from src.
+func DecodeBytes(k Kind, src []byte) (Value, error) {
+	n := ByteSize(k)
+	if n == 0 {
+		return Value{}, fmt.Errorf("value: kind %v has no byte encoding", k)
+	}
+	if len(src) < n {
+		return Value{}, fmt.Errorf("value: buffer %d too small for %v (%d)", len(src), k, n)
+	}
+	switch k {
+	case Float:
+		return F(math.Float64frombits(binary.LittleEndian.Uint64(src))), nil
+	case Int:
+		return I(int64(binary.LittleEndian.Uint64(src))), nil
+	default: // Bool
+		return B(src[0] != 0), nil
+	}
+}

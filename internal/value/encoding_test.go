@@ -1,0 +1,77 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteSize(t *testing.T) {
+	if ByteSize(Float) != 8 || ByteSize(Int) != 8 || ByteSize(Bool) != 1 {
+		t.Error("sizes wrong")
+	}
+	if ByteSize(String) != 0 || ByteSize(Invalid) != 0 {
+		t.Error("unrepresentable kinds should be 0")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	vals := []Value{F(3.14), F(-0.0), F(math.Inf(1)), I(42), I(-7), B(true), B(false)}
+	buf := make([]byte, 8)
+	for _, v := range vals {
+		n, err := EncodeBytes(v, buf)
+		if err != nil {
+			t.Fatalf("EncodeBytes(%v): %v", v, err)
+		}
+		got, err := DecodeBytes(v.Kind(), buf[:n])
+		if err != nil {
+			t.Fatalf("DecodeBytes(%v): %v", v, err)
+		}
+		if got.Kind() != v.Kind() || got.String() != v.String() {
+			t.Errorf("roundtrip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	buf := make([]byte, 8)
+	if _, err := EncodeBytes(S("x"), buf); err == nil {
+		t.Error("string encode should fail")
+	}
+	if _, err := EncodeBytes(F(1), buf[:4]); err == nil {
+		t.Error("short buffer should fail")
+	}
+	if _, err := DecodeBytes(String, buf); err == nil {
+		t.Error("string decode should fail")
+	}
+	if _, err := DecodeBytes(Float, buf[:4]); err == nil {
+		t.Error("short decode should fail")
+	}
+}
+
+func TestQuickEncodingRoundtrip(t *testing.T) {
+	buf := make([]byte, 8)
+	ff := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		if _, err := EncodeBytes(F(x), buf); err != nil {
+			return false
+		}
+		v, err := DecodeBytes(Float, buf)
+		return err == nil && v.Float() == x
+	}
+	fi := func(x int64) bool {
+		if _, err := EncodeBytes(I(x), buf); err != nil {
+			return false
+		}
+		v, err := DecodeBytes(Int, buf)
+		return err == nil && v.Int() == x
+	}
+	if err := quick.Check(ff, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(fi, nil); err != nil {
+		t.Error(err)
+	}
+}

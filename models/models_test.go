@@ -1,0 +1,196 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/comdes"
+	"repro/internal/value"
+)
+
+func TestTrafficLightCycles(t *testing.T) {
+	sys, err := TrafficLight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := comdes.NewInterpreter(sys)
+	sm := sys.Actor("signal").Net.Block("light").(*comdes.StateMachineFB)
+	var seen []string
+	for cycle := 0; cycle < 240; cycle++ {
+		tt := float64(cycle%120) / 10 // sawtooth 0..12 s
+		it.Env["signal.t"] = value.F(tt)
+		if _, err := it.StepActor("signal"); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) == 0 || seen[len(seen)-1] != sm.Current() {
+			seen = append(seen, sm.Current())
+		}
+	}
+	// Two full cycles: Red Green Yellow Red Green Yellow Red (7 entries).
+	if len(seen) < 6 {
+		t.Fatalf("state sequence too short: %v", seen)
+	}
+	for i := 1; i < len(seen); i++ {
+		valid := map[string]string{"Red": "Green", "Green": "Yellow", "Yellow": "Red"}
+		if valid[seen[i-1]] != seen[i] {
+			t.Fatalf("illegal sequence %s -> %s in %v", seen[i-1], seen[i], seen)
+		}
+	}
+}
+
+func TestHeatingLimitCycle(t *testing.T) {
+	sys, err := Heating(HeatingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := comdes.NewInterpreter(sys)
+	sm := sys.Actor("heater").Net.Block("thermostat").(*comdes.StateMachineFB)
+	temp := 15.0
+	var states []string
+	var maxPower float64
+	for i := 0; i < 200; i++ {
+		it.Env["heater.temp"] = value.F(temp)
+		it.Env["heater.mode"] = value.I(2) // comfort
+		out, err := it.StepActor("heater")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["power"].Float() > maxPower {
+			maxPower = out["power"].Float()
+		}
+		if out["power"].Float() > 0 {
+			temp += 0.5
+		} else {
+			temp -= 0.3
+		}
+		if len(states) == 0 || states[len(states)-1] != sm.Current() {
+			states = append(states, sm.Current())
+		}
+		if _, err := it.StepActor("monitor"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(states) < 3 {
+		t.Fatalf("no limit cycle: %v", states)
+	}
+	if maxPower != 100 {
+		t.Errorf("comfort power = %g, want 100", maxPower)
+	}
+	// Temperature regulated near the band.
+	if temp < 14 || temp > 26 {
+		t.Errorf("temperature diverged: %g", temp)
+	}
+	// Eco mode halves the power.
+	it2 := comdes.NewInterpreter(sys)
+	it2.Env["heater.temp"] = value.F(10)
+	it2.Env["heater.mode"] = value.I(1)
+	out, err := it2.StepActor("heater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["power"].Float() != 50 {
+		t.Errorf("eco power = %v, want 50", out["power"])
+	}
+}
+
+func TestHeatingWrongGuardOvershoots(t *testing.T) {
+	sys, err := Heating(HeatingOptions{WrongGuard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := comdes.NewInterpreter(sys)
+	temp := 15.0
+	maxTemp := temp
+	for i := 0; i < 300; i++ {
+		it.Env["heater.temp"] = value.F(temp)
+		it.Env["heater.mode"] = value.I(2)
+		out, err := it.StepActor("heater")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out["power"].Float() > 0 {
+			temp += 0.5
+		} else {
+			temp -= 0.3
+		}
+		if temp > maxTemp {
+			maxTemp = temp
+		}
+	}
+	if maxTemp < 30 {
+		t.Errorf("seeded design error should overshoot: max %g", maxTemp)
+	}
+}
+
+func TestTokenRing(t *testing.T) {
+	if _, err := TokenRing(1); err == nil {
+		t.Error("ring of 1 should fail")
+	}
+	const n = 4
+	sys, err := TokenRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := comdes.NewInterpreter(sys)
+	holders := map[string]bool{}
+	for cycle := 0; cycle < 4*n; cycle++ {
+		holdersNow := 0
+		for i := 0; i < n; i++ {
+			name := holderName(i)
+			if _, err := it.StepActor(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			sm := sys.Actor(holderName(i)).Net.Block("node").(*comdes.StateMachineFB)
+			if sm.Current() == "Hold" {
+				holdersNow++
+				holders[holderName(i)] = true
+			}
+		}
+		if holdersNow > 1 {
+			t.Fatalf("cycle %d: %d simultaneous holders", cycle, holdersNow)
+		}
+	}
+	if len(holders) != n {
+		t.Errorf("token visited %d of %d nodes: %v", len(holders), n, holders)
+	}
+}
+
+func holderName(i int) string {
+	return "ring" + string(rune('0'+i))
+}
+
+func TestDistributedModel(t *testing.T) {
+	sys, err := Distributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Nodes()) != 2 {
+		t.Errorf("nodes = %v", sys.Nodes())
+	}
+}
+
+func TestChainFSM(t *testing.T) {
+	if _, err := ChainFSM(0); err == nil {
+		t.Error("chain of 0 should fail")
+	}
+	sys, err := ChainFSM(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := comdes.NewInterpreter(sys)
+	it.Env["chain.x"] = value.F(4.5)
+	out, err := it.StepActor("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machines 0..4 trip (x > i), 5..7 do not.
+	for i := 0; i < 8; i++ {
+		want := i < 5
+		if out[outName(i)].Bool() != want {
+			t.Errorf("o%d = %v, want %v", i, out[outName(i)], want)
+		}
+	}
+}
+
+func outName(i int) string { return "o" + string(rune('0'+i)) }
