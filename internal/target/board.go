@@ -1,0 +1,288 @@
+package target
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/comdes"
+	"repro/internal/dtm"
+	"repro/internal/jtag"
+	"repro/internal/protocol"
+	"repro/internal/serial"
+	"repro/internal/value"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultBaud is the RS-232 line rate of the paper's prototype setup.
+	DefaultBaud = 115200
+	// DefaultCPUHz models a small ARM-class embedded core.
+	DefaultCPUHz = 100_000_000
+	// DefaultIDCode is the TAP IDCODE reported over JTAG ("GDM1").
+	DefaultIDCode = 0x47444D31
+)
+
+// Config carries the physical board parameters.
+type Config struct {
+	// Baud is the UART line rate of the active command interface
+	// (default 115200).
+	Baud int
+	// CPUHz converts VM cycles to virtual execution time
+	// (default 100 MHz).
+	CPUHz uint64
+	// IDCode is the JTAG device id returned by the TAP.
+	IDCode uint32
+	// Bindings are the system's labelled signal routes; the board delivers
+	// a published output to its consumer's input at the producer's
+	// deadline instant (state-message communication). Bindings whose
+	// consumer lives on another board are handed to the OnPublish hook.
+	Bindings []comdes.Binding
+}
+
+// Board is one simulated embedded node executing a compiled program.
+type Board struct {
+	// Name is the node name ("main" for single-board systems).
+	Name string
+	// Prog is the program loaded on the board.
+	Prog *codegen.Program
+	// Link is the RS-232 line; PortA is the target side, PortB the host.
+	Link *serial.Link
+	// TAP is the on-chip JTAG port, wired to the board RAM — the passive
+	// command interface reads it at zero target cost.
+	TAP *jtag.TAP
+
+	// PreLatch, when set, runs at every task release before input
+	// latching — the environment hook where a plant model supplies sensor
+	// values via WriteInput and consumes actuators via ReadOutput.
+	PreLatch func(now uint64, actor string)
+	// OnPublish, when set, observes every published output at its deadline
+	// instant. The cluster uses it to route cross-node bindings.
+	OnPublish func(now uint64, actor, port string, v value.Value)
+
+	cfg      Config
+	kernel   *dtm.Kernel
+	sched    *dtm.Scheduler
+	ram      []byte
+	portA    *serial.Port // target-side UART endpoint
+	portB    *serial.Port // host-side UART endpoint
+	dec      protocol.Decoder
+	units    map[string]*codegen.Unit
+	outPorts map[string][]string         // unit -> sorted output port names
+	routes   map[string][]comdes.Binding // producer actor -> its bindings
+	seq      uint16
+	cycles   uint64
+	instr    uint64
+	lastErr  error
+
+	// preRelease is the cluster's chance to refresh network-fed inputs
+	// before the user PreLatch hook and input latching run.
+	preRelease func(now uint64, actor string)
+}
+
+// NewBoard boots a program on a fresh board: RAM is allocated and zeroed,
+// the TAP is wired, every unit's init code runs (emitting any instrumented
+// boot events after the Hello announcement), and the task schedule is
+// started. kernel may be nil for a standalone board; a cluster passes its
+// shared kernel so all nodes advance on one virtual clock.
+func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel) (*Board, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("target: nil program")
+	}
+	if cfg.Baud == 0 {
+		cfg.Baud = DefaultBaud
+	}
+	if cfg.CPUHz == 0 {
+		cfg.CPUHz = DefaultCPUHz
+	}
+	if cfg.IDCode == 0 {
+		cfg.IDCode = DefaultIDCode
+	}
+	link, err := serial.NewLink(cfg.Baud)
+	if err != nil {
+		return nil, err
+	}
+	if kernel == nil {
+		kernel = dtm.NewKernel()
+	}
+	b := &Board{
+		Name:     name,
+		Prog:     prog,
+		Link:     link,
+		cfg:      cfg,
+		kernel:   kernel,
+		sched:    dtm.NewScheduler(kernel),
+		ram:      make([]byte, prog.Symbols.RAMSize()),
+		portA:    link.PortA(),
+		portB:    link.PortB(),
+		units:    map[string]*codegen.Unit{},
+		outPorts: map[string][]string{},
+		routes:   map[string][]comdes.Binding{},
+	}
+	b.TAP = jtag.NewTAP(cfg.IDCode, boardRAM{b}, nil)
+	for _, bind := range cfg.Bindings {
+		b.routes[bind.FromActor] = append(b.routes[bind.FromActor], bind)
+	}
+
+	for _, u := range prog.Units {
+		if _, dup := b.units[u.Name]; dup {
+			return nil, fmt.Errorf("target: duplicate unit %q", u.Name)
+		}
+		b.units[u.Name] = u
+		ports := make([]string, 0, len(u.OutputSyms))
+		for p := range u.OutputSyms {
+			ports = append(ports, p)
+		}
+		sort.Strings(ports)
+		b.outPorts[u.Name] = ports
+	}
+
+	// Boot: announce the target, then run every unit's init code.
+	b.send(protocol.Event{Type: protocol.EvHello, Time: kernel.Now(), Source: prog.Name})
+	for _, u := range prog.Units {
+		res, err := codegen.Exec(prog, u.Init, b)
+		if err != nil {
+			return nil, fmt.Errorf("target: %s init: %w", u.Name, err)
+		}
+		b.account(res)
+		b.flushEmits(kernel.Now(), res.Emits)
+	}
+
+	for _, u := range prog.Units {
+		unit := u
+		if err := b.sched.AddTask(&dtm.Task{
+			Name:     unit.Name,
+			Period:   unit.Period,
+			Offset:   unit.Offset,
+			Deadline: unit.Deadline,
+			Latch: func(now uint64) map[string]value.Value {
+				b.release(unit, now)
+				return nil
+			},
+			Execute: func(now uint64, _ map[string]value.Value) (map[string]value.Value, uint64, error) {
+				cost, err := b.execute(unit, now)
+				return nil, cost, err
+			},
+			Output: func(now uint64, _ map[string]value.Value) {
+				b.deadline(unit, now)
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	b.sched.Start()
+	return b, nil
+}
+
+// RunFor advances the board by ns nanoseconds of virtual time, executing
+// every task release and deadline latch that falls in the window, then
+// services pending host instructions. While halted, time (and the UART
+// line) still advances but no task code executes. On a cluster board the
+// shared kernel — and therefore every sibling board — advances too.
+func (b *Board) RunFor(ns uint64) {
+	end := b.kernel.Now() + ns
+	b.kernel.RunUntil(end)
+	b.sync(end)
+}
+
+// Now returns the board's virtual time in nanoseconds.
+func (b *Board) Now() uint64 { return b.kernel.Now() }
+
+// Cycles returns the total CPU cycles executed since boot.
+func (b *Board) Cycles() uint64 { return b.cycles }
+
+// InstrumentationCycles returns the cycles spent on the active command
+// interface (emit instructions and deadline signal frames) — zero for
+// clean builds, which is the paper's passive-solution claim.
+func (b *Board) InstrumentationCycles() uint64 { return b.instr }
+
+// HostPort returns the host-side end of the RS-232 link (what the GDM
+// server reads events from and writes instructions to).
+func (b *Board) HostPort() *serial.Port { return b.portB }
+
+// Halt implements engine.TargetControl: task releases are suspended (the
+// release rhythm is kept, so Resume stays on the period grid). Outputs
+// already latched keep their deadline instants, matching a CPU halted
+// between task instances.
+func (b *Board) Halt() { b.sched.Halt() }
+
+// Resume implements engine.TargetControl.
+func (b *Board) Resume() { b.sched.Resume() }
+
+// Halted implements engine.TargetControl.
+func (b *Board) Halted() bool { return b.sched.Halted() }
+
+// Err returns the first task execution error, if any run of generated
+// code aborted (division by zero and friends).
+func (b *Board) Err() error {
+	if b.lastErr != nil {
+		return b.lastErr
+	}
+	for _, t := range b.sched.Tasks() {
+		if t.LastError != nil {
+			return fmt.Errorf("target: task %s: %w", t.Name, t.LastError)
+		}
+	}
+	return nil
+}
+
+// DeadlineMisses sums deadline overruns across all tasks.
+func (b *Board) DeadlineMisses() uint64 {
+	var n uint64
+	for _, t := range b.sched.Tasks() {
+		n += t.DeadlineMisses
+	}
+	return n
+}
+
+// WriteInput writes a value to an actor input port (the environment's
+// sensor path); it lands in the __io symbol and is latched at the actor's
+// next release.
+func (b *Board) WriteInput(actor, port string, v value.Value) error {
+	u, ok := b.units[actor]
+	if !ok {
+		return fmt.Errorf("target: unknown actor %q", actor)
+	}
+	idx, ok := u.InputSyms[port]
+	if !ok {
+		return fmt.Errorf("target: actor %s has no input %q", actor, port)
+	}
+	return b.StoreSym(idx, v)
+}
+
+// ReadOutput reads an actor's published output port (the value latched at
+// the most recent deadline instant).
+func (b *Board) ReadOutput(actor, port string) (value.Value, error) {
+	u, ok := b.units[actor]
+	if !ok {
+		return value.Value{}, fmt.Errorf("target: unknown actor %q", actor)
+	}
+	idx, ok := u.OutputSyms[port]
+	if !ok {
+		return value.Value{}, fmt.Errorf("target: actor %s has no output %q", actor, port)
+	}
+	return b.LoadSym(idx)
+}
+
+// String summarises the board state in one line.
+func (b *Board) String() string {
+	return fmt.Sprintf("board %s: t=%dns cycles=%d (instr %d) tasks=%d halted=%v",
+		b.Name, b.Now(), b.cycles, b.instr, len(b.units), b.Halted())
+}
+
+// WriteString writes a multi-line status report (clock, cycle split, UART
+// statistics and the per-task release/miss table) to w.
+func (b *Board) WriteString(w io.Writer) (int, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", b.String())
+	stats := b.portA.Stats()
+	fmt.Fprintf(&sb, "  uart: %d baud, %d bytes sent, %d dropped\n", b.Link.Baud(), stats.Bytes, stats.Dropped)
+	fmt.Fprintf(&sb, "  ram: %d bytes, %d symbols\n", len(b.ram), b.Prog.Symbols.Len())
+	for _, t := range b.sched.Tasks() {
+		fmt.Fprintf(&sb, "  task %-12s period=%dns releases=%d misses=%d\n",
+			t.Name, t.Period, t.Releases, t.DeadlineMisses)
+	}
+	return io.WriteString(w, sb.String())
+}

@@ -1,0 +1,61 @@
+package target
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// The board's symbol storage is a flat little-endian RAM image: every
+// generated symbol occupies the address range the compiler assigned it,
+// encoded with internal/value. The VM reads and writes through the Bus
+// interface below; the JTAG TAP reads the very same bytes, which is how
+// the passive watch engine recovers model-level values with no target
+// cooperation.
+
+// LoadSym implements codegen.Bus: decode symbol idx from RAM.
+func (b *Board) LoadSym(idx int) (value.Value, error) {
+	if idx < 0 || idx >= b.Prog.Symbols.Len() {
+		return value.Value{}, fmt.Errorf("target: symbol index %d out of range", idx)
+	}
+	sym := b.Prog.Symbols.Sym(idx)
+	return value.DecodeBytes(sym.Kind, b.ram[sym.Addr:sym.Addr+sym.Size])
+}
+
+// StoreSym implements codegen.Bus: convert to the symbol's kind (the same
+// typing discipline as the reference interpreter) and encode into RAM.
+func (b *Board) StoreSym(idx int, v value.Value) error {
+	if idx < 0 || idx >= b.Prog.Symbols.Len() {
+		return fmt.Errorf("target: symbol index %d out of range", idx)
+	}
+	sym := b.Prog.Symbols.Sym(idx)
+	cv, err := value.Convert(v, sym.Kind)
+	if err != nil {
+		return fmt.Errorf("target: symbol %s: %w", sym.Name, err)
+	}
+	_, err = value.EncodeBytes(cv, b.ram[sym.Addr:])
+	return err
+}
+
+// boardRAM adapts the RAM image to the TAP's Memory interface. Debug-port
+// accesses are bounds-safe (reads beyond RAM return zeros, writes beyond
+// RAM are ignored) and cost zero target cycles — hardware debug port
+// semantics.
+type boardRAM struct{ b *Board }
+
+// ReadMem implements jtag.Memory.
+func (r boardRAM) ReadMem(addr uint32, p []byte) {
+	for i := range p {
+		p[i] = 0
+	}
+	if int64(addr) < int64(len(r.b.ram)) {
+		copy(p, r.b.ram[addr:])
+	}
+}
+
+// WriteMem implements jtag.Memory.
+func (r boardRAM) WriteMem(addr uint32, p []byte) {
+	if int64(addr) < int64(len(r.b.ram)) {
+		copy(r.b.ram[addr:], p)
+	}
+}

@@ -1,0 +1,155 @@
+package target
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/comdes"
+	"repro/internal/dtm"
+	"repro/internal/value"
+)
+
+// DefaultLatencyNs is the cluster network latency when ClusterConfig
+// leaves it zero (100 µs — a time-triggered fieldbus slot).
+const DefaultLatencyNs = 100_000
+
+// ClusterConfig parameterises BuildCluster.
+type ClusterConfig struct {
+	// LatencyNs is the fixed network transmission latency for cross-node
+	// signal bindings.
+	LatencyNs uint64
+	// Compile carries code-generation options applied to every node's
+	// program (instrumentation, fault injection).
+	Compile codegen.Options
+	// Board is the per-node board configuration (baud, CPU clock); the
+	// system's bindings are appended automatically.
+	Board Config
+}
+
+// Cluster is a multi-node deployment: one Board per placement node, all
+// sharing a single virtual clock, with cross-node signal bindings carried
+// by a latency network.
+type Cluster struct {
+	// Kernel is the shared discrete-event clock.
+	Kernel *dtm.Kernel
+	// Net carries cross-node signal messages (Net.Sent counts them).
+	Net *dtm.Network
+	// Boards maps node name -> board.
+	Boards map[string]*Board
+
+	nodes []string
+	inbox map[string]*dtm.Store
+}
+
+// BuildCluster compiles each placement node's actors into a program,
+// boots one board per node on a shared kernel, and wires cross-node
+// bindings through a latency network.
+func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LatencyNs == 0 {
+		cfg.LatencyNs = DefaultLatencyNs
+	}
+	k := dtm.NewKernel()
+	c := &Cluster{
+		Kernel: k,
+		Net:    dtm.NewNetwork(k, cfg.LatencyNs),
+		Boards: map[string]*Board{},
+		nodes:  sys.Nodes(),
+		inbox:  map[string]*dtm.Store{},
+	}
+	for _, node := range c.nodes {
+		sub := comdes.NewSystem(node)
+		for _, a := range sys.Actors {
+			if sys.NodeOf(a.Name()) != node {
+				continue
+			}
+			if err := sub.AddActor(a); err != nil {
+				return nil, err
+			}
+		}
+		prog, err := codegen.Compile(sub, cfg.Compile)
+		if err != nil {
+			return nil, fmt.Errorf("target: node %s: %w", node, err)
+		}
+		bcfg := cfg.Board
+		bcfg.Bindings = append(append([]comdes.Binding(nil), bcfg.Bindings...), sys.Bindings...)
+		brd, err := NewBoard(node, prog, bcfg, k)
+		if err != nil {
+			return nil, fmt.Errorf("target: node %s: %w", node, err)
+		}
+		c.Boards[node] = brd
+	}
+	// Each node's inbox is its local view of the global signal board:
+	// arriving messages are pushed into the consumer's __io input symbols
+	// immediately (so RAM watchers see them at arrival time), and every
+	// consumer release re-latches from the board — reference interpreter
+	// semantics, so a host-injected __io value cannot outlive the next
+	// release the way it would if delivery were change-triggered only.
+	for _, node := range c.nodes {
+		node := node
+		brd := c.Boards[node]
+		store := dtm.NewStore(k.Now)
+		store.OnChange = func(now uint64, signal string, old, new value.Value) {
+			for _, bind := range sys.Bindings {
+				if bind.Signal != signal || sys.NodeOf(bind.ToActor) != node {
+					continue
+				}
+				if err := brd.WriteInput(bind.ToActor, bind.ToPort, new); err != nil {
+					brd.fail(err)
+				}
+			}
+		}
+		brd.preRelease = func(now uint64, actor string) {
+			for _, bind := range sys.Bindings {
+				if bind.ToActor != actor || sys.NodeOf(bind.FromActor) == node {
+					continue
+				}
+				if v := store.Get(bind.Signal); v.IsValid() {
+					if err := brd.WriteInput(bind.ToActor, bind.ToPort, v); err != nil {
+						brd.fail(err)
+					}
+				}
+			}
+		}
+		c.inbox[node] = store
+	}
+	// Producers hand cross-node publishes to the network; intra-node
+	// bindings were already delivered by the board itself.
+	for _, node := range c.nodes {
+		node := node
+		c.Boards[node].OnPublish = func(now uint64, actor, port string, v value.Value) {
+			for _, bind := range sys.Bindings {
+				if bind.FromActor != actor || bind.FromPort != port {
+					continue
+				}
+				toNode := sys.NodeOf(bind.ToActor)
+				if toNode == node {
+					continue
+				}
+				c.Net.Send(bind.Signal, v, c.inbox[toNode])
+			}
+		}
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster's node names in sorted order.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }
+
+// Now returns the shared virtual time.
+func (c *Cluster) Now() uint64 { return c.Kernel.Now() }
+
+// RunUntil advances the whole cluster to absolute time t, executing every
+// board's releases, deadlines and network deliveries in global event
+// order, then drains each board's UART boundary work.
+func (c *Cluster) RunUntil(t uint64) {
+	c.Kernel.RunUntil(t)
+	for _, node := range c.nodes {
+		c.Boards[node].sync(t)
+	}
+}
+
+// Board returns the named node's board, or nil.
+func (c *Cluster) Board(node string) *Board { return c.Boards[node] }

@@ -1,0 +1,149 @@
+package target
+
+import (
+	"testing"
+
+	"repro/models"
+)
+
+func distCluster(t testing.TB, latencyNs uint64) *Cluster {
+	t.Helper()
+	sys, err := models.Distributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := BuildCluster(sys, ClusterConfig{LatencyNs: latencyNs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestClusterTopology(t *testing.T) {
+	cl := distCluster(t, 300_000)
+	nodes := cl.Nodes()
+	if len(nodes) != 2 || nodes[0] != "nodeA" || nodes[1] != "nodeB" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for _, n := range nodes {
+		if cl.Boards[n] == nil || cl.Board(n) != cl.Boards[n] {
+			t.Fatalf("board %s missing", n)
+		}
+	}
+	if cl.Board("ghost") != nil {
+		t.Error("ghost board")
+	}
+	// Each node's program contains only its own actors.
+	if cl.Boards["nodeA"].Prog.Unit("consumer") != nil {
+		t.Error("consumer compiled onto nodeA")
+	}
+	if cl.Boards["nodeB"].Prog.Unit("producer") != nil {
+		t.Error("producer compiled onto nodeB")
+	}
+	if cl.Now() != 0 {
+		t.Errorf("fresh cluster time = %d", cl.Now())
+	}
+}
+
+func TestClusterSharedClock(t *testing.T) {
+	cl := distCluster(t, 300_000)
+	cl.RunUntil(7_500_000)
+	if cl.Now() != 7_500_000 {
+		t.Fatalf("cluster time = %d", cl.Now())
+	}
+	for _, n := range cl.Nodes() {
+		if cl.Boards[n].Now() != 7_500_000 {
+			t.Errorf("board %s time = %d, want shared 7500000", n, cl.Boards[n].Now())
+		}
+	}
+}
+
+// TestClusterLatencyOrdering pins the cross-node delivery instant: the
+// producer latches v=1 at its first deadline (t = 1 ms), so the consumer's
+// __io input must change exactly LatencyNs later and not before.
+func TestClusterLatencyOrdering(t *testing.T) {
+	const latency = 300_000
+	cl := distCluster(t, latency)
+	nodeB := cl.Boards["nodeB"]
+	idx, ok := nodeB.Prog.Symbols.Index("consumer.v__io")
+	if !ok {
+		t.Fatal("consumer input symbol missing")
+	}
+	read := func() float64 {
+		v, err := nodeB.LoadSym(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Float()
+	}
+	cl.RunUntil(1_000_000 + latency - 1)
+	if got := read(); got != 0 {
+		t.Fatalf("value %v arrived before latency elapsed", got)
+	}
+	cl.RunUntil(1_000_000 + latency)
+	if got := read(); got != 1 {
+		t.Fatalf("value = %v at t=deadline+latency, want 1", got)
+	}
+	if cl.Net.Sent == 0 {
+		t.Error("network counted no messages")
+	}
+
+	// Successive publishes arrive in order: sample the consumer input at
+	// each of its releases and require a non-decreasing ramp.
+	var seen []float64
+	nodeB.PreLatch = func(now uint64, actor string) {
+		seen = append(seen, read())
+	}
+	cl.RunUntil(cl.Now() + 40_000_000)
+	if len(seen) == 0 {
+		t.Fatal("consumer never released")
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("deliveries reordered: %v", seen)
+		}
+	}
+	if seen[len(seen)-1] <= seen[0] {
+		t.Error("ramp never advanced across the network")
+	}
+}
+
+// TestClusterEndToEnd reproduces the distributed example's observable
+// outcome: the consumer doubles the producer's ramp, passively and with
+// zero instrumentation.
+func TestClusterEndToEnd(t *testing.T) {
+	cl := distCluster(t, 300_000)
+	cl.RunUntil(100_000_000)
+	a, err := cl.Boards["nodeA"].ReadOutput("producer", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Boards["nodeB"].ReadOutput("consumer", "twice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Float() < 40 {
+		t.Errorf("producer ramp = %v after 100 ms (50 periods)", a)
+	}
+	if b.Float() < 2*a.Float()-10 || b.Float() > 2*a.Float() {
+		t.Errorf("consumer %v should track ~2x producer %v (pipeline lag allowed)", b, a)
+	}
+	for _, n := range cl.Nodes() {
+		if ic := cl.Boards[n].InstrumentationCycles(); ic != 0 {
+			t.Errorf("node %s instrumentation cycles = %d on clean build", n, ic)
+		}
+		if err := cl.Boards[n].Err(); err != nil {
+			t.Errorf("node %s error: %v", n, err)
+		}
+	}
+	if int(cl.Net.Sent) < 40 {
+		t.Errorf("network messages = %d, want one per producer deadline", cl.Net.Sent)
+	}
+}
+
+func TestClusterDefaultLatency(t *testing.T) {
+	cl := distCluster(t, 0)
+	if cl.Net.LatencyNs != DefaultLatencyNs {
+		t.Errorf("default latency = %d, want %d", cl.Net.LatencyNs, DefaultLatencyNs)
+	}
+}

@@ -1,0 +1,53 @@
+// Package target simulates the embedded board the generated COMDES code
+// runs on — the "target platform" of the paper's Fig. 1/Fig. 2, the piece
+// both command interfaces attach to.
+//
+// # Board
+//
+// A Board owns a virtual nanosecond clock (a dtm.Kernel), the program's
+// RAM image, and a per-actor periodic task schedule following Distributed
+// Timed Multitasking:
+//
+//   - at every task release (offset + k*period) the board calls the
+//     PreLatch hook (the plant's chance to write sensor inputs), latches
+//     the __io input symbols into their stable task-instance copies, and
+//     executes the unit body on the VM (internal/codegen);
+//   - execution cost is accounted in CPU cycles (the VM's cost model) and
+//     converted to virtual time through Config.CPUHz, so a run that
+//     overruns its deadline is counted as a miss;
+//   - at the deadline instant (release + deadline) the working outputs are
+//     latched into the published __pub symbols, instrumented signal events
+//     are emitted, and Config.Bindings route published values to consumer
+//     actors (directly on the same board, or through the cluster network).
+//
+// Cycle accounting is split: Cycles is everything the CPU executed,
+// InstrumentationCycles is the part attributable to the active command
+// interface (OpEmit instructions plus deadline signal emits). A clean or
+// passively-watched binary reports zero instrumentation cycles — the
+// measurable core of the paper's active-vs-passive argument.
+//
+// # Command interfaces
+//
+// The active interface is a full-duplex UART (internal/serial) at
+// Config.Baud: instrumentation events are framed (internal/protocol) and
+// sent from the target port; the host reads them from HostPort(). Event
+// delivery is therefore paced by the line rate — a dense instrumentation
+// set can saturate the link, which experiment E7b measures. The same link
+// carries host -> target Instructions (remote pause/resume, variable
+// read/write), serviced by the firmware at task releases and at RunFor
+// boundaries and acknowledged with events.
+//
+// The passive interface is the TAP field: an IEEE 1149.1 test access port
+// (internal/jtag) wired straight to the board RAM. Probe reads cost zero
+// target cycles, so a Watcher can animate the debugger model with no code
+// modification at all.
+//
+// # Cluster
+//
+// BuildCluster places a multi-node system (comdes Placement) onto one
+// Board per node, all sharing a single kernel so virtual time is global.
+// Cross-node signal bindings travel over a dtm.Network with a fixed
+// ClusterConfig.LatencyNs; intra-node bindings are delivered directly at
+// the producer's deadline instant. RunUntil advances every board in
+// lock-step event order.
+package target

@@ -1,0 +1,202 @@
+package target
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/protocol"
+	"repro/internal/value"
+)
+
+// The firmware half of the board: what the scheduled task callbacks do at
+// release and deadline instants, how instrumentation events reach the
+// UART, and how host instructions are serviced.
+
+// release runs at a task's release instant: the line is advanced to now,
+// pending host instructions are serviced (the firmware polls its UART at
+// task boundaries), the environment hook runs, and the __io inputs are
+// latched into their stable task-instance symbols.
+func (b *Board) release(u *codegen.Unit, now uint64) {
+	b.sync(now)
+	if b.preRelease != nil {
+		b.preRelease(now, u.Name)
+	}
+	if b.PreLatch != nil {
+		b.PreLatch(now, u.Name)
+	}
+	for _, lp := range u.InLatch {
+		v, err := b.LoadSym(lp.Work)
+		if err != nil {
+			b.fail(err)
+			continue
+		}
+		if err := b.StoreSym(lp.Out, v); err != nil {
+			b.fail(err)
+		}
+	}
+}
+
+// execute runs the unit body on the VM, accounts cycles and sends any
+// instrumentation events raised by OpEmit. It returns the virtual
+// execution cost so the scheduler can detect deadline overruns.
+func (b *Board) execute(u *codegen.Unit, now uint64) (uint64, error) {
+	res, err := codegen.Exec(b.Prog, u.Body, b)
+	b.account(res)
+	b.flushEmits(now, res.Emits)
+	// Full-precision cycle -> time conversion (per run, so CPUHz values
+	// that do not divide 1e9 — or exceed it — stay accurate).
+	return res.Cycles * 1_000_000_000 / b.cfg.CPUHz, err
+}
+
+// deadline runs at the task's deadline instant: working outputs are
+// latched into the published __pub symbols, instrumented signal events are
+// emitted (each costs EmitCycles of target CPU — the active interface is
+// never free), and signal bindings deliver the published values to their
+// consumers.
+func (b *Board) deadline(u *codegen.Unit, now uint64) {
+	b.Link.Advance(now)
+	for _, lp := range u.OutLatch {
+		v, err := b.LoadSym(lp.Work)
+		if err != nil {
+			b.fail(err)
+			continue
+		}
+		if err := b.StoreSym(lp.Out, v); err != nil {
+			b.fail(err)
+			continue
+		}
+		if tmpl, ok := u.SignalEvents[lp.Out]; ok {
+			published, err := b.LoadSym(lp.Out)
+			if err != nil {
+				b.fail(err)
+				continue
+			}
+			b.cycles += codegen.EmitCycles
+			b.instr += codegen.EmitCycles
+			b.emitTemplate(now, b.Prog.Events[tmpl], published, true)
+		}
+	}
+	// State-message communication: published values reach their consumers'
+	// __io symbols. Local consumers are written directly; the OnPublish
+	// hook lets a cluster route cross-board bindings over its network.
+	for _, bind := range b.routes[u.Name] {
+		pub, ok := u.OutputSyms[bind.FromPort]
+		if !ok {
+			continue
+		}
+		v, err := b.LoadSym(pub)
+		if err != nil {
+			b.fail(err)
+			continue
+		}
+		if dst, ok := b.units[bind.ToActor]; ok {
+			if in, ok := dst.InputSyms[bind.ToPort]; ok {
+				if err := b.StoreSym(in, v); err != nil {
+					b.fail(err)
+				}
+			}
+		}
+	}
+	if b.OnPublish != nil {
+		for _, port := range b.outPorts[u.Name] {
+			if v, err := b.LoadSym(u.OutputSyms[port]); err == nil {
+				b.OnPublish(now, u.Name, port, v)
+			}
+		}
+	}
+}
+
+// account folds one VM run into the cycle counters. Every OpEmit the run
+// executed is instrumentation overhead.
+func (b *Board) account(res codegen.ExecResult) {
+	b.cycles += res.Cycles
+	b.instr += uint64(len(res.Emits)) * codegen.EmitCycles
+}
+
+// flushEmits turns the VM's pending emit refs into wire frames.
+func (b *Board) flushEmits(now uint64, emits []codegen.EmitRef) {
+	for _, ref := range emits {
+		b.emitTemplate(now, b.Prog.Events[ref.Template], ref.Value, ref.HasValue)
+	}
+}
+
+// emitTemplate builds one event from a compiled template and queues it on
+// the UART.
+func (b *Board) emitTemplate(now uint64, t codegen.EventTemplate, v value.Value, hasValue bool) {
+	ev := protocol.Event{Type: t.Type, Time: now, Source: t.Source, Arg1: t.Arg1, Arg2: t.Arg2}
+	if hasValue || t.WithValue {
+		ev.Value = v.Float()
+	}
+	b.send(ev)
+}
+
+// send stamps the next sequence number and transmits the frame. The line
+// paces delivery: at the configured baud each byte occupies the wire for
+// its bit time, so a saturated link delays or drops frames — exactly the
+// bandwidth ceiling of the active command interface.
+func (b *Board) send(ev protocol.Event) {
+	b.seq++
+	ev.Seq = b.seq
+	wire, err := protocol.EncodeEvent(ev)
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.portA.Send(wire)
+}
+
+// sync advances the UART line to now and services any host instructions
+// that have fully arrived. Called at task releases and RunFor boundaries;
+// the latter keeps a halted target responsive to a remote Resume.
+func (b *Board) sync(now uint64) {
+	b.Link.Advance(now)
+	_, ins := b.dec.Feed(b.portA.Recv())
+	for _, in := range ins {
+		b.service(in, now)
+	}
+}
+
+// service executes one GDM -> target instruction and acknowledges with an
+// event. Model-level breakpoints and stepping live host-side in this
+// reproduction, so InStep/InSetBreak/InClearBreak are accepted and
+// ignored.
+func (b *Board) service(in protocol.Instruction, now uint64) {
+	switch in.Type {
+	case protocol.InPause:
+		b.sched.Halt()
+		b.send(protocol.Event{Type: protocol.EvHalted, Time: now, Source: b.Name})
+	case protocol.InResume:
+		b.sched.Resume()
+		b.send(protocol.Event{Type: protocol.EvResumed, Time: now, Source: b.Name})
+	case protocol.InReadVar:
+		b.ackWatch(in.Source, now)
+	case protocol.InWriteVar:
+		if idx, ok := b.Prog.Symbols.Index(in.Source); ok {
+			if err := b.StoreSym(idx, value.F(in.Value)); err == nil {
+				b.ackWatch(in.Source, now)
+			}
+		}
+	}
+}
+
+// ackWatch answers a variable read/write instruction with the symbol's
+// current RAM value.
+func (b *Board) ackWatch(symbol string, now uint64) {
+	idx, ok := b.Prog.Symbols.Index(symbol)
+	if !ok {
+		return
+	}
+	v, err := b.LoadSym(idx)
+	if err != nil {
+		return
+	}
+	b.send(protocol.Event{
+		Type: protocol.EvWatch, Time: now, Source: symbol,
+		Arg2: v.String(), Value: v.Float(),
+	})
+}
+
+// fail records the first firmware error (surfaced through Err).
+func (b *Board) fail(err error) {
+	if b.lastErr == nil {
+		b.lastErr = err
+	}
+}
