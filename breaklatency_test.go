@@ -1,0 +1,127 @@
+package repro
+
+// The acceptance test of the target-resident breakpoint agent: on the
+// same model and the same deterministic environment, an on-target
+// breakpoint halts the board at the emitting instruction's virtual time —
+// before the release's deadline latch publishes — while the host-side
+// (passive-trace-filtering) path can only halt after the event frame has
+// crossed the UART, at least one frame-time later.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/target"
+	"repro/internal/value"
+	"repro/models"
+)
+
+// warmEnv cools the room from 25 °C so the thermostat deterministically
+// enters Heating at the heater release instant t = 100 ms (the facade
+// invokes the environment at every actor release — heater and monitor
+// alternate every 5 ms, so the room cools 0.6 °C per 10 ms period).
+func warmEnv() func(now uint64, b *target.Board) {
+	temp := 25.3
+	return func(now uint64, b *target.Board) {
+		if p, err := b.ReadOutput("heater", "power"); err == nil && p.Float() > 0 {
+			temp += 0.5
+		} else {
+			temp -= 0.3
+		}
+		_ = b.WriteInput("heater", "temp", value.F(temp))
+		_ = b.WriteInput("heater", "mode", value.I(2))
+	}
+}
+
+func TestOnTargetBreakBeatsHostSideByAFrameTime(t *testing.T) {
+	mustDebug := func() *Debugger {
+		t.Helper()
+		sys, err := models.Heating(models.HeatingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbg, err := Debug(sys, DebugConfig{Transport: Active, Environment: warmEnv()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dbg
+	}
+
+	// --- on-target path: the condition runs on the board itself ---
+	onTarget := mustDebug()
+	if err := onTarget.BreakOnState("bp", "heater.thermostat", "Heating"); err != nil {
+		t.Fatal(err)
+	}
+	bps := onTarget.Session.Breakpoints()
+	if len(bps) != 1 || !bps[0].OnTarget() {
+		t.Fatalf("breakpoint not offloaded to the target: %+v", bps)
+	}
+	if err := onTarget.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !onTarget.Session.Paused() || !onTarget.Board.Halted() {
+		t.Fatal("on-target breakpoint did not halt")
+	}
+	if lb := onTarget.Session.LastBreak; lb == nil || lb.ID != "bp" || lb.Hits != 1 {
+		t.Fatalf("LastBreak = %+v", onTarget.Session.LastBreak)
+	}
+	var tTarget uint64
+	for _, r := range onTarget.Session.Trace.OfType(protocol.EvBreak).Records {
+		tTarget = r.Event.Time
+	}
+	if tTarget == 0 {
+		t.Fatal("no EvBreak in the trace")
+	}
+	// Halt at the storing instruction's virtual time: within the 100 ms
+	// release body, strictly before its 105 ms deadline instant.
+	if tTarget < 100_000_000 || tTarget >= 105_000_000 {
+		t.Fatalf("on-target halt at %d ns, want within the 100 ms release body", tTarget)
+	}
+	// ... and before the deadline latch published: power still carries
+	// Idle's 0 even though virtual time is past the deadline instant.
+	p, err := onTarget.Board.ReadOutput("heater", "power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Float() != 0 {
+		t.Fatalf("deadline latch published %v despite the mid-release halt", p)
+	}
+
+	// --- host-side path: same model-level breakpoint, event filtering ---
+	hostSide := mustDebug()
+	if err := hostSide.Session.SetBreakpoint(engine.Breakpoint{
+		ID: "bp", Event: protocol.EvStateEnter, Source: "heater.thermostat", Arg1: "Heating",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hostSide.Session.Breakpoints()[0].OnTarget() {
+		t.Fatal("event-pattern breakpoint must stay host-side")
+	}
+	if err := hostSide.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !hostSide.Session.Paused() {
+		t.Fatal("host-side breakpoint did not pause")
+	}
+	tHost := hostSide.Board.Now()
+
+	// The latency win: the host could not react before the EvStateEnter
+	// frame crossed the line, so it halts at least one frame-time after
+	// the target-resident agent did.
+	wire, err := protocol.EncodeEvent(protocol.Event{
+		Type: protocol.EvStateEnter, Source: "heater.thermostat", Arg1: "Heating",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameNs := uint64(len(wire)) * hostSide.Board.Link.ByteTimeNs()
+	if tHost < tTarget+frameNs {
+		t.Fatalf("host-side halt at %d ns is not >= on-target %d ns + frame time %d ns",
+			tHost, tTarget, frameNs)
+	}
+	t.Logf("on-target halt %.3f ms, host-side halt %.3f ms (frame time %.3f ms): win %.3f ms",
+		float64(tTarget)/1e6, float64(tHost)/1e6, float64(frameNs)/1e6,
+		float64(tHost-tTarget)/1e6)
+}

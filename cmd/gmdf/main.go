@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/comdes"
@@ -32,6 +33,8 @@ func main() {
 	ms := flag.Uint64("ms", 2000, "virtual milliseconds to debug")
 	gdmOut := flag.String("gdm", "", "write the generated GDM file (JSON) here")
 	svgOut := flag.String("svg", "", "write the final animated frame (SVG) here")
+	breakMachine := flag.String("break-machine", "", "state machine to break on (e.g. heater.thermostat); on the active interface the breakpoint runs on the target itself")
+	breakState := flag.String("break-state", "", "state whose entry trips -break-machine (e.g. Heating)")
 	flag.Parse()
 
 	sys, err := loadSystem(*model)
@@ -90,8 +93,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := dbg.RunNs(*ms * 1_000_000); err != nil {
+
+	// Optional model-level breakpoint: set -> hit -> step -> clear ->
+	// continue, end to end over the selected command interface. On the
+	// active interface the condition is compiled onto the target-resident
+	// agent (halt at the triggering instruction); passively it falls back
+	// to host-side event filtering (halt after the frame crosses).
+	budget := *ms * 1_000_000
+	if *breakMachine != "" && *breakState != "" {
+		if err := dbg.BreakOnState("cli", *breakMachine, *breakState); err != nil {
+			log.Fatal(err)
+		}
+		where := "host-side (trace filtering)"
+		if dbg.Session.Breakpoints()[0].OnTarget() {
+			where = "on-target (resident agent)"
+		}
+		fmt.Printf("breakpoint: enter %s.%s — armed %s\n", *breakMachine, *breakState, where)
+	}
+	if err := dbg.RunNs(budget); err != nil {
 		log.Fatal(err)
+	}
+	if *breakMachine != "" && dbg.Session.Paused() {
+		fmt.Printf("breakpoint hit: target halted at %.3f ms\n", float64(dbg.Board.Now())/1e6)
+		if err := dbg.StepOnTarget(time.Second); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stepped to next model event at %.3f ms, highlights %v\n",
+			float64(dbg.Board.Now())/1e6, dbg.GDM.HighlightedElements())
+		if err := dbg.Session.ClearBreakpoint("cli"); err != nil {
+			log.Fatal(err)
+		}
+		dbg.Session.Continue()
+		if spent := dbg.Board.Now(); spent < budget {
+			if err := dbg.RunNs(budget - spent); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
 	fmt.Println("== animated model ==")

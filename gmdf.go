@@ -28,6 +28,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/jtag"
 	"repro/internal/metamodel"
+	"repro/internal/protocol"
 	"repro/internal/target"
 	"repro/internal/value"
 )
@@ -195,6 +196,28 @@ func (d *Debugger) Continue(dur time.Duration) error {
 func (d *Debugger) StepEvent(maxWait time.Duration) error {
 	d.Session.Step()
 	return d.Run(maxWait)
+}
+
+// StepOnTarget asks the target-resident agent to run to the next model
+// event and halt there (InStep over the active interface), then waits for
+// the EvStepped confirmation. Falls back to host-side stepping on
+// passive sessions.
+func (d *Debugger) StepOnTarget(maxWait time.Duration) error {
+	d.Session.StepTarget()
+	return d.Run(maxWait)
+}
+
+// BreakOnState arms a model-level breakpoint on a state entry. Over the
+// active interface the condition is compiled onto the target-resident
+// agent — the board halts at the state-storing instruction, mid-release,
+// before the deadline latch publishes. On passive sessions it falls back
+// to host-side filtering of EvStateEnter events (halt one frame later).
+func (d *Debugger) BreakOnState(id, machine, state string) error {
+	bp := engine.Breakpoint{ID: id, Event: protocol.EvStateEnter, Source: machine, Arg1: state}
+	if cond, err := engine.StateCond(d.Sys, machine, state); err == nil {
+		bp.TargetCond = cond
+	}
+	return d.Session.SetBreakpoint(bp)
 }
 
 // RenderSVG renders the current animated model view.

@@ -1,0 +1,125 @@
+package repro
+
+// Golden-trace regression: the full event stream of the examples/heating
+// scenario (breakpoint -> steps -> continue over the active interface,
+// against the thermal plant) is recorded into a checked-in golden file
+// and asserted byte-for-byte. Any scheduler, codegen, protocol or engine
+// change that reorders, re-times or re-stamps model events fails here
+// loudly instead of silently shifting behaviour.
+//
+// Regenerate after an *intentional* behaviour change with:
+//
+//	go test -run TestGoldenHeatingTrace -update .
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/plant"
+	"repro/internal/protocol"
+	"repro/internal/target"
+	"repro/internal/value"
+	"repro/models"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+const goldenTracePath = "testdata/heating_trace.golden"
+
+// goldenScenario replays the examples/heating debugging session
+// deterministically: virtual time only, fixed plant, fixed breakpoint.
+func goldenScenario(t *testing.T) *Debugger {
+	t.Helper()
+	sys, err := models.Heating(models.HeatingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	room := plant.NewThermal(15)
+	var last uint64
+	dbg, err := Debug(sys, DebugConfig{
+		Environment: func(now uint64, b *target.Board) {
+			dt := now - last
+			last = now
+			power := 0.0
+			if p, err := b.ReadOutput("heater", "power"); err == nil {
+				power = p.Float()
+			}
+			_ = b.WriteInput("heater", "temp", value.F(room.Step(dt, power)))
+			_ = b.WriteInput("heater", "mode", value.I(2))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Session.SetBreakpoint(engine.Breakpoint{
+		ID: "enter-heating", Event: protocol.EvStateEnter,
+		Source: "heater.thermostat", Arg1: "Heating",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := dbg.StepEvent(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dbg.Session.ClearBreakpoint("enter-heating"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Continue(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return dbg
+}
+
+// formatTrace renders the trace in a stable line format.
+func formatTrace(d *Debugger) string {
+	var sb strings.Builder
+	for _, r := range d.Session.Trace.Records {
+		ev := r.Event
+		fmt.Fprintf(&sb, "%04d recv=%d seq=%d t=%d %s src=%q a1=%q a2=%q v=%g\n",
+			r.Seq, r.RecvNs, ev.Seq, ev.Time, ev.Type, ev.Source, ev.Arg1, ev.Arg2, ev.Value)
+	}
+	return sb.String()
+}
+
+func TestGoldenHeatingTrace(t *testing.T) {
+	dbg := goldenScenario(t)
+	got := formatTrace(dbg)
+	if dbg.Session.Trace.Len() < 100 {
+		t.Fatalf("suspiciously short trace: %d records", dbg.Session.Trace.Len())
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTracePath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d records, %d bytes)", goldenTracePath, dbg.Session.Trace.Len(), len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenTracePath)
+	if err != nil {
+		t.Fatalf("%v — run `go test -run TestGoldenHeatingTrace -update .`", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Byte-for-byte mismatch: report the first diverging line, which
+	// names the event that moved.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("trace diverges at line %d:\n  got:  %s\n  want: %s", i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("trace length changed: %d lines, golden has %d", len(gotLines), len(wantLines))
+}

@@ -560,3 +560,106 @@ func TestQuickCompiledExprMatchesEval(t *testing.T) {
 		}
 	}
 }
+
+// hookRecorder is a BreakHook that trips on one symbol index and records
+// every check site it was consulted at.
+type hookRecorder struct {
+	tripIdx int
+	stores  []int
+	emits   int
+}
+
+func (h *hookRecorder) CheckStore(idx int, v value.Value) (bool, uint64) {
+	h.stores = append(h.stores, idx)
+	return idx == h.tripIdx, BreakCheckCycles
+}
+
+func (h *hookRecorder) CheckEmit(ref EmitRef) (bool, uint64) {
+	h.emits++
+	return false, BreakCheckCycles
+}
+
+// TestBreakHookHaltsAndResumes pins the VM half of the target-resident
+// agent: the hook runs at every store site, a hit halts the machine at
+// that instruction with the check cycles charged, and a later Run
+// continues from the instruction after the hit to normal completion.
+func TestBreakHookHaltsAndResumes(t *testing.T) {
+	sys := singleActorSystem(t, heaterActor(t))
+	prog, err := Compile(sys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := prog.Unit("heater")
+	bus := NewMapBus(prog.Symbols)
+	if _, err := Exec(prog, u.Init, bus); err != nil {
+		t.Fatal(err)
+	}
+	_ = bus.StoreSym(u.InputSyms["temp"], value.F(10)) // cold: transition fires
+	for _, lp := range u.InLatch {
+		v, _ := bus.LoadSym(lp.Work)
+		_ = bus.StoreSym(lp.Out, v)
+	}
+	stateIdx, ok := prog.Symbols.Index("heater.ctrl.__state")
+	if !ok {
+		t.Fatal("state symbol missing")
+	}
+
+	// Baseline run without a hook for the cycle reference.
+	ref := NewMapBus(prog.Symbols)
+	copy(ref.Vals, bus.Vals)
+	base, err := Exec(prog, u.Body, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.BreakPC != -1 {
+		t.Fatalf("hookless run reports BreakPC %d", base.BreakPC)
+	}
+
+	hook := &hookRecorder{tripIdx: stateIdx}
+	m := NewMachine(prog, u.Body, bus)
+	m.Hook = hook
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BreakPC < 0 {
+		t.Fatal("hook hit did not halt the run")
+	}
+	if u.Body[res.BreakPC].Op != OpStore || int(u.Body[res.BreakPC].A) != stateIdx {
+		t.Fatalf("halted at pc %d (%v), want the state store", res.BreakPC, u.Body[res.BreakPC].Op)
+	}
+	if m.PC != res.BreakPC+1 {
+		t.Fatalf("PC = %d after hit at %d, want the next instruction", m.PC, res.BreakPC)
+	}
+	if len(hook.stores) == 0 || hook.stores[len(hook.stores)-1] != stateIdx {
+		t.Fatalf("store sites checked: %v", hook.stores)
+	}
+	checks := uint64(len(hook.stores)+hook.emits) * BreakCheckCycles
+	if res.CheckCycles != checks {
+		t.Errorf("CheckCycles = %d, want %d", res.CheckCycles, checks)
+	}
+
+	// Resume: the same machine runs to completion and the total work
+	// matches the hookless run plus the check overhead.
+	hook.tripIdx = -1
+	res, err = m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BreakPC != -1 {
+		t.Fatalf("resumed run halted again at %d", res.BreakPC)
+	}
+	if !m.Done() {
+		t.Fatal("resumed run did not finish")
+	}
+	finalChecks := uint64(len(hook.stores)+hook.emits) * BreakCheckCycles
+	if res.Cycles != base.Cycles+finalChecks {
+		t.Errorf("cycles = %d, want base %d + checks %d", res.Cycles, base.Cycles, finalChecks)
+	}
+	// The split runs computed the same state as the uninterrupted run.
+	for i, v := range bus.Vals {
+		if !value.Equal(v, ref.Vals[i]) {
+			t.Errorf("symbol %s diverged: %v vs %v", prog.Symbols.Sym(i).Name, v, ref.Vals[i])
+		}
+	}
+}

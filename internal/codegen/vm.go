@@ -34,11 +34,38 @@ type EmitRef struct {
 	HasValue bool
 }
 
+// BreakHook is the VM's attachment point for a target-resident breakpoint
+// agent. It is consulted at the two instrumentation sites of the generated
+// code — after every OpStore (a symbol just changed) and after every
+// OpEmit (a model event was just raised) — and may halt the VM *at that
+// instruction*, before the rest of the release body runs and before the
+// deadline latch publishes anything. Each call reports the cycles spent
+// evaluating armed predicates so debug overhead is charged to the target
+// CPU like any other instruction.
+type BreakHook interface {
+	// CheckStore runs after symbol idx was written with v; hit halts the VM.
+	CheckStore(idx int, v value.Value) (hit bool, cycles uint64)
+	// CheckEmit runs after ref was queued; hit halts the VM.
+	CheckEmit(ref EmitRef) (hit bool, cycles uint64)
+}
+
+// BreakCheckCycles is the target CPU cost of evaluating one armed
+// breakpoint predicate at one check site (a compiled compare over RAM).
+const BreakCheckCycles = 8
+
 // ExecResult carries the outcome of one code run.
 type ExecResult struct {
 	Cycles uint64
 	Steps  uint64
 	Emits  []EmitRef
+
+	// CheckCycles is the share of Cycles spent evaluating on-target
+	// breakpoint predicates (debug overhead, included in Cycles).
+	CheckCycles uint64
+	// BreakPC is the instruction at which a BreakHook halted the run, or
+	// -1 when the run completed (or errored) without a hit. The machine's
+	// PC already points past it, so a later Run continues after the hit.
+	BreakPC int
 }
 
 // maxSteps bounds runaway programs (compiler bugs), not legitimate code.
@@ -52,6 +79,10 @@ type Machine struct {
 	Code []Instr
 	Bus  Bus
 
+	// Hook, when set, is the target-resident breakpoint agent consulted at
+	// OpStore/OpEmit sites.
+	Hook BreakHook
+
 	PC    int
 	stack []value.Value
 	Res   ExecResult
@@ -61,7 +92,8 @@ type Machine struct {
 
 // NewMachine prepares a VM run.
 func NewMachine(p *Program, code []Instr, bus Bus) *Machine {
-	return &Machine{Prog: p, Code: code, Bus: bus, stack: make([]value.Value, 0, 16)}
+	return &Machine{Prog: p, Code: code, Bus: bus, stack: make([]value.Value, 0, 16),
+		Res: ExecResult{BreakPC: -1}}
 }
 
 // Done reports whether execution has finished.
@@ -105,8 +137,17 @@ func (m *Machine) Step() (bool, error) {
 		}
 		m.stack = append(m.stack, v)
 	case OpStore:
-		if err := m.Bus.StoreSym(int(in.A), m.pop()); err != nil {
+		v := m.pop()
+		if err := m.Bus.StoreSym(int(in.A), v); err != nil {
 			return false, err
+		}
+		if m.Hook != nil {
+			hit, cost := m.Hook.CheckStore(int(in.A), v)
+			m.Res.Cycles += cost
+			m.Res.CheckCycles += cost
+			if hit {
+				return false, m.breakAt()
+			}
 		}
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 		b, a := m.pop(), m.pop()
@@ -178,6 +219,14 @@ func (m *Machine) Step() (bool, error) {
 			ref.HasValue = true
 		}
 		m.Res.Emits = append(m.Res.Emits, ref)
+		if m.Hook != nil {
+			hit, cost := m.Hook.CheckEmit(ref)
+			m.Res.Cycles += cost
+			m.Res.CheckCycles += cost
+			if hit {
+				return false, m.breakAt()
+			}
+		}
 	case OpHalt:
 		m.halted = true
 		return false, nil
@@ -188,21 +237,46 @@ func (m *Machine) Step() (bool, error) {
 	return !m.Done(), nil
 }
 
-// Exec runs one code sequence to completion on the bus, returning the
-// cycle count and the instrumentation events raised. Runtime errors
-// (division by zero, type errors) abort execution — the same contract as
-// the reference interpreter.
-func Exec(p *Program, code []Instr, bus Bus) (ExecResult, error) {
-	m := NewMachine(p, code, bus)
+// breakAt records a break-hook hit at the current instruction and leaves
+// the PC pointing past it so a later Run continues after the hit.
+func (m *Machine) breakAt() error {
+	m.Res.BreakPC = m.PC
+	m.PC++
+	return nil
+}
+
+// Run steps the machine until the program completes, a runtime error
+// aborts it, or the break hook halts it (Res.BreakPC >= 0). Calling Run
+// again after a break continues from the instruction after the hit —
+// the resume path of the target-resident debugger.
+func (m *Machine) Run() (ExecResult, error) {
+	m.Res.BreakPC = -1
 	for {
 		more, err := m.Step()
 		if err != nil {
 			return m.Res, err
 		}
-		if !more {
+		if !more || m.Res.BreakPC >= 0 {
 			return m.Res, nil
 		}
 	}
+}
+
+// Exec runs one code sequence to completion on the bus, returning the
+// cycle count and the instrumentation events raised. Runtime errors
+// (division by zero, type errors) abort execution — the same contract as
+// the reference interpreter.
+func Exec(p *Program, code []Instr, bus Bus) (ExecResult, error) {
+	return ExecHook(p, code, bus, nil)
+}
+
+// ExecHook is Exec with a target-resident break hook attached; the run may
+// therefore stop early with Res.BreakPC >= 0 (the firmware suspends the
+// release and keeps the Machine for resumption).
+func ExecHook(p *Program, code []Instr, bus Bus, hook BreakHook) (ExecResult, error) {
+	m := NewMachine(p, code, bus)
+	m.Hook = hook
+	return m.Run()
 }
 
 func arithByte(op Op) byte {

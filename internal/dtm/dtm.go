@@ -13,10 +13,19 @@ package dtm
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 
 	"repro/internal/value"
 )
+
+// ErrSuspended is returned by Task.Execute when a target-resident debugger
+// halted the run mid-body (an on-target breakpoint or step hit). The
+// scheduler treats it as a suspension, not a failure: LastError stays
+// clear, no deadline miss is counted, and — crucially — the task's Output
+// (deadline latch) is NOT scheduled, so nothing publishes until the
+// debugger resumes and completes the release.
+var ErrSuspended = errors.New("dtm: execution suspended by debugger")
 
 // event is one scheduled callback.
 type event struct {
@@ -167,6 +176,16 @@ type Task struct {
 	Releases       uint64
 	DeadlineMisses uint64
 	LastError      error
+
+	// Response-time accounting: total and worst-case virtual execution
+	// cost per release. On-target breakpoint checks inflate the cost the
+	// VM reports, so debugger overhead shows up here — and, when a release
+	// overruns its deadline because of it, in DeadlineMisses and the
+	// jitter experiments.
+	ExecNs  uint64
+	WorstNs uint64
+	// Suspensions counts releases interrupted mid-body by ErrSuspended.
+	Suspensions uint64
 }
 
 // Validate checks the task's timing and hooks.
@@ -242,8 +261,16 @@ func (s *Scheduler) release(t *Task, now uint64) {
 	}
 	out, cost, err := t.Execute(now, in)
 	if err != nil {
+		if errors.Is(err, ErrSuspended) {
+			t.Suspensions++
+			return
+		}
 		t.LastError = err
 		return
+	}
+	t.ExecNs += cost
+	if cost > t.WorstNs {
+		t.WorstNs = cost
 	}
 	if cost > t.Deadline {
 		t.DeadlineMisses++

@@ -173,3 +173,27 @@ func AutoWatches(w *jtag.Watcher, prog *codegen.Program) error {
 	}
 	return nil
 }
+
+// StateCond translates a model-level "break when machine enters state S"
+// into a condition over the generated state symbol ("path.__state == i"),
+// evaluable by the target-resident breakpoint agent. machinePath is the
+// actor-qualified state machine block name ("heater.thermostat").
+func StateCond(sys *comdes.System, machinePath, state string) (string, error) {
+	dot := strings.IndexByte(machinePath, '.')
+	if dot < 0 {
+		return "", fmt.Errorf("engine: machine path %q is not actor.block", machinePath)
+	}
+	actor := sys.Actor(machinePath[:dot])
+	if actor == nil {
+		return "", fmt.Errorf("engine: no actor %q", machinePath[:dot])
+	}
+	sm, ok := actor.Net.Block(machinePath[dot+1:]).(*comdes.StateMachineFB)
+	if !ok {
+		return "", fmt.Errorf("engine: no state machine %q", machinePath)
+	}
+	idx, ok := sm.StateIndex(state)
+	if !ok {
+		return "", fmt.Errorf("engine: machine %s has no state %q", machinePath, state)
+	}
+	return fmt.Sprintf("%s.__state == %d", machinePath, idx), nil
+}

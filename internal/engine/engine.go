@@ -45,11 +45,32 @@ func (n *NopTarget) Resume() { n.halted = false }
 // Halted implements TargetControl.
 func (n *NopTarget) Halted() bool { return n.halted }
 
+// RemoteDebug is the slice of the active command interface through which
+// the session pushes debugging onto the target itself: arming and
+// clearing on-target condition breakpoints, stepping to the next model
+// event, and pause/resume. The target-resident agent then halts the board
+// *at the triggering instruction* instead of one frame round-trip later.
+// *SerialSource implements it; passive (JTAG) and replay sources do not,
+// so sessions over those fall back to host-side trace filtering.
+type RemoteDebug interface {
+	// SetBreak arms (or replaces) breakpoint id with an expression over
+	// target symbol names, compiled by the firmware via internal/expr.
+	SetBreak(id, cond string) error
+	// ClearBreak disarms breakpoint id.
+	ClearBreak(id string) error
+	// StepTarget resumes the target until its next model-level event.
+	StepTarget() error
+	// PauseTarget / ResumeTarget are the wire form of halt and resume.
+	PauseTarget() error
+	ResumeTarget() error
+}
+
 // SerialSource adapts the host side of the RS-232 link: it drains received
 // bytes through the streaming frame decoder.
 type SerialSource struct {
 	Port *serial.Port
 	dec  protocol.Decoder
+	seq  uint16
 }
 
 // NewSerialSource wraps a host serial port.
@@ -68,12 +89,39 @@ func (s *SerialSource) DecodeErrors() int { return s.dec.Errors }
 // variable read/write); the target firmware services it at its next run
 // slice and acknowledges with events.
 func (s *SerialSource) Send(in protocol.Instruction) error {
+	s.seq++
+	in.Seq = s.seq
 	wire, err := protocol.EncodeInstruction(in)
 	if err != nil {
 		return err
 	}
 	s.Port.Send(wire)
 	return nil
+}
+
+// SetBreak implements RemoteDebug.
+func (s *SerialSource) SetBreak(id, cond string) error {
+	return s.Send(protocol.Instruction{Type: protocol.InSetBreak, Source: id, Arg1: cond})
+}
+
+// ClearBreak implements RemoteDebug.
+func (s *SerialSource) ClearBreak(id string) error {
+	return s.Send(protocol.Instruction{Type: protocol.InClearBreak, Source: id})
+}
+
+// StepTarget implements RemoteDebug.
+func (s *SerialSource) StepTarget() error {
+	return s.Send(protocol.Instruction{Type: protocol.InStep})
+}
+
+// PauseTarget implements RemoteDebug.
+func (s *SerialSource) PauseTarget() error {
+	return s.Send(protocol.Instruction{Type: protocol.InPause})
+}
+
+// ResumeTarget implements RemoteDebug.
+func (s *SerialSource) ResumeTarget() error {
+	return s.Send(protocol.Instruction{Type: protocol.InResume})
 }
 
 // WatcherSource adapts the passive JTAG watch engine.
@@ -96,11 +144,29 @@ type Breakpoint struct {
 	OneShot bool
 	Enabled bool
 
-	Hits uint64
-	cond expr.Node
+	// TargetCond, when set, is a condition over *target symbol names*
+	// ("heater.thermostat.__state == 1"). If the session has a RemoteDebug
+	// channel the breakpoint is pushed onto the target-resident agent,
+	// which halts the board at the triggering instruction — before the
+	// deadline latch publishes and without waiting for an event frame to
+	// cross the line. Without a remote channel the Event/Source/Arg1/Cond
+	// pattern serves as the host-side (passive-trace) fallback.
+	TargetCond string
+
+	Hits     uint64
+	cond     expr.Node
+	onTarget bool
 }
 
+// OnTarget reports whether this breakpoint is armed on the target itself
+// rather than filtered host-side.
+func (b *Breakpoint) OnTarget() bool { return b.onTarget }
+
 func (b *Breakpoint) matches(ev protocol.Event) (bool, error) {
+	if b.onTarget {
+		// Checked by the target-resident agent; the hit arrives as EvBreak.
+		return false, nil
+	}
 	if !b.Enabled || b.Event != ev.Type {
 		return false, nil
 	}
@@ -144,6 +210,7 @@ type Session struct {
 
 	sources []EventSource
 	breaks  []*Breakpoint
+	remote  RemoteDebug
 	mode    Mode
 	paused  bool
 
@@ -173,15 +240,45 @@ func NewSession(g *core.GDM, target TargetControl) *Session {
 	}
 }
 
-// AddSource attaches an event source.
-func (s *Session) AddSource(src EventSource) { s.sources = append(s.sources, src) }
+// AddSource attaches an event source. A source that also offers remote
+// debugging (the active serial interface) becomes the session's RemoteDebug
+// channel, so later breakpoints prefer the target-resident agent.
+func (s *Session) AddSource(src EventSource) {
+	s.sources = append(s.sources, src)
+	if rd, ok := src.(RemoteDebug); ok && s.remote == nil {
+		s.remote = rd
+	}
+}
 
-// SetBreakpoint installs (or replaces) a model-level breakpoint.
+// UseRemote sets (or clears) the remote debugging channel explicitly.
+func (s *Session) UseRemote(rd RemoteDebug) { s.remote = rd }
+
+// Remote returns the session's remote debugging channel, nil when the
+// attached interfaces are passive.
+func (s *Session) Remote() RemoteDebug { return s.remote }
+
+// SetBreakpoint installs (or replaces) a model-level breakpoint. A
+// breakpoint carrying a TargetCond is pushed onto the target-resident
+// agent whenever a RemoteDebug channel is attached — preferred over
+// passive-trace filtering because the board then halts at the triggering
+// instruction instead of a frame round-trip later. Otherwise the event
+// pattern is matched host-side as before.
 func (s *Session) SetBreakpoint(bp Breakpoint) error {
 	if bp.ID == "" {
 		return fmt.Errorf("engine: breakpoint with empty id")
 	}
-	if bp.Event == protocol.EvInvalid {
+	if bp.TargetCond != "" {
+		if _, err := expr.Parse(bp.TargetCond); err != nil {
+			return fmt.Errorf("engine: breakpoint %s target condition: %w", bp.ID, err)
+		}
+		if s.remote != nil {
+			if err := s.remote.SetBreak(bp.ID, bp.TargetCond); err != nil {
+				return err
+			}
+			bp.onTarget = true
+		}
+	}
+	if bp.Event == protocol.EvInvalid && !bp.onTarget {
 		return fmt.Errorf("engine: breakpoint %s with no event type", bp.ID)
 	}
 	if bp.Cond != "" {
@@ -194,6 +291,14 @@ func (s *Session) SetBreakpoint(bp Breakpoint) error {
 	bp.Enabled = true
 	for i, ex := range s.breaks {
 		if ex.ID == bp.ID {
+			// Replacing an on-target breakpoint with a host-side one must
+			// disarm the stale condition on the agent (an on-target
+			// replacement already re-armed it via SetBreak above).
+			if ex.onTarget && !bp.onTarget && s.remote != nil {
+				if err := s.remote.ClearBreak(bp.ID); err != nil {
+					return err
+				}
+			}
 			s.breaks[i] = &bp
 			return nil
 		}
@@ -202,10 +307,16 @@ func (s *Session) SetBreakpoint(bp Breakpoint) error {
 	return nil
 }
 
-// ClearBreakpoint removes a breakpoint by id.
+// ClearBreakpoint removes a breakpoint by id, disarming it on the target
+// when it had been pushed there.
 func (s *Session) ClearBreakpoint(id string) error {
 	for i, ex := range s.breaks {
 		if ex.ID == id {
+			if ex.onTarget && s.remote != nil {
+				if err := s.remote.ClearBreak(id); err != nil {
+					return err
+				}
+			}
 			s.breaks = append(s.breaks[:i], s.breaks[i+1:]...)
 			return nil
 		}
@@ -219,30 +330,66 @@ func (s *Session) Breakpoints() []*Breakpoint { return s.breaks }
 // Paused reports whether the session (and target) is paused.
 func (s *Session) Paused() bool { return s.paused }
 
-// Pause halts the target and the GDM (the user's pause button).
+// Pause halts the target and the GDM (the user's pause button). With a
+// remote channel attached the wire is the authoritative control path —
+// exactly one InPause goes out and the board halts when it services it;
+// issuing a direct halt as well would leave a stale wire instruction
+// racing later Step/Continue calls. Without a remote the direct
+// TargetControl halts immediately.
 func (s *Session) Pause() {
 	s.paused = true
-	s.Target.Halt()
+	if s.remote != nil {
+		_ = s.remote.PauseTarget()
+	} else {
+		s.Target.Halt()
+	}
 	s.GDM.SetHalted(true)
 }
 
-// Continue resumes free-running execution.
+// Continue resumes free-running execution. A target suspended mid-release
+// by its on-target agent finishes the interrupted body (and its deferred
+// deadline latch) on resume. With a remote channel only the wire resume
+// is sent: a direct resume alongside it would leave a stale InResume in
+// flight that could blow past a second breakpoint the continuation hits.
 func (s *Session) Continue() {
 	s.paused = false
 	s.mode = ModeRun
 	s.LastBreak = nil
-	s.Target.Resume()
+	if s.remote != nil {
+		_ = s.remote.ResumeTarget()
+	} else {
+		s.Target.Resume()
+	}
 	s.GDM.SetHalted(false)
 }
 
-// Step resumes execution until the next model-level event, then pauses —
-// the paper's "model-level step-wise execution".
+// Step resumes execution until the next model-level event reaches the
+// host, then pauses — the paper's "model-level step-wise execution",
+// filtered host-side (events already in flight on the wire complete the
+// step). See StepTarget for the target-resident variant.
 func (s *Session) Step() {
 	s.paused = false
 	s.mode = ModeStep
 	s.LastBreak = nil
 	s.Target.Resume()
 	s.GDM.SetHalted(false)
+}
+
+// StepTarget asks the target-resident agent to run to the next model
+// event and halt there (InStep on the wire). Unlike Step, the halt
+// happens on the board at the event's emitting instruction; the session
+// pauses when the EvStepped confirmation arrives. Falls back to Step when
+// no remote channel is attached.
+func (s *Session) StepTarget() {
+	if s.remote == nil {
+		s.Step()
+		return
+	}
+	s.paused = false
+	s.mode = ModeRun
+	s.LastBreak = nil
+	s.GDM.SetHalted(false)
+	_ = s.remote.StepTarget()
 }
 
 // ProcessEvents drains every source, feeding events through translation,
@@ -267,15 +414,67 @@ func (s *Session) ProcessEvents(now uint64) (int, error) {
 			}
 			s.Handled++
 			n++
+			s.mirrorTargetHalt(ev)
 			if err := s.checkBreakpoints(ev, now); err != nil {
 				return n, err
 			}
-			if s.mode == ModeStep && !s.paused {
+			if s.mode == ModeStep && !s.paused && isModelEvent(ev.Type) {
 				s.pauseAt(now, nil)
 			}
 		}
 	}
 	return n, nil
+}
+
+// mirrorTargetHalt reacts to the target-resident agent's halt
+// notifications: on EvBreak the board already stopped at the triggering
+// instruction, so the session pauses and credits the matching breakpoint;
+// on EvStepped the requested step completed. The EvBreak record itself is
+// the trace marker (no synthetic EvBreakHit is appended — that marker
+// denotes a *host-side* halt decision).
+func (s *Session) mirrorTargetHalt(ev protocol.Event) {
+	switch ev.Type {
+	case protocol.EvBreak:
+		var hit *Breakpoint
+		for _, bp := range s.breaks {
+			if bp.ID == ev.Source {
+				bp.Hits++
+				if bp.OneShot {
+					// One-shot semantics for on-target breakpoints: the
+					// agent keeps conditions armed until cleared, so the
+					// host disarms it after the first hit.
+					bp.Enabled = false
+					if bp.onTarget && s.remote != nil {
+						_ = s.remote.ClearBreak(bp.ID)
+					}
+				}
+				hit = bp
+				break
+			}
+		}
+		s.paused = true
+		s.Target.Halt()
+		s.GDM.SetHalted(true)
+		s.LastBreak = hit
+	case protocol.EvStepped:
+		s.paused = true
+		s.Target.Halt()
+		s.GDM.SetHalted(true)
+		s.LastBreak = nil
+	}
+}
+
+// isModelEvent reports whether an event reflects model-level execution
+// progress. Lifecycle acks (Halted/Resumed), the boot Hello, halt
+// notifications and line diagnostics (EvOverrun drop reports) do not
+// complete a model-level step.
+func isModelEvent(t protocol.EventType) bool {
+	switch t {
+	case protocol.EvStateEnter, protocol.EvTransition, protocol.EvSignal,
+		protocol.EvTaskStart, protocol.EvTaskDeadline, protocol.EvWatch:
+		return true
+	}
+	return false
 }
 
 func (s *Session) checkBreakpoints(ev protocol.Event, now uint64) error {

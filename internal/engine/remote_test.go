@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/protocol"
+	"repro/internal/target"
+	"repro/internal/value"
+)
+
+// TestBreakpointPrefersOnTarget: a breakpoint carrying a TargetCond is
+// pushed onto the target-resident agent when the active interface is
+// attached; the board halts itself and the session mirrors the EvBreak
+// notification instead of filtering the event stream.
+func TestBreakpointPrefersOnTarget(t *testing.T) {
+	sys := heaterSystem(t)
+	g := buildGDM(t, sys, MinimalCOMDESMapping())
+	b := activeBoard(t, sys)
+	s := NewSession(g, b)
+	s.AddSource(NewSerialSource(b.HostPort()))
+	if s.Remote() == nil {
+		t.Fatal("serial source did not become the remote channel")
+	}
+
+	cond, err := StateCond(sys, "heater.ctrl", "Heating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond != "heater.ctrl.__state == 1" {
+		t.Fatalf("StateCond = %q", cond)
+	}
+	if err := s.SetBreakpoint(Breakpoint{
+		ID: "bp-target", Event: protocol.EvStateEnter, Source: "heater.ctrl", Arg1: "Heating",
+		TargetCond: cond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Breakpoints()[0].OnTarget() {
+		t.Fatal("breakpoint stayed host-side despite remote channel")
+	}
+
+	pump(t, s, b, 200_000_000, 1_000_000)
+	if !s.Paused() || !b.Halted() {
+		t.Fatal("on-target breakpoint did not halt")
+	}
+	if s.LastBreak == nil || s.LastBreak.ID != "bp-target" || s.LastBreak.Hits != 1 {
+		t.Fatalf("LastBreak = %+v", s.LastBreak)
+	}
+	if len(b.TargetBreaks()) != 1 || b.TargetBreaks()[0].Hits != 1 {
+		t.Fatalf("target agent state = %+v", b.TargetBreaks())
+	}
+	// The wire EvBreak is the trace marker; no synthetic host-side
+	// EvBreakHit is appended for a target-resident halt.
+	if n := s.Trace.OfType(protocol.EvBreak).Len(); n != 1 {
+		t.Errorf("EvBreak records = %d, want 1", n)
+	}
+	if n := s.Trace.OfType(protocol.EvBreakHit).Len(); n != 0 {
+		t.Errorf("EvBreakHit records = %d, want 0 for an on-target hit", n)
+	}
+
+	// ClearBreakpoint disarms the agent over the wire; Continue revives
+	// the board (the suspended release completes).
+	if err := s.ClearBreakpoint("bp-target"); err != nil {
+		t.Fatal(err)
+	}
+	s.Continue()
+	frozen := b.Cycles()
+	pump(t, s, b, b.Now()+20_000_000, 1_000_000)
+	if b.Cycles() <= frozen {
+		t.Fatal("continue did not revive the board")
+	}
+	if len(b.TargetBreaks()) != 0 {
+		t.Errorf("agent still armed after clear: %+v", b.TargetBreaks())
+	}
+}
+
+// TestStepTargetRunsToNextModelEvent: StepTarget sends InStep; the board
+// halts itself at its next model event and the session pauses on the
+// EvStepped confirmation. The fixture's 1 ms tasks saturate the default
+// 115200 line (frames queue for tens of virtual ms), so the board runs a
+// fast link to keep the confirmation round-trips inside the test horizon.
+func TestStepTargetRunsToNextModelEvent(t *testing.T) {
+	sys := heaterSystem(t)
+	g := buildGDM(t, sys, MinimalCOMDESMapping())
+	prog, err := codegen.Compile(sys, codegen.Options{
+		Instrument: codegen.Instrument{StateEnter: true, Transitions: true, Signals: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := target.NewBoard("main", prog, target.Config{Baud: 4_000_000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temp := 15.0
+	b.PreLatch = func(now uint64, actor string) {
+		if p, err := b.ReadOutput("heater", "power"); err == nil && p.Float() > 0 {
+			temp += 1.5
+		} else {
+			temp -= 1.0
+		}
+		_ = b.WriteInput("heater", "temp", value.F(temp))
+	}
+	s := NewSession(g, b)
+	s.AddSource(NewSerialSource(b.HostPort()))
+
+	// Pause travels over the wire (the remote channel is authoritative),
+	// so the board must keep running until it services the instruction.
+	s.Pause()
+	for i := 0; i < 10 && !b.Halted(); i++ {
+		b.RunFor(1_000_000)
+		if _, err := s.ProcessEvents(b.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !b.Halted() {
+		t.Fatal("pause did not halt the board")
+	}
+	for i := 0; i < 3; i++ {
+		s.StepTarget()
+		pump(t, s, b, b.Now()+50_000_000, 1_000_000)
+		if !s.Paused() {
+			t.Fatalf("step %d did not pause the session", i+1)
+		}
+		if !b.Halted() {
+			t.Fatalf("step %d left the board running", i+1)
+		}
+	}
+	if n := s.Trace.OfType(protocol.EvStepped).Len(); n != 3 {
+		t.Errorf("EvStepped records = %d, want 3", n)
+	}
+}
+
+// TestStepTargetFallsBackWithoutRemote: on a passive session StepTarget
+// degrades to host-side step mode.
+func TestStepTargetFallsBackWithoutRemote(t *testing.T) {
+	sys := heaterSystem(t)
+	g := buildGDM(t, sys, MinimalCOMDESMapping())
+	s := NewSession(g, nil)
+	src := &benchlikeSource{ev: protocol.Event{Type: protocol.EvStateEnter, Source: "heater.ctrl", Arg1: "Heating"}}
+	s.AddSource(src)
+	s.StepTarget() // no remote: behaves as Step()
+	if _, err := s.ProcessEvents(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Paused() {
+		t.Fatal("fallback step did not pause on the next event")
+	}
+}
+
+type benchlikeSource struct{ ev protocol.Event }
+
+func (f *benchlikeSource) Poll(uint64) []protocol.Event {
+	if f.ev.Type == protocol.EvInvalid {
+		return nil
+	}
+	ev := f.ev
+	f.ev = protocol.Event{}
+	return []protocol.Event{ev}
+}
+
+// TestOnTargetBreakpointLifecycle: replacing an on-target breakpoint with
+// a host-side one disarms the stale agent condition, and a OneShot
+// on-target breakpoint is disarmed after its first hit.
+func TestOnTargetBreakpointLifecycle(t *testing.T) {
+	sys := heaterSystem(t)
+	g := buildGDM(t, sys, MinimalCOMDESMapping())
+	b := activeBoard(t, sys)
+	s := NewSession(g, b)
+	s.AddSource(NewSerialSource(b.HostPort()))
+
+	cond, err := StateCond(sys, "heater.ctrl", "Heating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm on-target (a condition that never trips, so the board keeps
+	// running), then replace with a pure host-side pattern: the agent
+	// must be disarmed, not left with the stale condition.
+	if err := s.SetBreakpoint(Breakpoint{ID: "bp", Event: protocol.EvStateEnter, TargetCond: "heater.ctrl.__state == 99"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBreakpoint(Breakpoint{ID: "bp", Event: protocol.EvTaskStart, Source: "never"}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunFor(10_000_000)
+	if n := len(b.TargetBreaks()); n != 0 {
+		t.Fatalf("stale agent condition after host-side replacement: %+v", b.TargetBreaks())
+	}
+	if err := s.ClearBreakpoint("bp"); err != nil {
+		t.Fatal(err)
+	}
+
+	// OneShot on-target: first hit disables the host record and disarms
+	// the agent, so Continue runs free.
+	if err := s.SetBreakpoint(Breakpoint{ID: "once", Event: protocol.EvStateEnter, TargetCond: cond, OneShot: true}); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, s, b, 200_000_000, 1_000_000)
+	if !s.Paused() || s.LastBreak == nil || s.LastBreak.ID != "once" {
+		t.Fatal("one-shot breakpoint did not hit")
+	}
+	if s.LastBreak.Enabled {
+		t.Error("one-shot breakpoint still enabled after the hit")
+	}
+	s.Continue()
+	// Drive until the clear+resume cross the wire and the agent disarms.
+	for i := 0; i < 100 && (len(b.TargetBreaks()) != 0 || b.Halted()); i++ {
+		b.RunFor(1_000_000)
+		if _, err := s.ProcessEvents(b.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(b.TargetBreaks()) != 0 {
+		t.Fatalf("one-shot condition still armed: %+v", b.TargetBreaks())
+	}
+	if b.Halted() {
+		t.Fatal("board did not resume after the one-shot hit")
+	}
+	if s.LastBreak != nil && s.LastBreak.Hits != 1 {
+		t.Errorf("hits = %d, want 1", s.LastBreak.Hits)
+	}
+}

@@ -42,10 +42,13 @@ const (
 	EvSignal                 // Source = signal name, Value = new value
 	EvTaskStart              // Source = task name (input latch instant)
 	EvTaskDeadline           // Source = task name (output latch instant)
-	EvBreakHit               // Source = breakpoint id; target auto-halted
+	EvBreakHit               // Source = breakpoint id; host-side halt marker (after the frame crossed the line)
 	EvHalted                 // target confirms pause
 	EvResumed                // target confirms resume
 	EvWatch                  // Source = watched symbol, Arg1 = old, Arg2 = new, Value = new numeric
+	EvBreak                  // target-resident breakpoint hit: Source = bp id, Arg1 = triggering symbol, Value = its value; target halted at the instruction
+	EvStepped                // target-resident step completed: Source = board, Arg1 = model event source; target halted
+	EvOverrun                // target-side UART drop counter: Source = board, Value = cumulative frames dropped
 )
 
 // String names the event type for traces and logs.
@@ -71,6 +74,12 @@ func (t EventType) String() string {
 		return "Resumed"
 	case EvWatch:
 		return "Watch"
+	case EvBreak:
+		return "Break"
+	case EvStepped:
+		return "Stepped"
+	case EvOverrun:
+		return "Overrun"
 	default:
 		return fmt.Sprintf("EventType(%d)", t)
 	}
@@ -98,6 +107,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d ns] %s = %g", e.Time, e.Source, e.Value)
 	case EvWatch:
 		return fmt.Sprintf("[%d ns] watch %s: %s -> %s", e.Time, e.Source, e.Arg1, e.Arg2)
+	case EvBreak:
+		return fmt.Sprintf("[%d ns] break %s: %s = %g", e.Time, e.Source, e.Arg1, e.Value)
+	case EvOverrun:
+		return fmt.Sprintf("[%d ns] overrun %s: %g frames dropped", e.Time, e.Source, e.Value)
 	default:
 		return fmt.Sprintf("[%d ns] %s %s", e.Time, e.Type, e.Source)
 	}

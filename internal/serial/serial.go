@@ -21,8 +21,15 @@ const bitsPerByte = 10
 type Stats struct {
 	Bytes    uint64 // bytes fully delivered
 	BusyNs   uint64 // total line-busy time
-	Dropped  uint64 // bytes dropped on overflow
+	Dropped  uint64 // bytes dropped on overflow (whole rejected sends)
 	Overruns uint64 // occasions the sender found the queue full
+
+	// FramesDropped counts whole Send calls rejected by the frame-atomic
+	// enqueue policy: a frame either fits in the FIFO entirely or is
+	// dropped entirely, so the wire never carries a torn frame. The
+	// target reports the counter host-side via an EvOverrun event,
+	// making E7b's delivered/emitted gap observable on the wire.
+	FramesDropped uint64
 }
 
 // Link is a point-to-point full-duplex serial line between port A (target)
@@ -101,15 +108,24 @@ func (l *Link) Advance(now uint64) {
 	}
 }
 
-// send enqueues data in direction d at the current time.
+// send enqueues data in direction d at the current time. Enqueue is
+// frame-atomic: one Send call is one frame, and a frame that does not fit
+// in the remaining FIFO space is dropped whole (counted in Dropped,
+// Overruns and FramesDropped) rather than torn mid-frame. A saturated
+// link therefore loses complete frames — observable and countable — never
+// a frame prefix that would poison the decoder's CRC.
 func (l *Link) send(d int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
 	dir := &l.dirs[d]
+	if len(dir.queue)+len(data) > l.limit {
+		dir.stats.Dropped += uint64(len(data))
+		dir.stats.Overruns++
+		dir.stats.FramesDropped++
+		return
+	}
 	for _, b := range data {
-		if len(dir.queue) >= l.limit {
-			dir.stats.Dropped++
-			dir.stats.Overruns++
-			continue
-		}
 		start := dir.lineFree
 		if start < l.now {
 			start = l.now
@@ -131,6 +147,9 @@ func (l *Link) recv(d int) []byte {
 
 // busyUntil reports when direction d's line is free.
 func (l *Link) busyUntil(d int) uint64 { return l.dirs[d].lineFree }
+
+// free reports the remaining FIFO space in direction d.
+func (l *Link) free(d int) int { return l.limit - len(l.dirs[d].queue) }
 
 // Port is one endpoint of the link.
 type Port struct {
@@ -157,3 +176,8 @@ func (p *Port) BusyUntil() uint64 { return p.l.busyUntil(p.out) }
 
 // Stats returns this port's transmit-direction statistics.
 func (p *Port) Stats() Stats { return p.l.dirs[p.out].stats }
+
+// Free reports the remaining transmit FIFO space in bytes; the firmware
+// uses it to hold back its drop-counter report until it can actually fit
+// on the wire.
+func (p *Port) Free() int { return p.l.free(p.out) }

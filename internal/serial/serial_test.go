@@ -113,21 +113,40 @@ func TestTimeNeverMovesBackwards(t *testing.T) {
 	}
 }
 
-func TestOverflowDropsBytes(t *testing.T) {
+func TestOverflowDropsWholeFrames(t *testing.T) {
 	l := MustLink(9600)
 	a := l.PortA()
-	big := make([]byte, 5000)
-	a.Send(big)
+	// A frame that can never fit is rejected whole — nothing is torn.
+	a.Send(make([]byte, 5000))
 	st := a.Stats()
-	if st.Dropped != 5000-4096 {
-		t.Errorf("Dropped = %d, want %d", st.Dropped, 5000-4096)
+	if st.Dropped != 5000 || st.FramesDropped != 1 {
+		t.Errorf("oversized frame: Dropped = %d FramesDropped = %d, want 5000/1", st.Dropped, st.FramesDropped)
 	}
 	if st.Overruns == 0 {
 		t.Error("overruns not recorded")
 	}
+	// 100-byte frames: 40 fill the 4096-byte FIFO exactly (4000 bytes in
+	// flight), the 41st is dropped whole, and delivery carries complete
+	// frames only.
+	for i := 0; i < 41; i++ {
+		a.Send(make([]byte, 100))
+	}
+	st = a.Stats()
+	if st.FramesDropped != 2 {
+		t.Errorf("FramesDropped = %d, want 2", st.FramesDropped)
+	}
+	if st.Dropped != 5000+100 {
+		t.Errorf("Dropped = %d, want %d", st.Dropped, 5000+100)
+	}
+	if a.Free() != 4096-4000 {
+		t.Errorf("Free = %d, want 96", a.Free())
+	}
 	l.Advance(1 << 62)
-	if got := l.PortB().Recv(); len(got) != 4096 {
-		t.Errorf("delivered %d bytes, want 4096", len(got))
+	if got := l.PortB().Recv(); len(got) != 4000 {
+		t.Errorf("delivered %d bytes, want 4000 (40 whole frames)", len(got))
+	}
+	if a.Free() != 4096 {
+		t.Errorf("Free after drain = %d, want 4096", a.Free())
 	}
 }
 

@@ -77,6 +77,13 @@ type Board struct {
 	instr    uint64
 	lastErr  error
 
+	// agent is the target-resident breakpoint/step agent; susp holds a
+	// release interrupted mid-body by it (resumed by Resume/InResume).
+	agent *breakAgent
+	susp  *suspended
+	// dropsSeen is the last FramesDropped count reported over the wire.
+	dropsSeen uint64
+
 	// preRelease is the cluster's chance to refresh network-fed inputs
 	// before the user PreLatch hook and input latching run.
 	preRelease func(now uint64, actor string)
@@ -121,6 +128,7 @@ func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel
 		outPorts: map[string][]string{},
 		routes:   map[string][]comdes.Binding{},
 	}
+	b.agent = &breakAgent{b: b}
 	b.TAP = jtag.NewTAP(cfg.IDCode, boardRAM{b}, nil)
 	for _, bind := range cfg.Bindings {
 		b.routes[bind.FromActor] = append(b.routes[bind.FromActor], bind)
@@ -205,11 +213,20 @@ func (b *Board) HostPort() *serial.Port { return b.portB }
 // Halt implements engine.TargetControl: task releases are suspended (the
 // release rhythm is kept, so Resume stays on the period grid). Outputs
 // already latched keep their deadline instants, matching a CPU halted
-// between task instances.
+// between task instances. Halt is idempotent; a board already suspended
+// at a breakpoint simply stays halted.
 func (b *Board) Halt() { b.sched.Halt() }
 
-// Resume implements engine.TargetControl.
-func (b *Board) Resume() { b.sched.Resume() }
+// Resume implements engine.TargetControl. If the board was suspended
+// mid-release by the breakpoint agent, the interrupted body runs to
+// completion first (it may immediately hit another breakpoint and
+// re-suspend) and the skipped deadline latch is made up: at the original
+// deadline instant when that is still in the future, otherwise
+// immediately — a late publish, as on a real halted CPU.
+func (b *Board) Resume() {
+	b.sched.Resume()
+	b.runSuspended()
+}
 
 // Halted implements engine.TargetControl.
 func (b *Board) Halted() bool { return b.sched.Halted() }

@@ -3,6 +3,8 @@ package target
 import (
 	"testing"
 
+	"repro/internal/protocol"
+	"repro/internal/value"
 	"repro/models"
 )
 
@@ -145,5 +147,111 @@ func TestClusterDefaultLatency(t *testing.T) {
 	cl := distCluster(t, 0)
 	if cl.Net.LatencyNs != DefaultLatencyNs {
 		t.Errorf("default latency = %d, want %d", cl.Net.LatencyNs, DefaultLatencyNs)
+	}
+}
+
+// TestClusterRemoteNodeBreak arms an on-target breakpoint over a remote
+// node's UART: the breakpoint must halt *that node's board* while its
+// siblings (sharing the same kernel) keep executing.
+func TestClusterRemoteNodeBreak(t *testing.T) {
+	cl := distCluster(t, 300_000)
+	nodeA, nodeB := cl.Boards["nodeA"], cl.Boards["nodeB"]
+	sendIn(t, nodeB, protocol.Instruction{Type: protocol.InSetBreak, Source: "remote-bp", Arg1: "consumer.v >= 8"})
+	var dec protocol.Decoder
+	var breakEv *protocol.Event
+	for i := 0; i < 100 && breakEv == nil; i++ {
+		cl.RunUntil(cl.Now() + 1_000_000)
+		evs, _ := dec.Feed(nodeB.HostPort().Recv())
+		for _, ev := range evs {
+			if ev.Type == protocol.EvBreak {
+				ev := ev
+				breakEv = &ev
+			}
+		}
+	}
+	if breakEv == nil {
+		t.Fatal("remote node never hit the breakpoint")
+	}
+	if !nodeB.Halted() {
+		t.Fatal("nodeB not halted at its breakpoint")
+	}
+	if nodeA.Halted() {
+		t.Fatal("breakpoint on nodeB halted nodeA")
+	}
+	if breakEv.Source != "remote-bp" {
+		t.Errorf("EvBreak source = %q", breakEv.Source)
+	}
+	// The rest of the cluster keeps running on the shared clock.
+	frozenB, runningA := nodeB.Cycles(), nodeA.Cycles()
+	cl.RunUntil(cl.Now() + 20_000_000)
+	if nodeB.Cycles() != frozenB {
+		t.Error("halted node kept executing")
+	}
+	if nodeA.Cycles() <= runningA {
+		t.Error("sibling node stopped executing")
+	}
+	// Clear + resume over the same wire revives the node.
+	sendIn(t, nodeB, protocol.Instruction{Type: protocol.InClearBreak, Source: "remote-bp"})
+	sendIn(t, nodeB, protocol.Instruction{Type: protocol.InResume})
+	cl.RunUntil(cl.Now() + 10_000_000)
+	if nodeB.Halted() {
+		t.Fatal("remote resume not serviced")
+	}
+	// The resume was serviced at the window's final sync; the next window
+	// runs the revived release schedule.
+	cl.RunUntil(cl.Now() + 10_000_000)
+	if nodeB.Cycles() <= frozenB {
+		t.Error("resume did not restart the node")
+	}
+	for _, n := range cl.Nodes() {
+		if err := cl.Boards[n].Err(); err != nil {
+			t.Errorf("node %s error: %v", n, err)
+		}
+	}
+}
+
+// TestClusterCrossNodeRelatch pins the re-latching rule: a host-injected
+// __io value on a consumer input is overwritten from the node's inbox
+// store at the very next release, so stale injections cannot outlive one
+// period when a network value exists — reference interpreter semantics.
+func TestClusterCrossNodeRelatch(t *testing.T) {
+	cl := distCluster(t, 300_000)
+	nodeB := cl.Boards["nodeB"]
+	ioIdx, ok := nodeB.Prog.Symbols.Index("consumer.v__io")
+	if !ok {
+		t.Fatal("consumer __io symbol missing")
+	}
+	latchedIdx, ok := nodeB.Prog.Symbols.Index("consumer.v")
+	if !ok {
+		t.Fatal("consumer latched symbol missing")
+	}
+	// Let a few network deliveries land first.
+	cl.RunUntil(10_000_000)
+	before, err := nodeB.LoadSym(latchedIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Float() == 0 {
+		t.Fatal("no network value crossed before injection")
+	}
+	// Inject a bogus value into the __io slot mid-period.
+	if err := nodeB.WriteInput("consumer", "v", value.F(999)); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := nodeB.LoadSym(ioIdx)
+	if v.Float() != 999 {
+		t.Fatalf("injection did not land: %v", v)
+	}
+	// Consumer releases at 1.5 ms + k·2 ms; run across the next release.
+	cl.RunUntil(12_000_000)
+	got, err := nodeB.LoadSym(latchedIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float() == 999 {
+		t.Fatal("stale injected value survived the release re-latch")
+	}
+	if got.Float() < before.Float() {
+		t.Errorf("latched ramp went backwards: %v -> %v", before, got)
 	}
 }

@@ -42,6 +42,41 @@
 // target cycles, so a Watcher can animate the debugger model with no code
 // modification at all.
 //
+// # Breakpoint agent
+//
+// The firmware carries a target-resident breakpoint/step agent. InSetBreak
+// instructions deliver a condition as expression text ("m.__state == 1",
+// "heater.power__pub > 90"); the agent compiles it against the program's
+// symbol table (internal/expr) and evaluates it — at codegen.BreakCheckCycles
+// of CPU per predicate, charged as instrumentation — at three check sites:
+// every VM symbol store, every VM model-event emit, and every deadline
+// publish. InClearBreak disarms; InStep arms run-to-next-model-event.
+//
+// Halt semantics differ fundamentally from host-side breakpoints:
+//
+//   - On-target (halt-at-instruction): a hit stops the VM at the very
+//     instruction that changed the symbol or raised the event, mid-release.
+//     The release is suspended (dtm.ErrSuspended), so its deadline latch
+//     does NOT publish; an EvBreak frame stamped with the instruction's
+//     virtual time reports the source id and triggering symbol/value
+//     (EvStepped for a completed step). Resume finishes the interrupted
+//     body — re-suspending if a still-true condition re-trips — and makes
+//     up the skipped latch at its original deadline instant when that is
+//     still ahead, immediately (a late publish) otherwise.
+//   - Host-side (halt-after-frame): the session can only react once the
+//     event frame has crossed the UART (or a JTAG poll has sampled RAM),
+//     at least one frame-time after the fact. By then the release body has
+//     completed and the deadline latch fires on schedule; the halt lands
+//     between task instances.
+//
+// While a board is halted, pre-latched deadlines still fire (outputs keep
+// their deadline instants) but do not re-trigger the agent.
+//
+// The serial TX FIFO enqueues frame-atomically: a frame that does not fit
+// is dropped whole and counted, and the firmware reports the cumulative
+// drop counter host-side with an EvOverrun event as soon as the line has
+// room — E7b's delivered/emitted gap, observable on the wire.
+//
 // # Cluster
 //
 // BuildCluster places a multi-node system (comdes Placement) onto one

@@ -2,6 +2,7 @@ package target
 
 import (
 	"repro/internal/codegen"
+	"repro/internal/dtm"
 	"repro/internal/protocol"
 	"repro/internal/value"
 )
@@ -36,14 +37,80 @@ func (b *Board) release(u *codegen.Unit, now uint64) {
 
 // execute runs the unit body on the VM, accounts cycles and sends any
 // instrumentation events raised by OpEmit. It returns the virtual
-// execution cost so the scheduler can detect deadline overruns.
+// execution cost so the scheduler can detect deadline overruns. When the
+// breakpoint agent halts the VM mid-body, the release is suspended: the
+// machine is kept for resumption, an EvBreak/EvStepped frame stamped with
+// the triggering instruction's virtual time goes on the wire, and
+// dtm.ErrSuspended tells the scheduler to skip the deadline latch.
 func (b *Board) execute(u *codegen.Unit, now uint64) (uint64, error) {
-	res, err := codegen.Exec(b.Prog, u.Body, b)
+	m := codegen.NewMachine(b.Prog, u.Body, b)
+	m.Hook = b.agent.hook()
+	res, err := m.Run()
 	b.account(res)
 	b.flushEmits(now, res.Emits)
-	// Full-precision cycle -> time conversion (per run, so CPUHz values
-	// that do not divide 1e9 — or exceed it — stay accurate).
-	return res.Cycles * 1_000_000_000 / b.cfg.CPUHz, err
+	cost := b.cyclesToNs(res.Cycles)
+	if err != nil {
+		return cost, err
+	}
+	if res.BreakPC >= 0 {
+		b.susp = &suspended{u: u, m: m, rel: now, prev: res}
+		b.sched.Halt()
+		b.send(b.agent.hitEvent(now + cost))
+		return cost, dtm.ErrSuspended
+	}
+	return cost, nil
+}
+
+// cyclesToNs is the full-precision cycle -> time conversion (per run, so
+// CPUHz values that do not divide 1e9 — or exceed it — stay accurate).
+func (b *Board) cyclesToNs(cycles uint64) uint64 {
+	return cycles * 1_000_000_000 / b.cfg.CPUHz
+}
+
+// suspended is one release interrupted mid-body by the breakpoint agent.
+type suspended struct {
+	u    *codegen.Unit
+	m    *codegen.Machine
+	rel  uint64             // release instant
+	prev codegen.ExecResult // portion already accounted and flushed
+}
+
+// runSuspended finishes a release interrupted by the breakpoint agent:
+// the VM continues from the instruction after the hit, newly raised emits
+// and cycles are accounted as a delta, and the deadline latch that
+// dtm.ErrSuspended skipped is made up. Re-hitting a breakpoint during the
+// continuation re-suspends.
+func (b *Board) runSuspended() {
+	if b.susp == nil || b.sched.Halted() {
+		return
+	}
+	s := b.susp
+	s.m.Hook = b.agent.hook() // breakpoints may have changed while halted
+	res, err := s.m.Run()
+	now := b.kernel.Now()
+	b.cycles += res.Cycles - s.prev.Cycles
+	b.instr += res.CheckCycles - s.prev.CheckCycles
+	newEmits := res.Emits[len(s.prev.Emits):]
+	b.instr += uint64(len(newEmits)) * codegen.EmitCycles
+	b.flushEmits(now, newEmits)
+	if err != nil {
+		b.susp = nil
+		b.fail(err)
+		return
+	}
+	if res.BreakPC >= 0 {
+		s.prev = res
+		b.sched.Halt()
+		b.send(b.agent.hitEvent(now))
+		return
+	}
+	b.susp = nil
+	u, rel := s.u, s.rel
+	if d := rel + u.Deadline; d > now {
+		_ = b.kernel.Schedule(d, func(n uint64) { b.deadline(u, n) })
+	} else {
+		b.deadline(u, now)
+	}
 }
 
 // deadline runs at the task's deadline instant: working outputs are
@@ -53,6 +120,7 @@ func (b *Board) execute(u *codegen.Unit, now uint64) (uint64, error) {
 // consumers.
 func (b *Board) deadline(u *codegen.Unit, now uint64) {
 	b.Link.Advance(now)
+	b.reportDrops(now)
 	for _, lp := range u.OutLatch {
 		v, err := b.LoadSym(lp.Work)
 		if err != nil {
@@ -102,13 +170,39 @@ func (b *Board) deadline(u *codegen.Unit, now uint64) {
 			}
 		}
 	}
+	// The publish site is the third breakpoint check point (after the VM's
+	// store and emit sites): conditions over __pub symbols and freshly
+	// delivered bindings trip here, and a pending step completes — the
+	// deadline latch *is* a model event (signal publication), so stepping
+	// works even on a completely clean, uninstrumented build. A board that
+	// is already halted only drains pre-latched deadlines; those must not
+	// re-trigger the agent.
+	if b.sched.Halted() {
+		return
+	}
+	if len(b.agent.bps) > 0 {
+		hit, cost := b.agent.check(u.Name, value.Value{}, false)
+		b.cycles += cost
+		b.instr += cost
+		if hit {
+			b.sched.Halt()
+			b.send(b.agent.hitEvent(now))
+			return
+		}
+	}
+	if b.agent.stepArm {
+		b.agent.stepArm = false
+		b.sched.Halt()
+		b.send(protocol.Event{Type: protocol.EvStepped, Time: now, Source: b.Name, Arg1: u.Name})
+	}
 }
 
 // account folds one VM run into the cycle counters. Every OpEmit the run
-// executed is instrumentation overhead.
+// executed — and every breakpoint predicate it evaluated — is
+// instrumentation overhead.
 func (b *Board) account(res codegen.ExecResult) {
 	b.cycles += res.Cycles
-	b.instr += uint64(len(res.Emits)) * codegen.EmitCycles
+	b.instr += uint64(len(res.Emits))*codegen.EmitCycles + res.CheckCycles
 }
 
 // flushEmits turns the VM's pending emit refs into wire frames.
@@ -143,21 +237,54 @@ func (b *Board) send(ev protocol.Event) {
 	b.portA.Send(wire)
 }
 
-// sync advances the UART line to now and services any host instructions
-// that have fully arrived. Called at task releases and RunFor boundaries;
-// the latter keeps a halted target responsive to a remote Resume.
+// sync advances the UART line to now, reports any newly dropped frames,
+// and services host instructions that have fully arrived. Called at task
+// releases and RunFor boundaries; the latter keeps a halted target
+// responsive to a remote Resume.
 func (b *Board) sync(now uint64) {
 	b.Link.Advance(now)
+	b.reportDrops(now)
 	_, ins := b.dec.Feed(b.portA.Recv())
 	for _, in := range ins {
 		b.service(in, now)
 	}
 }
 
+// reportDrops publishes the TX drop counter when it has grown since the
+// last report — the target-side evidence of E7b's delivered/emitted gap.
+// The report is held back until the FIFO has room for its exact frame, so
+// the report itself is never the next casualty of the saturation it
+// describes; it runs before the deadline sites emit new signal frames, so
+// a permanently saturated line still gets the counter out.
+func (b *Board) reportDrops(now uint64) {
+	st := b.portA.Stats()
+	if st.FramesDropped == b.dropsSeen {
+		return
+	}
+	b.seq++
+	ev := protocol.Event{
+		Type: protocol.EvOverrun, Seq: b.seq, Time: now, Source: b.Name,
+		Arg1: "frames", Value: float64(st.FramesDropped),
+	}
+	wire, err := protocol.EncodeEvent(ev)
+	if err != nil {
+		b.seq--
+		b.fail(err)
+		return
+	}
+	if b.portA.Free() < len(wire) {
+		b.seq-- // hold the report (and its sequence slot) for later
+		return
+	}
+	b.dropsSeen = st.FramesDropped
+	b.portA.Send(wire)
+}
+
 // service executes one GDM -> target instruction and acknowledges with an
-// event. Model-level breakpoints and stepping live host-side in this
-// reproduction, so InStep/InSetBreak/InClearBreak are accepted and
-// ignored.
+// event. Since the target-resident agent exists, InSetBreak/InClearBreak
+// arm and disarm on-target condition breakpoints and InStep runs to the
+// next model-level event — model-level debugging no longer needs a host
+// round-trip to halt the board.
 func (b *Board) service(in protocol.Instruction, now uint64) {
 	switch in.Type {
 	case protocol.InPause:
@@ -165,7 +292,21 @@ func (b *Board) service(in protocol.Instruction, now uint64) {
 		b.send(protocol.Event{Type: protocol.EvHalted, Time: now, Source: b.Name})
 	case protocol.InResume:
 		b.sched.Resume()
+		b.runSuspended()
 		b.send(protocol.Event{Type: protocol.EvResumed, Time: now, Source: b.Name})
+	case protocol.InStep:
+		// Run-to-next-model-event: arm the step, then resume. A release
+		// suspended at a breakpoint continues first and may complete the
+		// step immediately at its next emit.
+		b.agent.stepArm = true
+		b.sched.Resume()
+		b.runSuspended()
+	case protocol.InSetBreak:
+		// A malformed condition is dropped on the floor like any damaged
+		// instruction; the host validated the expression before sending.
+		_ = b.agent.set(in.Source, in.Arg1)
+	case protocol.InClearBreak:
+		b.agent.clear(in.Source)
 	case protocol.InReadVar:
 		b.ackWatch(in.Source, now)
 	case protocol.InWriteVar:

@@ -538,3 +538,45 @@ func TestNewBoardValidation(t *testing.T) {
 		t.Errorf("default baud = %d", b.Link.Baud())
 	}
 }
+
+// TestSaturationReportsDropCounter: when the frame-atomic TX policy drops
+// whole frames on FIFO saturation, the firmware reports the cumulative
+// drop counter host-side with an EvOverrun event as soon as the line has
+// room — E7b's delivered/emitted gap becomes observable on the wire.
+func TestSaturationReportsDropCounter(t *testing.T) {
+	b := heatingBoard(t, fullInstrument, Config{Baud: 9600})
+	var dec protocol.Decoder
+	var overruns []protocol.Event
+	for i := 0; i < 6000; i++ {
+		b.RunFor(1_000_000)
+		evs, _ := dec.Feed(b.HostPort().Recv())
+		for _, ev := range evs {
+			if ev.Type == protocol.EvOverrun {
+				overruns = append(overruns, ev)
+			}
+		}
+	}
+	st := b.Link.PortA().Stats()
+	if st.FramesDropped == 0 {
+		t.Fatal("9600 baud under full instrumentation never saturated")
+	}
+	if st.Dropped == 0 || st.Dropped%uint64(1) != 0 {
+		t.Fatalf("byte drop stats inconsistent: %+v", st)
+	}
+	if len(overruns) == 0 {
+		t.Fatal("no EvOverrun report reached the host")
+	}
+	last := overruns[len(overruns)-1]
+	if last.Source != "main" || last.Arg1 != "frames" {
+		t.Errorf("overrun event fields = %+v", last)
+	}
+	if uint64(last.Value) == 0 || uint64(last.Value) > st.FramesDropped {
+		t.Errorf("reported %g dropped frames, stats say %d", last.Value, st.FramesDropped)
+	}
+	// Monotone cumulative counter.
+	for i := 1; i < len(overruns); i++ {
+		if overruns[i].Value < overruns[i-1].Value {
+			t.Fatalf("drop counter went backwards: %g -> %g", overruns[i-1].Value, overruns[i].Value)
+		}
+	}
+}

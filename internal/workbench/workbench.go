@@ -283,3 +283,25 @@ func (w *Wizard) Attach(target engine.TargetControl, sources ...engine.EventSour
 
 // Session returns the live session (step 5).
 func (w *Wizard) Session() *engine.Session { return w.session }
+
+// SetBreakpoint installs a model-level breakpoint on the live session
+// (step 5). When the communication channel established in Attach is the
+// active serial interface and the breakpoint carries a TargetCond, it is
+// pushed onto the target-resident agent — the board then halts at the
+// triggering instruction instead of after the event frame crosses the
+// line; otherwise the event pattern is filtered host-side.
+func (w *Wizard) SetBreakpoint(bp engine.Breakpoint) error {
+	if err := w.requireStep(StepDebugging); err != nil {
+		return err
+	}
+	return w.session.SetBreakpoint(bp)
+}
+
+// ClearBreakpoint removes a session breakpoint, disarming it on the
+// target when it had been pushed there.
+func (w *Wizard) ClearBreakpoint(id string) error {
+	if err := w.requireStep(StepDebugging); err != nil {
+		return err
+	}
+	return w.session.ClearBreakpoint(id)
+}
