@@ -220,6 +220,19 @@ func (d *Debugger) BreakOnState(id, machine, state string) error {
 	return d.Session.SetBreakpoint(bp)
 }
 
+// BreakOnDeadlineMiss arms the standard deadline-overrun breakpoint for an
+// actor. Over the active interface the condition runs on the target's
+// kernel scheduling counter (`actor.__misses`) and halts the board at the
+// latch instant of the missing release; on passive sessions the
+// EvDeadlineMiss events synthesised from the JTAG-watched counter are
+// filtered host-side.
+func (d *Debugger) BreakOnDeadlineMiss(id, actor string) error {
+	if _, err := engine.MissCond(d.Sys, actor); err != nil {
+		return err
+	}
+	return d.Session.SetBreakpoint(engine.MissBreakpoint(id, actor))
+}
+
 // RenderSVG renders the current animated model view.
 func (d *Debugger) RenderSVG() string { return d.GDM.Scene().SVG() }
 

@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dtm"
 	"repro/internal/engine"
 	"repro/internal/plant"
 	"repro/internal/protocol"
@@ -29,7 +30,10 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
-const goldenTracePath = "testdata/heating_trace.golden"
+const (
+	goldenTracePath   = "testdata/heating_trace.golden"
+	goldenPreemptPath = "testdata/preempt_trace.golden"
+)
 
 // goldenScenario replays the examples/heating debugging session
 // deterministically: virtual time only, fixed plant, fixed breakpoint.
@@ -90,25 +94,23 @@ func formatTrace(d *Debugger) string {
 	return sb.String()
 }
 
-func TestGoldenHeatingTrace(t *testing.T) {
-	dbg := goldenScenario(t)
-	got := formatTrace(dbg)
-	if dbg.Session.Trace.Len() < 100 {
-		t.Fatalf("suspiciously short trace: %d records", dbg.Session.Trace.Len())
-	}
+// assertGolden compares got against the golden file byte-for-byte,
+// rewriting it under -update.
+func assertGolden(t *testing.T, path, got string, records int) {
+	t.Helper()
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenTracePath, []byte(got), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s (%d records, %d bytes)", goldenTracePath, dbg.Session.Trace.Len(), len(got))
+		t.Logf("rewrote %s (%d records, %d bytes)", path, records, len(got))
 		return
 	}
-	want, err := os.ReadFile(goldenTracePath)
+	want, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("%v — run `go test -run TestGoldenHeatingTrace -update .`", err)
+		t.Fatalf("%v — run `go test -run %s -update .`", err, t.Name())
 	}
 	if got == string(want) {
 		return
@@ -122,4 +124,43 @@ func TestGoldenHeatingTrace(t *testing.T) {
 		}
 	}
 	t.Fatalf("trace length changed: %d lines, golden has %d", len(gotLines), len(wantLines))
+}
+
+func TestGoldenHeatingTrace(t *testing.T) {
+	dbg := goldenScenario(t)
+	got := formatTrace(dbg)
+	if dbg.Session.Trace.Len() < 100 {
+		t.Fatalf("suspiciously short trace: %d records", dbg.Session.Trace.Len())
+	}
+	assertGolden(t, goldenTracePath, got, dbg.Session.Trace.Len())
+}
+
+// TestGoldenPreemptTrace pins the preemptive fixed-priority schedule of
+// the examples/preemption scenario byte-for-byte: every EvPreempt and
+// EvDeadlineMiss instant, every signal publish, every sequence number.
+// Any change to slice budgeting, context-switch accounting, ready-queue
+// ordering or the miss-at-the-latch rule fails here loudly.
+func TestGoldenPreemptTrace(t *testing.T) {
+	sys, err := models.PriorityLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := Debug(sys, DebugConfig{
+		Transport: Active,
+		Board:     target.Config{CPUHz: 1_000_000, Sched: dtm.FixedPriority, Baud: 2_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Board.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := formatTrace(dbg)
+	if n := dbg.Session.Trace.OfType(protocol.EvPreempt).Len(); n < 10 {
+		t.Fatalf("suspiciously few preemptions in the golden run: %d", n)
+	}
+	assertGolden(t, goldenPreemptPath, got, dbg.Session.Trace.Len())
 }

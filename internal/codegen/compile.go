@@ -79,6 +79,7 @@ func (c *compiler) compileActor(a *comdes.Actor) error {
 		Period:       a.Task.PeriodNs,
 		Offset:       a.Task.OffsetNs,
 		Deadline:     a.Task.DeadlineNs,
+		Priority:     a.Task.Priority,
 		SignalEvents: map[int]int{},
 		InputSyms:    map[string]int{},
 		OutputSyms:   map[string]int{},
@@ -145,6 +146,16 @@ func (c *compiler) compileActor(a *comdes.Actor) error {
 			}
 			u.SignalEvents[pub] = int(c.prog.eventIndex(tmpl))
 		}
+	}
+	// Kernel-maintained scheduling counters: deadline misses and
+	// preemptions live in RAM like any other symbol, so the passive JTAG
+	// watch engine and on-target breakpoint conditions observe scheduling
+	// incidents at zero instrumentation cost.
+	if u.MissSym, err = c.alloc(a.Name()+".__misses", value.Int, ""); err != nil {
+		return err
+	}
+	if u.PreemptSym, err = c.alloc(a.Name()+".__preempts", value.Int, ""); err != nil {
+		return err
 	}
 	c.prog.line("}")
 	c.prog.Units = append(c.prog.Units, u)

@@ -199,6 +199,19 @@ type Unit struct {
 	Offset   uint64
 	Deadline uint64
 
+	// Priority is the task's fixed scheduling priority (higher preempts
+	// lower) under the board's preemptive policy; equal priorities run
+	// FIFO. Ignored by the cooperative policy.
+	Priority int
+
+	// MissSym / PreemptSym index the kernel-maintained RAM counters
+	// "<actor>.__misses" and "<actor>.__preempts": the firmware stores the
+	// task's cumulative deadline misses and preemptions there, so the
+	// passive JTAG interface and on-target breakpoint conditions can see
+	// scheduling incidents without any code instrumentation.
+	MissSym    int
+	PreemptSym int
+
 	Init []Instr // run once at boot
 	Body []Instr // run every release
 

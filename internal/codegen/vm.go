@@ -96,6 +96,18 @@ func NewMachine(p *Program, code []Instr, bus Bus) *Machine {
 		Res: ExecResult{BreakPC: -1}}
 }
 
+// Reset rewinds the machine for a fresh run of code, keeping the stack and
+// emit buffers (capacity retained) so a pooled machine executes a new
+// release without allocating.
+func (m *Machine) Reset(code []Instr) {
+	m.Code = code
+	m.PC = 0
+	m.halted = false
+	m.stack = m.stack[:0]
+	emits := m.Res.Emits[:0]
+	m.Res = ExecResult{BreakPC: -1, Emits: emits}
+}
+
 // Done reports whether execution has finished.
 func (m *Machine) Done() bool { return m.halted || m.PC >= len(m.Code) }
 
@@ -250,13 +262,25 @@ func (m *Machine) breakAt() error {
 // again after a break continues from the instruction after the hit —
 // the resume path of the target-resident debugger.
 func (m *Machine) Run() (ExecResult, error) {
+	return m.RunBudget(^uint64(0))
+}
+
+// RunBudget is Run bounded by a cycle budget: the machine executes
+// instructions until the run has consumed at least budget cycles (the
+// instruction in flight completes, so the total may overshoot by one
+// instruction's cost), the program finishes, a runtime error aborts it, or
+// the break hook halts it. This is the slice primitive of the preemptive
+// board scheduler — a release interrupted at a budget boundary resumes at
+// the next instruction on the next call.
+func (m *Machine) RunBudget(budget uint64) (ExecResult, error) {
 	m.Res.BreakPC = -1
+	start := m.Res.Cycles
 	for {
 		more, err := m.Step()
 		if err != nil {
 			return m.Res, err
 		}
-		if !more || m.Res.BreakPC >= 0 {
+		if !more || m.Res.BreakPC >= 0 || m.Res.Cycles-start >= budget {
 			return m.Res, nil
 		}
 	}

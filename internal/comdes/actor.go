@@ -15,7 +15,11 @@ type TaskSpec struct {
 	PeriodNs   uint64
 	OffsetNs   uint64
 	DeadlineNs uint64
-	Priority   int
+	// Priority is the task's fixed scheduling priority under the target's
+	// preemptive policy (dtm.FixedPriority): higher values preempt lower
+	// ones, equal values run FIFO by release order. The cooperative policy
+	// ignores it.
+	Priority int
 }
 
 // Validate checks the timing attributes.

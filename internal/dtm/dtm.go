@@ -157,21 +157,39 @@ func (s *Store) Snapshot() map[string]value.Value {
 // can enforce the latching discipline:
 //
 //	release instant r:      in = Latch(r)          (input latching)
-//	immediately after:      out, cost = Execute(r, in)
+//	execution:              out, cost = Execute(r, in)  (or Slice, preemptive)
 //	deadline instant r+D:   Output(r+D, out)       (output latching)
 //
-// Execute reports its virtual execution cost; cost > Deadline is a
-// deadline miss (counted, outputs still latched at the deadline — the
-// overrun policy real COMDES kernels apply to soft tasks).
+// Under the Cooperative policy Execute runs at the release instant and
+// reports its virtual execution cost; cost > Deadline is a deadline miss
+// (counted, outputs still latched at the deadline — the overrun policy
+// real COMDES kernels apply to soft tasks). Under FixedPriority the
+// release becomes a resumable job scheduled by Priority; the miss is
+// detected at the deadline latch when the job has not completed.
 type Task struct {
 	Name     string
 	Period   uint64
 	Offset   uint64
 	Deadline uint64
 
+	// Priority orders jobs under the FixedPriority policy: higher values
+	// preempt lower ones; equal priorities break ties FIFO by release
+	// order. Ignored by the Cooperative policy.
+	Priority int
+
 	Latch   func(now uint64) map[string]value.Value
 	Execute func(now uint64, in map[string]value.Value) (map[string]value.Value, uint64, error)
 	Output  func(now uint64, out map[string]value.Value)
+
+	// Slice, when set, is the task's resumable body for the FixedPriority
+	// policy: it executes up to budgetNs of the release that started at
+	// the release instant and reports the virtual time consumed and
+	// whether the body completed. The scheduler guarantees slices of the
+	// same task are strictly sequential per release (release identifies
+	// which job the slice belongs to). A task without Slice runs Execute
+	// as one atomic slice — it is scheduled by priority but cannot be
+	// preempted mid-body.
+	Slice func(release, now, budgetNs uint64) (usedNs uint64, done bool, err error)
 
 	Releases       uint64
 	DeadlineMisses uint64
@@ -186,6 +204,15 @@ type Task struct {
 	WorstNs uint64
 	// Suspensions counts releases interrupted mid-body by ErrSuspended.
 	Suspensions uint64
+
+	// Preemptions counts the times a running job of this task was kicked
+	// off the CPU by a higher-priority release (FixedPriority only).
+	Preemptions uint64
+	// ResponseNs / WorstResponseNs accumulate release-to-completion times
+	// (FixedPriority only): unlike ExecNs they include the time jobs spent
+	// waiting in the ready queue and being preempted.
+	ResponseNs      uint64
+	WorstResponseNs uint64
 }
 
 // Validate checks the task's timing and hooks.
@@ -196,21 +223,69 @@ func (t *Task) Validate() error {
 	if t.Period == 0 || t.Deadline == 0 || t.Deadline > t.Period {
 		return fmt.Errorf("dtm: task %s: bad timing (period %d, deadline %d)", t.Name, t.Period, t.Deadline)
 	}
-	if t.Execute == nil {
-		return fmt.Errorf("dtm: task %s: no Execute", t.Name)
+	if t.Execute == nil && t.Slice == nil {
+		return fmt.Errorf("dtm: task %s: no Execute or Slice", t.Name)
 	}
 	return nil
 }
 
+// Policy selects how the scheduler turns releases into CPU time.
+type Policy uint8
+
+// Scheduling policies.
+const (
+	// Cooperative runs every release to completion at its release instant
+	// at zero modeled preemption cost — Task.Priority is ignored.
+	Cooperative Policy = iota
+	// FixedPriority is preemptive fixed-priority scheduling: each release
+	// becomes a resumable job on a ready queue keyed by Task.Priority
+	// (FIFO within a priority). The CPU runs the highest-priority job in
+	// budgeted slices bounded by the next release instant of any task, so
+	// a higher-priority release arriving mid-body preempts the running job
+	// at the next slice boundary. Deadline misses are detected at the
+	// deadline latch; an unfinished job late-publishes at completion.
+	FixedPriority
+)
+
 // Scheduler drives a set of tasks on a kernel.
 type Scheduler struct {
-	K      *Kernel
+	K *Kernel
+
+	// Policy selects cooperative (default) or preemptive fixed-priority
+	// execution. Set it before Start.
+	Policy Policy
+	// CtxSwitchNs is the cost charged whenever the FixedPriority CPU
+	// dispatches a different job than the one it last ran (context load).
+	CtxSwitchNs uint64
+	// CtxSwitches counts charged context switches.
+	CtxSwitches uint64
+
+	// OnPreempt observes every preemption: the job of task `preempted`
+	// left the CPU at a slice boundary because `by` has higher priority.
+	OnPreempt func(now uint64, preempted, by *Task)
+	// OnDeadlineMiss observes every genuine overrun, at the deadline latch
+	// instant (debugger suspensions are not misses).
+	OnDeadlineMiss func(now uint64, t *Task)
+	// OnCtxSwitch observes every charged context switch (the board charges
+	// the CPU cycle cost here).
+	OnCtxSwitch func(now uint64, t *Task)
+
 	tasks  []*Task
 	halted bool
+
+	// FixedPriority state.
+	ready   jobHeap
+	running *job
+	susp    []*job // jobs parked by ErrSuspended (debugger)
+	lastJob *job
+	jobSeq  uint64
+	nextRel map[*Task]uint64 // next *scheduled* release instant per task
 }
 
 // NewScheduler wraps a kernel.
-func NewScheduler(k *Kernel) *Scheduler { return &Scheduler{K: k} }
+func NewScheduler(k *Kernel) *Scheduler {
+	return &Scheduler{K: k, nextRel: map[*Task]uint64{}}
+}
 
 // Tasks returns the registered tasks.
 func (s *Scheduler) Tasks() []*Task { return s.tasks }
@@ -233,23 +308,44 @@ func (s *Scheduler) AddTask(t *Task) error {
 func (s *Scheduler) Start() {
 	for _, t := range s.tasks {
 		task := t
-		_ = s.K.Schedule(s.K.Now()+task.Offset, func(now uint64) { s.release(task, now) })
+		at := s.K.Now() + task.Offset
+		s.nextRel[task] = at
+		_ = s.K.Schedule(at, func(now uint64) { s.release(task, now) })
 	}
 }
 
 // Halt suspends releases (the debugger "pausing the target"); already
 // latched outputs still emit at their deadlines, matching a CPU halted
-// between task instances.
+// between task instances. Under FixedPriority a job caught mid-body stays
+// frozen on the ready queue and continues on Resume.
 func (s *Scheduler) Halt() { s.halted = true }
 
-// Resume re-enables releases.
-func (s *Scheduler) Resume() { s.halted = false }
+// Resume re-enables releases. Under FixedPriority any job parked by a
+// debugger suspension re-enters the ready queue — priority order decides
+// what runs next, so a higher-priority release that arrived while halted
+// runs before the interrupted body continues.
+func (s *Scheduler) Resume() {
+	s.halted = false
+	if s.Policy != FixedPriority {
+		return
+	}
+	for _, j := range s.susp {
+		j.suspended = false
+		heap.Push(&s.ready, j)
+	}
+	s.susp = s.susp[:0]
+	s.dispatch(s.K.Now())
+}
 
 // Halted reports the halt state.
 func (s *Scheduler) Halted() bool { return s.halted }
 
+// Suspended reports whether a debugger suspension is parked (FixedPriority).
+func (s *Scheduler) Suspended() bool { return len(s.susp) > 0 }
+
 func (s *Scheduler) release(t *Task, now uint64) {
 	// Schedule the next period first so halting never loses the rhythm.
+	s.nextRel[t] = now + t.Period
 	_ = s.K.Schedule(now+t.Period, func(n uint64) { s.release(t, n) })
 	if s.halted {
 		return
@@ -259,7 +355,15 @@ func (s *Scheduler) release(t *Task, now uint64) {
 	if t.Latch != nil {
 		in = t.Latch(now)
 	}
-	out, cost, err := t.Execute(now, in)
+	if s.Policy == FixedPriority {
+		j := &job{t: t, release: now, seq: s.jobSeq, in: in}
+		s.jobSeq++
+		heap.Push(&s.ready, j)
+		_ = s.K.Schedule(now+t.Deadline, func(n uint64) { s.latch(j, n) })
+		s.dispatch(now)
+		return
+	}
+	out, cost, err := t.cooperativeRun(now, in)
 	if err != nil {
 		if errors.Is(err, ErrSuspended) {
 			t.Suspensions++
@@ -278,6 +382,219 @@ func (s *Scheduler) release(t *Task, now uint64) {
 	if t.Output != nil {
 		deadline := now + t.Deadline
 		_ = s.K.Schedule(deadline, func(n uint64) { t.Output(n, out) })
+	}
+}
+
+// cooperativeRun executes one whole release under the Cooperative policy:
+// Execute when present, otherwise the Slice hook driven to completion with
+// an unbounded budget.
+func (t *Task) cooperativeRun(now uint64, in map[string]value.Value) (map[string]value.Value, uint64, error) {
+	if t.Execute != nil {
+		return t.Execute(now, in)
+	}
+	var total uint64
+	for {
+		used, done, err := t.Slice(now, now, ^uint64(0))
+		total += used
+		if err != nil || done {
+			return nil, total, err
+		}
+	}
+}
+
+// job is one release turned into a resumable unit of work (FixedPriority).
+type job struct {
+	t       *Task
+	release uint64
+	seq     uint64 // FIFO tie-break within a priority (release order)
+	in      map[string]value.Value
+	out     map[string]value.Value
+
+	usedNs    uint64
+	done      bool
+	failed    bool
+	suspended bool
+	latched   bool // the deadline latch instant has passed
+
+	// endAt/willDone describe the slice currently on the CPU, so the latch
+	// can recognise a job completing exactly at its deadline instant.
+	endAt    uint64
+	willDone bool
+}
+
+// jobHeap orders ready jobs: highest Priority first, FIFO within equals.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].t.Priority != h[j].t.Priority {
+		return h[i].t.Priority > h[j].t.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// nextPendingRelease returns the earliest release instant scheduled in the
+// kernel that has not fired yet — the CPU's preemption horizon.
+func (s *Scheduler) nextPendingRelease() uint64 {
+	min := ^uint64(0)
+	for _, at := range s.nextRel {
+		if at < min {
+			min = at
+		}
+	}
+	return min
+}
+
+// dispatch puts the highest-priority ready job on the CPU and runs one
+// budgeted slice of it. The budget ends at the next release instant of any
+// task, so every preemption opportunity lands on a slice boundary; the
+// body may overshoot the boundary by the instruction in flight.
+func (s *Scheduler) dispatch(now uint64) {
+	if s.halted || s.running != nil || len(s.ready) == 0 {
+		return
+	}
+	horizon := s.nextPendingRelease()
+	if horizon <= now {
+		// A release at this very instant has not fired yet; decide after
+		// it has enqueued its job.
+		_ = s.K.Schedule(now, func(n uint64) { s.dispatch(n) })
+		return
+	}
+	j := heap.Pop(&s.ready).(*job)
+	s.running = j
+	var ctx uint64
+	if s.lastJob != j && s.CtxSwitchNs > 0 {
+		ctx = s.CtxSwitchNs
+		s.CtxSwitches++
+		if s.OnCtxSwitch != nil {
+			s.OnCtxSwitch(now, j.t)
+		}
+	}
+	s.lastJob = j
+	budget := horizon - now
+	if ctx >= budget {
+		// The switch itself consumes the slice; the body runs next time.
+		j.endAt, j.willDone = now+ctx, false
+		_ = s.K.Schedule(now+ctx, func(n uint64) { s.sliceEnd(j, n) })
+		return
+	}
+	budget -= ctx
+	used, done, err := s.runSlice(j, now, budget)
+	if err != nil {
+		if errors.Is(err, ErrSuspended) {
+			j.t.Suspensions++
+			j.usedNs += used
+			j.suspended = true
+			s.susp = append(s.susp, j)
+			s.running = nil
+			return
+		}
+		j.t.LastError = err
+		j.failed = true
+		s.running = nil
+		s.dispatch(now)
+		return
+	}
+	j.usedNs += used
+	end := now + ctx + used
+	j.endAt, j.willDone = end, done
+	if done {
+		_ = s.K.Schedule(end, func(n uint64) { s.complete(j, n) })
+	} else {
+		_ = s.K.Schedule(end, func(n uint64) { s.sliceEnd(j, n) })
+	}
+}
+
+// runSlice executes up to budgetNs of the job's body. Tasks without a
+// Slice hook run Execute atomically (one all-or-nothing slice).
+func (s *Scheduler) runSlice(j *job, now, budgetNs uint64) (uint64, bool, error) {
+	t := j.t
+	if t.Slice != nil {
+		return t.Slice(j.release, now, budgetNs)
+	}
+	out, cost, err := t.Execute(now, j.in)
+	if err != nil {
+		return 0, false, err
+	}
+	j.out = out
+	return cost, true, nil
+}
+
+// sliceEnd is the CPU giving up the core at a slice boundary with the job
+// unfinished: the job re-enters the ready queue, and if something with
+// higher priority is now ahead of it, that is a preemption.
+func (s *Scheduler) sliceEnd(j *job, now uint64) {
+	s.running = nil
+	heap.Push(&s.ready, j)
+	if s.halted {
+		return // frozen mid-body; Resume re-dispatches
+	}
+	if top := s.ready[0]; top != j {
+		j.t.Preemptions++
+		if s.OnPreempt != nil {
+			s.OnPreempt(now, j.t, top.t)
+		}
+	}
+	s.dispatch(now)
+}
+
+// complete finalises a finished job: execution and response accounting,
+// plus the late publish when the deadline latch has already passed (a
+// missed or debugger-suspended release publishes at completion).
+func (s *Scheduler) complete(j *job, now uint64) {
+	s.running = nil
+	j.done = true
+	t := j.t
+	t.ExecNs += j.usedNs
+	if j.usedNs > t.WorstNs {
+		t.WorstNs = j.usedNs
+	}
+	resp := now - j.release
+	t.ResponseNs += resp
+	if resp > t.WorstResponseNs {
+		t.WorstResponseNs = resp
+	}
+	if j.latched && t.Output != nil {
+		t.Output(now, j.out)
+	}
+	s.dispatch(now)
+}
+
+// latch fires at the release's deadline instant. A completed job publishes
+// on time; an unfinished one is a deadline miss — counted here, at the
+// latch — unless the debugger suspended it (ErrSuspended semantics: the
+// latch is made up on completion, no miss charged). A job whose final
+// slice ends exactly at this instant completes on time.
+func (s *Scheduler) latch(j *job, now uint64) {
+	if j.failed {
+		return
+	}
+	if j.done {
+		if j.t.Output != nil {
+			j.t.Output(now, j.out)
+		}
+		return
+	}
+	j.latched = true
+	if j.suspended || s.halted {
+		return
+	}
+	if s.running == j && j.willDone && j.endAt == now {
+		return // finishing exactly at the deadline: met, publish in complete
+	}
+	j.t.DeadlineMisses++
+	if s.OnDeadlineMiss != nil {
+		s.OnDeadlineMiss(now, j.t)
 	}
 }
 

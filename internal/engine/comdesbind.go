@@ -152,6 +152,23 @@ func WatchTranslator(sys *comdes.System) func(protocol.Event) protocol.Event {
 				Source: sig, Value: ev.Value, Arg2: ev.Arg2,
 			}
 		}
+		// Kernel scheduling counters: a growing __misses / __preempts RAM
+		// value becomes the same model-level event the active interface
+		// reports, so deadline misses and preemptions are visible over
+		// JTAG too. The zero baseline of the first poll stays a plain
+		// watch (no incident has happened yet).
+		if actor, ok := strings.CutSuffix(ev.Source, ".__misses"); ok && ev.Value > 0 {
+			return protocol.Event{
+				Type: protocol.EvDeadlineMiss, Seq: ev.Seq, Time: ev.Time,
+				Source: actor, Value: ev.Value,
+			}
+		}
+		if actor, ok := strings.CutSuffix(ev.Source, ".__preempts"); ok && ev.Value > 0 {
+			return protocol.Event{
+				Type: protocol.EvPreempt, Seq: ev.Seq, Time: ev.Time,
+				Source: actor, Value: ev.Value,
+			}
+		}
 		return ev
 	}
 }
@@ -163,7 +180,8 @@ func WatchTranslator(sys *comdes.System) func(protocol.Event) protocol.Event {
 // actor output in the generated symbol table.
 func AutoWatches(w *jtag.Watcher, prog *codegen.Program) error {
 	for _, sym := range prog.Symbols.All() {
-		watch := strings.HasSuffix(sym.Name, ".__state") || strings.HasSuffix(sym.Name, "__pub")
+		watch := strings.HasSuffix(sym.Name, ".__state") || strings.HasSuffix(sym.Name, "__pub") ||
+			strings.HasSuffix(sym.Name, ".__misses") || strings.HasSuffix(sym.Name, ".__preempts")
 		if !watch {
 			continue
 		}
@@ -172,6 +190,35 @@ func AutoWatches(w *jtag.Watcher, prog *codegen.Program) error {
 		}
 	}
 	return nil
+}
+
+// MissCond translates a model-level "break when actor misses a deadline"
+// into a condition over the kernel's __misses RAM counter, evaluable by
+// the target-resident breakpoint agent at the miss itself.
+func MissCond(sys *comdes.System, actor string) (string, error) {
+	if sys.Actor(actor) == nil {
+		return "", fmt.Errorf("engine: no actor %q", actor)
+	}
+	return missCond(actor), nil
+}
+
+func missCond(actor string) string { return actor + ".__misses > 0" }
+
+// MissBreakpoint builds the standard deadline-overrun breakpoint for an
+// actor: over the active interface the TargetCond halts the board at the
+// latch instant of the missing release; over passive/replay sources the
+// EvDeadlineMiss event pattern is filtered host-side. The actor name is
+// not validated here (no system in reach) — callers holding the design
+// model should check it with MissCond first, as the facade does, since a
+// misspelled actor arms a never-firing condition that still costs
+// BreakCheckCycles at every check site.
+func MissBreakpoint(id, actor string) Breakpoint {
+	return Breakpoint{
+		ID:         id,
+		Event:      protocol.EvDeadlineMiss,
+		Source:     actor,
+		TargetCond: missCond(actor),
+	}
 }
 
 // StateCond translates a model-level "break when machine enters state S"

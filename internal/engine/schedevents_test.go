@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/models"
+)
+
+// TestWatchTranslatorSchedulingCounters: over the passive interface,
+// growth of the kernel's __misses/__preempts RAM counters becomes the
+// same model-level events the active interface reports.
+func TestWatchTranslatorSchedulingCounters(t *testing.T) {
+	sys, err := models.Heating(models.HeatingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := WatchTranslator(sys)
+
+	miss := tr(protocol.Event{Type: protocol.EvWatch, Time: 7, Source: "heater.__misses", Value: 2})
+	if miss.Type != protocol.EvDeadlineMiss || miss.Source != "heater" || miss.Value != 2 {
+		t.Errorf("miss watch translated to %+v", miss)
+	}
+	pre := tr(protocol.Event{Type: protocol.EvWatch, Time: 8, Source: "heater.__preempts", Value: 5})
+	if pre.Type != protocol.EvPreempt || pre.Source != "heater" || pre.Value != 5 {
+		t.Errorf("preempt watch translated to %+v", pre)
+	}
+	// The first-poll zero baseline is not an incident.
+	base := tr(protocol.Event{Type: protocol.EvWatch, Source: "heater.__misses", Value: 0})
+	if base.Type != protocol.EvWatch {
+		t.Errorf("zero baseline translated to %v", base.Type)
+	}
+	// Unrelated watches pass through untouched.
+	other := tr(protocol.Event{Type: protocol.EvWatch, Source: "heater.temp", Value: 19})
+	if other.Type != protocol.EvWatch {
+		t.Errorf("plain watch translated to %v", other.Type)
+	}
+}
+
+func TestMissCondAndBreakpoint(t *testing.T) {
+	sys, err := models.Heating(models.HeatingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := MissCond(sys, "heater")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond != "heater.__misses > 0" {
+		t.Errorf("MissCond = %q", cond)
+	}
+	if _, err := MissCond(sys, "nonesuch"); err == nil {
+		t.Error("MissCond accepted an unknown actor")
+	}
+	bp := MissBreakpoint("dl", "heater")
+	if bp.Event != protocol.EvDeadlineMiss || bp.Source != "heater" || bp.TargetCond != cond {
+		t.Errorf("MissBreakpoint = %+v", bp)
+	}
+}

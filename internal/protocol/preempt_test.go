@@ -1,0 +1,38 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSchedulingEventWire: the scheduler's incident events cross the frame
+// codec intact and render readably.
+func TestSchedulingEventWire(t *testing.T) {
+	events := []Event{
+		{Type: EvPreempt, Seq: 7, Time: 1_000_000, Source: "lowly", Arg1: "hog", Value: 3},
+		{Type: EvDeadlineMiss, Seq: 8, Time: 2_000_000, Source: "lowly", Value: 1},
+	}
+	var dec Decoder
+	for _, ev := range events {
+		wire, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := dec.Feed(wire)
+		if len(got) != 1 {
+			t.Fatalf("%v: decoded %d events", ev.Type, len(got))
+		}
+		if got[0] != ev {
+			t.Errorf("roundtrip changed the event:\n got %+v\nwant %+v", got[0], ev)
+		}
+	}
+	if s := events[0].String(); !strings.Contains(s, "preempt lowly by hog") {
+		t.Errorf("EvPreempt renders as %q", s)
+	}
+	if s := events[1].String(); !strings.Contains(s, "deadline miss lowly") {
+		t.Errorf("EvDeadlineMiss renders as %q", s)
+	}
+	if EvPreempt.String() != "Preempt" || EvDeadlineMiss.String() != "DeadlineMiss" {
+		t.Error("event type names wrong")
+	}
+}

@@ -49,6 +49,8 @@ const (
 	EvBreak                  // target-resident breakpoint hit: Source = bp id, Arg1 = triggering symbol, Value = its value; target halted at the instruction
 	EvStepped                // target-resident step completed: Source = board, Arg1 = model event source; target halted
 	EvOverrun                // target-side UART drop counter: Source = board, Value = cumulative frames dropped
+	EvPreempt                // scheduler preemption: Source = preempted task, Arg1 = preempting task, Value = cumulative preemptions
+	EvDeadlineMiss           // deadline overrun, stamped at the latch instant: Source = task, Value = cumulative misses
 )
 
 // String names the event type for traces and logs.
@@ -80,6 +82,10 @@ func (t EventType) String() string {
 		return "Stepped"
 	case EvOverrun:
 		return "Overrun"
+	case EvPreempt:
+		return "Preempt"
+	case EvDeadlineMiss:
+		return "DeadlineMiss"
 	default:
 		return fmt.Sprintf("EventType(%d)", t)
 	}
@@ -111,6 +117,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d ns] break %s: %s = %g", e.Time, e.Source, e.Arg1, e.Value)
 	case EvOverrun:
 		return fmt.Sprintf("[%d ns] overrun %s: %g frames dropped", e.Time, e.Source, e.Value)
+	case EvPreempt:
+		return fmt.Sprintf("[%d ns] preempt %s by %s (%g total)", e.Time, e.Source, e.Arg1, e.Value)
+	case EvDeadlineMiss:
+		return fmt.Sprintf("[%d ns] deadline miss %s (%g total)", e.Time, e.Source, e.Value)
 	default:
 		return fmt.Sprintf("[%d ns] %s %s", e.Time, e.Type, e.Source)
 	}

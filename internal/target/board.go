@@ -23,6 +23,10 @@ const (
 	DefaultCPUHz = 100_000_000
 	// DefaultIDCode is the TAP IDCODE reported over JTAG ("GDM1").
 	DefaultIDCode = 0x47444D31
+	// DefaultCtxSwitchCycles is the CPU cost of one context switch under
+	// the preemptive scheduling policy (register save/restore plus the
+	// ready-queue decision of a small RTOS kernel).
+	DefaultCtxSwitchCycles = 40
 )
 
 // Config carries the physical board parameters.
@@ -35,6 +39,15 @@ type Config struct {
 	CPUHz uint64
 	// IDCode is the JTAG device id returned by the TAP.
 	IDCode uint32
+	// Sched selects the task scheduling policy: dtm.Cooperative (default,
+	// every release runs to completion at its release instant) or
+	// dtm.FixedPriority (preemptive: releases are resumable jobs scheduled
+	// by TaskSpec.Priority in budgeted VM slices; a higher-priority
+	// release preempts the running body at an instruction boundary).
+	Sched dtm.Policy
+	// CtxSwitchCycles is the CPU cost charged per context switch under the
+	// FixedPriority policy (default DefaultCtxSwitchCycles).
+	CtxSwitchCycles uint64
 	// Bindings are the system's labelled signal routes; the board delivers
 	// a published output to its consumer's input at the producer's
 	// deadline instant (state-message communication). Bindings whose
@@ -70,8 +83,10 @@ type Board struct {
 	portB    *serial.Port // host-side UART endpoint
 	dec      protocol.Decoder
 	units    map[string]*codegen.Unit
+	exec     map[string]*unitExec        // per-unit pooled VM state
 	outPorts map[string][]string         // unit -> sorted output port names
 	routes   map[string][]comdes.Binding // producer actor -> its bindings
+	pubSyms  map[string][]string         // unit -> symbol names written at its deadline latch
 	seq      uint16
 	cycles   uint64
 	instr    uint64
@@ -107,6 +122,9 @@ func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel
 	if cfg.IDCode == 0 {
 		cfg.IDCode = DefaultIDCode
 	}
+	if cfg.CtxSwitchCycles == 0 {
+		cfg.CtxSwitchCycles = DefaultCtxSwitchCycles
+	}
 	link, err := serial.NewLink(cfg.Baud)
 	if err != nil {
 		return nil, err
@@ -125,8 +143,10 @@ func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel
 		portA:    link.PortA(),
 		portB:    link.PortB(),
 		units:    map[string]*codegen.Unit{},
+		exec:     map[string]*unitExec{},
 		outPorts: map[string][]string{},
 		routes:   map[string][]comdes.Binding{},
+		pubSyms:  map[string][]string{},
 	}
 	b.agent = &breakAgent{b: b}
 	b.TAP = jtag.NewTAP(cfg.IDCode, boardRAM{b}, nil)
@@ -134,11 +154,20 @@ func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel
 		b.routes[bind.FromActor] = append(b.routes[bind.FromActor], bind)
 	}
 
+	b.sched.Policy = cfg.Sched
+	if cfg.Sched == dtm.FixedPriority {
+		b.sched.CtxSwitchNs = b.cyclesToNs(cfg.CtxSwitchCycles)
+		b.sched.OnCtxSwitch = func(now uint64, t *dtm.Task) { b.cycles += cfg.CtxSwitchCycles }
+		b.sched.OnPreempt = b.preempted
+		b.sched.OnDeadlineMiss = b.missed
+	}
+
 	for _, u := range prog.Units {
 		if _, dup := b.units[u.Name]; dup {
 			return nil, fmt.Errorf("target: duplicate unit %q", u.Name)
 		}
 		b.units[u.Name] = u
+		b.exec[u.Name] = &unitExec{u: u}
 		ports := make([]string, 0, len(u.OutputSyms))
 		for p := range u.OutputSyms {
 			ports = append(ports, p)
@@ -160,11 +189,28 @@ func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel
 
 	for _, u := range prog.Units {
 		unit := u
+		ue := b.exec[u.Name]
+		// Symbols the deadline latch writes (published outputs plus local
+		// binding targets): the indexed breakpoint check at the publish
+		// site evaluates the predicates referencing them.
+		var pubs []string
+		for _, lp := range unit.OutLatch {
+			pubs = append(pubs, prog.Symbols.Sym(lp.Out).Name)
+		}
+		for _, bind := range b.routes[unit.Name] {
+			if dst, ok := b.units[bind.ToActor]; ok {
+				if in, ok := dst.InputSyms[bind.ToPort]; ok {
+					pubs = append(pubs, prog.Symbols.Sym(in).Name)
+				}
+			}
+		}
+		b.pubSyms[unit.Name] = pubs
 		if err := b.sched.AddTask(&dtm.Task{
 			Name:     unit.Name,
 			Period:   unit.Period,
 			Offset:   unit.Offset,
 			Deadline: unit.Deadline,
+			Priority: unit.Priority,
 			Latch: func(now uint64) map[string]value.Value {
 				b.release(unit, now)
 				return nil
@@ -172,6 +218,9 @@ func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel
 			Execute: func(now uint64, _ map[string]value.Value) (map[string]value.Value, uint64, error) {
 				cost, err := b.execute(unit, now)
 				return nil, cost, err
+			},
+			Slice: func(release, now, budgetNs uint64) (uint64, bool, error) {
+				return b.sliceUnit(ue, release, now, budgetNs)
 			},
 			Output: func(now uint64, _ map[string]value.Value) {
 				b.deadline(unit, now)
@@ -182,6 +231,37 @@ func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel
 	}
 	b.sched.Start()
 	return b, nil
+}
+
+// unitExec is the per-unit execution state: a small pool of reusable VM
+// machines (stacks and emit buffers retained across releases) plus the
+// machine of the release currently in flight under the preemptive policy.
+type unitExec struct {
+	u    *codegen.Unit
+	idle []*codegen.Machine
+
+	m      *codegen.Machine   // machine of the active (sliced) release
+	rel    uint64             // its release instant
+	active bool               // a release is mid-body across slices
+	prev   codegen.ExecResult // portion already accounted and flushed
+}
+
+// acquire returns a machine reset to the unit body, reusing a pooled one
+// when available.
+func (ue *unitExec) acquire(b *Board) *codegen.Machine {
+	if n := len(ue.idle); n > 0 {
+		m := ue.idle[n-1]
+		ue.idle = ue.idle[:n-1]
+		m.Reset(ue.u.Body)
+		return m
+	}
+	return codegen.NewMachine(b.Prog, ue.u.Body, b)
+}
+
+// recycle returns a finished machine to the pool.
+func (ue *unitExec) recycle(m *codegen.Machine) {
+	m.Hook = nil
+	ue.idle = append(ue.idle, m)
 }
 
 // RunFor advances the board by ns nanoseconds of virtual time, executing
@@ -254,6 +334,22 @@ func (b *Board) DeadlineMisses() uint64 {
 	return n
 }
 
+// Preemptions sums preemptions across all tasks (FixedPriority policy).
+func (b *Board) Preemptions() uint64 {
+	var n uint64
+	for _, t := range b.sched.Tasks() {
+		n += t.Preemptions
+	}
+	return n
+}
+
+// CtxSwitches returns the charged context switches (FixedPriority policy).
+func (b *Board) CtxSwitches() uint64 { return b.sched.CtxSwitches }
+
+// Tasks exposes the scheduler's task table (release/miss/preemption and
+// response-time accounting per actor).
+func (b *Board) Tasks() []*dtm.Task { return b.sched.Tasks() }
+
 // WriteInput writes a value to an actor input port (the environment's
 // sensor path); it lands in the __io symbol and is latched at the actor's
 // next release.
@@ -266,7 +362,15 @@ func (b *Board) WriteInput(actor, port string, v value.Value) error {
 	if !ok {
 		return fmt.Errorf("target: actor %s has no input %q", actor, port)
 	}
-	return b.StoreSym(idx, v)
+	if err := b.StoreSym(idx, v); err != nil {
+		return err
+	}
+	if len(b.agent.bps) > 0 {
+		// Environment writes bypass the VM's store hook; predicates over
+		// the __io symbol fire at the next check site.
+		b.agent.touch(b.Prog.Symbols.Sym(idx).Name)
+	}
+	return nil
 }
 
 // ReadOutput reads an actor's published output port (the value latched at

@@ -18,12 +18,25 @@ import (
 // triggering instruction*, mid-release, before the deadline latch
 // publishes — the latency win over host-side breakpoints, which can only
 // halt after the event frame has crossed the line.
+//
+// Predicates are indexed by the symbols they reference: a store site
+// evaluates only the predicates that mention the stored symbol (plus any
+// predicate with no resolvable references), so the per-store cost is
+// O(affected predicates) instead of O(armed predicates). Symbols written
+// by the firmware outside the VM (input latches, host variable writes,
+// kernel scheduling counters) mark their predicates *hot*; a hot predicate
+// is re-evaluated at every check site until it is observed false — which
+// both preserves the pre-index trip timing ("fires at the next check
+// site") and keeps a just-hit, still-true condition re-tripping on resume.
 
 // targetBreak is one armed on-target breakpoint.
 type targetBreak struct {
 	id   string
 	text string
 	cond expr.Node
+	syms []string // referenced symbols resolvable in the program's table
+	hot  bool     // re-evaluate at every site until observed false
+	seen uint64   // dedupe marker for one check round
 	hits uint64
 	errs uint64 // condition evaluation failures (unknown symbol, type error)
 }
@@ -40,8 +53,10 @@ type TargetBreakInfo struct {
 // implements codegen.BreakHook and expr.Env (conditions read symbol values
 // straight from board RAM).
 type breakAgent struct {
-	b   *Board
-	bps []*targetBreak
+	b     *Board
+	bps   []*targetBreak
+	bySym map[string][]*targetBreak // referenced symbol -> predicates
+	round uint64
 
 	// stepArm is set by InStep: run until the next model-level event
 	// (an instrumented emit or a deadline publish), then halt.
@@ -66,13 +81,24 @@ func (a *breakAgent) set(id, cond string) error {
 		return fmt.Errorf("target: breakpoint %s: %w", id, err)
 	}
 	nb := &targetBreak{id: id, text: cond, cond: node}
+	for _, name := range expr.Vars(node) {
+		if _, ok := a.b.Prog.Symbols.Index(name); ok {
+			nb.syms = append(nb.syms, name)
+		}
+	}
+	// A freshly armed predicate is hot: it gets one evaluation at the next
+	// check site regardless of which symbol changed, so a condition that
+	// is already true does not wait for one of its symbols to be stored.
+	nb.hot = true
 	for i, ex := range a.bps {
 		if ex.id == id {
 			a.bps[i] = nb
+			a.reindex()
 			return nil
 		}
 	}
 	a.bps = append(a.bps, nb)
+	a.reindex()
 	return nil
 }
 
@@ -81,10 +107,31 @@ func (a *breakAgent) clear(id string) bool {
 	for i, ex := range a.bps {
 		if ex.id == id {
 			a.bps = append(a.bps[:i], a.bps[i+1:]...)
+			a.reindex()
 			return true
 		}
 	}
 	return false
+}
+
+// reindex rebuilds the symbol -> predicate index after arming changes.
+func (a *breakAgent) reindex() {
+	a.bySym = map[string][]*targetBreak{}
+	for _, bp := range a.bps {
+		for _, s := range bp.syms {
+			a.bySym[s] = append(a.bySym[s], bp)
+		}
+	}
+}
+
+// touch marks the predicates referencing a symbol hot — called by the
+// firmware when it writes RAM outside the VM (input latching, host
+// InWriteVar, scheduling counters), so those predicates are evaluated at
+// the next check site exactly as they were before the index existed.
+func (a *breakAgent) touch(symName string) {
+	for _, bp := range a.bySym[symName] {
+		bp.hot = true
+	}
 }
 
 // armed reports whether the agent has any work at VM check sites.
@@ -116,7 +163,8 @@ func (a *breakAgent) Lookup(name string) (value.Value, bool) {
 
 // CheckStore implements codegen.BreakHook at symbol-store sites.
 func (a *breakAgent) CheckStore(idx int, v value.Value) (bool, uint64) {
-	return a.check(a.b.Prog.Symbols.Sym(idx).Name, v, true)
+	name := a.b.Prog.Symbols.Sym(idx).Name
+	return a.check([]string{name}, name, v, true)
 }
 
 // CheckEmit implements codegen.BreakHook at model-event emit sites. A
@@ -129,25 +177,49 @@ func (a *breakAgent) CheckEmit(ref codegen.EmitRef) (bool, uint64) {
 		a.trigSym, a.trigVal, a.trigHas = src, ref.Value, ref.HasValue
 		return true, 0
 	}
-	return a.check(src, ref.Value, ref.HasValue)
+	return a.check([]string{src}, src, ref.Value, ref.HasValue)
 }
 
-// check evaluates every armed condition against current RAM, charging
-// BreakCheckCycles per predicate. trig names the model element whose
-// change prompted the check (stored symbol or emitted event source).
-func (a *breakAgent) check(trig string, v value.Value, hasVal bool) (bool, uint64) {
+// check evaluates the armed predicates a change to the named symbols could
+// have affected — indexed candidates, hot predicates, and predicates with
+// no resolvable references — charging BreakCheckCycles per evaluation.
+// trig names the model element whose change prompted the check (stored
+// symbol, emitted event source, or publishing task).
+func (a *breakAgent) check(names []string, trig string, v value.Value, hasVal bool) (bool, uint64) {
+	a.round++
+	for _, name := range names {
+		for _, bp := range a.bySym[name] {
+			bp.seen = a.round
+		}
+	}
 	var cost uint64
-	for _, bp := range a.bps {
+	for i, bp := range a.bps {
+		if bp.seen != a.round && !bp.hot && len(bp.syms) > 0 {
+			continue
+		}
 		cost += codegen.BreakCheckCycles
 		ok, err := expr.EvalBool(bp.cond, a)
 		if err != nil {
 			bp.errs++
+			bp.hot = false
 			continue
 		}
 		if !ok {
+			bp.hot = false
 			continue
 		}
+		// Hit. The condition stays hot so a resume with the condition
+		// still true re-trips at the very next check site. Candidates of
+		// this round that the early return leaves unevaluated go hot too —
+		// they were affected by this write and must get their evaluation
+		// at the next check site, as they would have pre-index.
+		for _, rest := range a.bps[i+1:] {
+			if rest.seen == a.round {
+				rest.hot = true
+			}
+		}
 		bp.hits++
+		bp.hot = true
 		a.hitBP, a.stepHit = bp, false
 		a.trigSym, a.trigVal, a.trigHas = trig, v, hasVal
 		return true, cost

@@ -1,0 +1,210 @@
+package target
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/jtag"
+	"repro/internal/protocol"
+	"repro/models"
+)
+
+// TestBreakIndexEvaluatesOnlyAffectedPredicates: with the symbol index, a
+// never-true predicate costs one evaluation per store of *its* symbol —
+// not one per store site on the board. The instrumentation-cycle ledger
+// proves it: two armed predicates over two once-per-release symbols must
+// cost on the order of one check per release each, far below the
+// every-site cost the un-indexed agent charged.
+func TestBreakIndexEvaluatesOnlyAffectedPredicates(t *testing.T) {
+	b := warmHeatingBoard(t, codegen.Instrument{}, Config{Baud: 1_000_000})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InSetBreak, Source: "a", Arg1: "heater.shape.trim.out < -1000"})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InSetBreak, Source: "b", Arg1: "heater.shape.sat.out < -1000"})
+	for i := 0; i < 50; i++ {
+		b.RunFor(1_000_000)
+	}
+	if b.Halted() {
+		t.Fatal("never-true predicates halted the board")
+	}
+	var releases uint64
+	for _, task := range b.sched.Tasks() {
+		releases += task.Releases
+	}
+	ic := b.InstrumentationCycles()
+	if ic == 0 {
+		t.Fatal("armed predicates cost nothing")
+	}
+	if ic%codegen.BreakCheckCycles != 0 {
+		t.Errorf("instr cycles %d not a multiple of BreakCheckCycles", ic)
+	}
+	// Each predicate's symbol is stored once per heater release; allow a
+	// small constant slop for the freshly-armed hot evaluations. The
+	// un-indexed agent evaluated both predicates at every one of the
+	// dozens of store/emit/publish sites per release.
+	evals := ic / codegen.BreakCheckCycles
+	if limit := 2*releases + 8; evals > limit {
+		t.Errorf("%d predicate evaluations over %d releases — index not selective (limit %d)",
+			evals, releases, limit)
+	}
+}
+
+// TestBreakOnFirmwareWrittenSymbol: symbols the VM never stores (latched
+// inputs, host-written variables) still trip their predicates — the
+// firmware marks them hot at the write, and the next check site evaluates
+// them, matching the pre-index halt placement.
+func TestBreakOnFirmwareWrittenSymbol(t *testing.T) {
+	b := heatingBoard(t, codegen.Instrument{}, Config{Baud: 1_000_000})
+	b.PreLatch = nil // no environment: inputs only change by host write
+	sendIn(t, b, protocol.Instruction{Type: protocol.InSetBreak, Source: "hotwire", Arg1: "heater.temp > 1000"})
+	b.RunFor(10_000_000)
+	if b.Halted() {
+		t.Fatal("predicate tripped before the host write")
+	}
+	// Write the input from the host: InWriteVar bypasses the VM store
+	// hook, and "heater.temp" itself is only ever written by the firmware
+	// latch copy — only the hot-marking can make this predicate fire.
+	sendIn(t, b, protocol.Instruction{Type: protocol.InWriteVar, Source: "heater.temp__io", Value: 5000})
+	for i := 0; i < 20 && !b.Halted(); i++ {
+		b.RunFor(1_000_000)
+	}
+	if !b.Halted() {
+		t.Fatal("host-written symbol never tripped its predicate")
+	}
+	if b.TargetBreaks()[0].Hits != 1 {
+		t.Errorf("hits = %d, want 1", b.TargetBreaks()[0].Hits)
+	}
+}
+
+// TestSecondBreakpointOnSameSymbolFiresAfterResume: when two predicates
+// over one symbol both become true at the same store, the first halts the
+// board and the second — left unevaluated by the early return — must
+// still fire at the next check site after resume, exactly as it would
+// have before the symbol index existed.
+func TestSecondBreakpointOnSameSymbolFiresAfterResume(t *testing.T) {
+	b := warmHeatingBoard(t, codegen.Instrument{}, Config{Baud: 1_000_000})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InSetBreak, Source: "bp1", Arg1: "heater.thermostat.__state == 1"})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InSetBreak, Source: "bp2", Arg1: "heater.thermostat.__state >= 1"})
+	for i := 0; i < 400 && !b.Halted(); i++ {
+		b.RunFor(1_000_000)
+	}
+	if !b.Halted() {
+		t.Fatal("first breakpoint never hit")
+	}
+	var hits [2]uint64
+	for i, bp := range b.TargetBreaks() {
+		hits[i] = bp.Hits
+	}
+	if hits[0] != 1 || hits[1] != 0 {
+		t.Fatalf("hits after first halt = %v, want [1 0]", hits)
+	}
+	// Clear the winner, resume: the __state symbol is not stored again
+	// (the machine stays in Heating), so only the pending-candidate
+	// marking can give bp2 its evaluation — at the very next check site.
+	sendIn(t, b, protocol.Instruction{Type: protocol.InClearBreak, Source: "bp1"})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InResume})
+	b.RunFor(2_000_000)
+	if !b.Halted() {
+		t.Fatal("second breakpoint on the same symbol never fired after resume")
+	}
+	if bps := b.TargetBreaks(); len(bps) != 1 || bps[0].ID != "bp2" || bps[0].Hits != 1 {
+		t.Fatalf("after resume: %+v, want one bp2 hit", bps)
+	}
+}
+
+// TestBreakOnJTAGPokedSymbol: a debug-port RAM write is yet another store
+// that bypasses the VM hook; it must mark the symbol's predicates hot so
+// they trip at the next check site.
+func TestBreakOnJTAGPokedSymbol(t *testing.T) {
+	b := heatingBoard(t, codegen.Instrument{}, Config{Baud: 1_000_000})
+	b.PreLatch = nil
+	sendIn(t, b, protocol.Instruction{Type: protocol.InSetBreak, Source: "poke", Arg1: "heater.thermostat.__state == 5"})
+	b.RunFor(10_000_000)
+	if b.Halted() {
+		t.Fatal("predicate tripped before the poke")
+	}
+	idx, ok := b.Prog.Symbols.Index("heater.thermostat.__state")
+	if !ok {
+		t.Fatal("state symbol missing")
+	}
+	probe := jtag.NewProbe(b.TAP)
+	probe.Reset()
+	probe.WriteWord(b.Prog.Symbols.Sym(idx).Addr, 5)
+	for i := 0; i < 20 && !b.Halted(); i++ {
+		b.RunFor(1_000_000)
+	}
+	if !b.Halted() {
+		t.Fatal("JTAG-poked symbol never tripped its predicate")
+	}
+	if b.TargetBreaks()[0].Hits != 1 {
+		t.Errorf("hits = %d, want 1", b.TargetBreaks()[0].Hits)
+	}
+}
+
+// BenchmarkBreakCheckScaling is the satellite micro-benchmark: per-board
+// cost of one virtual millisecond with N armed never-true predicates over
+// N distinct symbols. With the symbol index the cost stays flat in N
+// (each store evaluates only its own symbol's predicate); the un-indexed
+// agent scaled linearly (every store evaluated all N).
+func BenchmarkBreakCheckScaling(b *testing.B) {
+	sys, err := models.ChainFSM(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := codegen.Compile(sys, codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nbp := range []int{0, 1, 8, 32} {
+		b.Run(fmt.Sprintf("breakpoints=%d", nbp), func(b *testing.B) {
+			brd, err := NewBoard("main", prog, Config{Baud: 1_000_000}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			armed := 0
+			for _, sym := range prog.Symbols.All() {
+				if armed >= nbp {
+					break
+				}
+				// Distinct VM-stored symbols only (the machines' y outputs).
+				if sym.Element != "" || !strings.HasSuffix(sym.Name, ".y") {
+					continue
+				}
+				if err := brd.agent.set(fmt.Sprintf("bp%d", armed), sym.Name+" < -1e18"); err != nil {
+					b.Fatal(err)
+				}
+				armed++
+			}
+			if armed < nbp {
+				b.Fatalf("only %d of %d symbols armable", armed, nbp)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				brd.RunFor(1_000_000)
+			}
+			b.ReportMetric(float64(brd.InstrumentationCycles())/float64(b.N), "check-cycles/ms")
+		})
+	}
+	// The O(bps) -> O(affected) payoff in one row: 32 armed predicates
+	// whose symbol never changes cost (almost) nothing per store — the
+	// un-indexed agent evaluated all 32 at every one of the ~100 store
+	// sites per release.
+	b.Run("breakpoints=32-untouched-symbol", func(b *testing.B) {
+		brd, err := NewBoard("main", prog, Config{Baud: 1_000_000}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			if err := brd.agent.set(fmt.Sprintf("bp%d", i), "chain.x__io > 1e18"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			brd.RunFor(1_000_000)
+		}
+		b.ReportMetric(float64(brd.InstrumentationCycles())/float64(b.N), "check-cycles/ms")
+	})
+}

@@ -53,9 +53,21 @@ func (r boardRAM) ReadMem(addr uint32, p []byte) {
 	}
 }
 
-// WriteMem implements jtag.Memory.
+// WriteMem implements jtag.Memory. Like every RAM write that bypasses the
+// VM's store hook, a debug-port poke marks the touched symbols' breakpoint
+// predicates hot so they are evaluated at the next check site.
 func (r boardRAM) WriteMem(addr uint32, p []byte) {
-	if int64(addr) < int64(len(r.b.ram)) {
-		copy(r.b.ram[addr:], p)
+	if int64(addr) >= int64(len(r.b.ram)) {
+		return
+	}
+	copy(r.b.ram[addr:], p)
+	if len(r.b.agent.bps) == 0 {
+		return
+	}
+	end := addr + uint32(len(p))
+	for _, sym := range r.b.Prog.Symbols.All() {
+		if sym.Addr < end && addr < sym.Addr+sym.Size {
+			r.b.agent.touch(sym.Name)
+		}
 	}
 }

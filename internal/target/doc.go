@@ -20,6 +20,55 @@
 //     are emitted, and Config.Bindings route published values to consumer
 //     actors (directly on the same board, or through the cluster network).
 //
+// # Scheduling policies
+//
+// Config.Sched selects how releases become CPU time. Under dtm.Cooperative
+// (the default) every release runs to completion at its release instant at
+// zero modeled preemption cost; TaskSpec.Priority is ignored and a miss
+// means "the body's own cost exceeds the deadline". Under
+// dtm.FixedPriority each release is a resumable job: the board keeps one
+// persistent codegen.Machine per unit (pooled across releases), executes
+// bodies in budgeted VM slices bounded by the next release instant of any
+// task, and a higher-priority release preempts the running body at the
+// instruction boundary where its slice ends. Context switches cost
+// Config.CtxSwitchCycles of CPU; preemptions and deadline misses are
+// announced with EvPreempt / EvDeadlineMiss frames and mirrored into the
+// kernel-maintained "<actor>.__preempts" / "<actor>.__misses" RAM symbols,
+// where the passive JTAG interface and on-target breakpoint conditions
+// (engine.MissBreakpoint, Wizard.BreakOnDeadlineMiss) can see them.
+//
+// The policy/halt semantics matrix:
+//
+//	                         Cooperative                 FixedPriority
+//	release execution        whole body at the release   priority-ordered slices;
+//	                         instant, run-to-completion  preempted at instruction
+//	                                                     boundaries
+//	deadline miss            body cost > deadline,       job unfinished at the
+//	                         counted at the release      latch instant, counted
+//	                                                     (and EvDeadlineMiss sent)
+//	                                                     at the latch
+//	missed release publish   outputs still latch at the  late publish at job
+//	                         deadline instant            completion
+//	on-target break hit      halt-at-instruction; VM     halt-at-instruction; the
+//	                         parked, deadline latch      job leaves the ready
+//	                         suppressed (ErrSuspended)   queue, latch suppressed
+//	resume after suspension  interrupted body finishes   job re-enters the ready
+//	                         first, then the skipped     queue; priority order
+//	                         latch is made up            decides what runs; the
+//	                                                     made-up latch publishes
+//	                                                     at completion
+//	host Halt (InPause)      releases skipped, rhythm    releases skipped; a job
+//	                         kept; pre-latched outputs   caught mid-body freezes
+//	                         still publish               and continues on Resume
+//	host-side breakpoints    halt-after-frame: react     identical — plus the
+//	                         once the event frame has    EvPreempt/EvDeadlineMiss
+//	                         crossed the line            patterns become matchable
+//	                                                     events
+//	equal-priority ties      n/a (release order)         FIFO by release order; a
+//	                                                     preempted job resumes
+//	                                                     before later equal-
+//	                                                     priority releases
+//
 // Cycle accounting is split: Cycles is everything the CPU executed,
 // InstrumentationCycles is the part attributable to the active command
 // interface (OpEmit instructions plus deadline signal emits). A clean or

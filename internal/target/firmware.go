@@ -23,6 +23,7 @@ func (b *Board) release(u *codegen.Unit, now uint64) {
 	if b.PreLatch != nil {
 		b.PreLatch(now, u.Name)
 	}
+	armed := len(b.agent.bps) > 0
 	for _, lp := range u.InLatch {
 		v, err := b.LoadSym(lp.Work)
 		if err != nil {
@@ -32,33 +33,142 @@ func (b *Board) release(u *codegen.Unit, now uint64) {
 		if err := b.StoreSym(lp.Out, v); err != nil {
 			b.fail(err)
 		}
+		if armed {
+			// Latch copies bypass the VM's store hook; predicates over the
+			// latched symbols get evaluated at the body's next check site.
+			b.agent.touch(b.Prog.Symbols.Sym(lp.Out).Name)
+		}
 	}
 }
 
-// execute runs the unit body on the VM, accounts cycles and sends any
-// instrumentation events raised by OpEmit. It returns the virtual
-// execution cost so the scheduler can detect deadline overruns. When the
-// breakpoint agent halts the VM mid-body, the release is suspended: the
-// machine is kept for resumption, an EvBreak/EvStepped frame stamped with
-// the triggering instruction's virtual time goes on the wire, and
-// dtm.ErrSuspended tells the scheduler to skip the deadline latch.
+// execute runs the unit body to completion on a pooled VM machine —
+// the Cooperative policy's release path. Cycles are accounted and any
+// instrumentation events raised by OpEmit go on the wire. It returns the
+// virtual execution cost so the scheduler can detect deadline overruns.
+// When the breakpoint agent halts the VM mid-body, the release is
+// suspended: the machine is kept for resumption, an EvBreak/EvStepped
+// frame stamped with the triggering instruction's virtual time goes on
+// the wire, and dtm.ErrSuspended tells the scheduler to skip the deadline
+// latch.
 func (b *Board) execute(u *codegen.Unit, now uint64) (uint64, error) {
-	m := codegen.NewMachine(b.Prog, u.Body, b)
+	ue := b.exec[u.Name]
+	m := ue.acquire(b)
 	m.Hook = b.agent.hook()
 	res, err := m.Run()
 	b.account(res)
 	b.flushEmits(now, res.Emits)
 	cost := b.cyclesToNs(res.Cycles)
 	if err != nil {
+		ue.recycle(m)
 		return cost, err
 	}
 	if res.BreakPC >= 0 {
-		b.susp = &suspended{u: u, m: m, rel: now, prev: res}
+		b.susp = &suspended{u: u, ue: ue, m: m, rel: now, prev: res}
 		b.sched.Halt()
 		b.send(b.agent.hitEvent(now + cost))
 		return cost, dtm.ErrSuspended
 	}
+	ue.recycle(m)
 	return cost, nil
+}
+
+// sliceUnit runs one budgeted slice of a release under the FixedPriority
+// policy — the dtm.Task.Slice hook. The first slice of a release acquires
+// a pooled machine; later slices continue it from the interrupted
+// instruction. Cycles and emits are accounted as deltas against the
+// portion already charged, so a release preempted five times costs
+// exactly what it costs uninterrupted (plus context switches). A
+// breakpoint hit inside any slice suspends the release exactly as in the
+// cooperative path, with the machine parked for resumption.
+func (b *Board) sliceUnit(ue *unitExec, release, now, budgetNs uint64) (uint64, bool, error) {
+	if !ue.active || ue.rel != release {
+		ue.m = ue.acquire(b)
+		ue.rel = release
+		ue.active = true
+		ue.prev = codegen.ExecResult{BreakPC: -1}
+	}
+	m := ue.m
+	m.Hook = b.agent.hook() // breakpoints may have changed between slices
+	budget := b.nsToCycles(budgetNs)
+	if budget == 0 {
+		budget = 1 // always make progress, even on sub-cycle budgets
+	}
+	res, err := m.RunBudget(budget)
+	delta := res.Cycles - ue.prev.Cycles
+	b.cycles += delta
+	b.instr += res.CheckCycles - ue.prev.CheckCycles
+	newEmits := res.Emits[len(ue.prev.Emits):]
+	b.instr += uint64(len(newEmits)) * codegen.EmitCycles
+	b.flushEmits(now, newEmits)
+	used := b.cyclesToNsCeil(delta)
+	if err != nil {
+		ue.active = false
+		ue.recycle(m)
+		return used, false, err
+	}
+	if res.BreakPC >= 0 {
+		ue.prev = res
+		b.sched.Halt()
+		b.send(b.agent.hitEvent(now + used))
+		return used, false, dtm.ErrSuspended
+	}
+	if m.Done() {
+		ue.active = false
+		ue.recycle(m)
+		return used, true, nil
+	}
+	ue.prev = res
+	return used, false, nil
+}
+
+// missed is the FixedPriority scheduler's deadline-miss hook, invoked at
+// the latch instant of an unfinished release: the kernel counter lands in
+// the task's __misses RAM symbol (visible to the passive JTAG interface),
+// an EvDeadlineMiss frame goes out on the UART, and on-target breakpoint
+// conditions over the counter are checked — so "break on deadline miss"
+// halts the board at the miss itself.
+func (b *Board) missed(now uint64, t *dtm.Task) {
+	u := b.units[t.Name]
+	name := b.Prog.Symbols.Sym(u.MissSym).Name
+	if err := b.StoreSym(u.MissSym, value.I(int64(t.DeadlineMisses))); err != nil {
+		b.fail(err)
+	}
+	b.send(protocol.Event{
+		Type: protocol.EvDeadlineMiss, Time: now, Source: t.Name,
+		Value: float64(t.DeadlineMisses),
+	})
+	b.checkSchedSym(now, name, value.I(int64(t.DeadlineMisses)))
+}
+
+// preempted is the FixedPriority scheduler's preemption hook: counter to
+// RAM, EvPreempt on the wire, breakpoint conditions over __preempts
+// checked at the preemption boundary.
+func (b *Board) preempted(now uint64, t, by *dtm.Task) {
+	u := b.units[t.Name]
+	name := b.Prog.Symbols.Sym(u.PreemptSym).Name
+	if err := b.StoreSym(u.PreemptSym, value.I(int64(t.Preemptions))); err != nil {
+		b.fail(err)
+	}
+	b.send(protocol.Event{
+		Type: protocol.EvPreempt, Time: now, Source: t.Name, Arg1: by.Name,
+		Value: float64(t.Preemptions),
+	})
+	b.checkSchedSym(now, name, value.I(int64(t.Preemptions)))
+}
+
+// checkSchedSym runs the indexed breakpoint check for one scheduling
+// counter symbol the kernel just wrote.
+func (b *Board) checkSchedSym(now uint64, sym string, v value.Value) {
+	if len(b.agent.bps) == 0 || b.sched.Halted() {
+		return
+	}
+	hit, cost := b.agent.check([]string{sym}, sym, v, true)
+	b.cycles += cost
+	b.instr += cost
+	if hit {
+		b.sched.Halt()
+		b.send(b.agent.hitEvent(now))
+	}
 }
 
 // cyclesToNs is the full-precision cycle -> time conversion (per run, so
@@ -67,9 +177,23 @@ func (b *Board) cyclesToNs(cycles uint64) uint64 {
 	return cycles * 1_000_000_000 / b.cfg.CPUHz
 }
 
-// suspended is one release interrupted mid-body by the breakpoint agent.
+// cyclesToNsCeil rounds up, so any nonzero slice of work consumes at
+// least one nanosecond of virtual time and the preemptive scheduler
+// always makes progress on cores faster than 1 GHz.
+func (b *Board) cyclesToNsCeil(cycles uint64) uint64 {
+	return (cycles*1_000_000_000 + b.cfg.CPUHz - 1) / b.cfg.CPUHz
+}
+
+// nsToCycles converts a slice budget to VM cycles (floor).
+func (b *Board) nsToCycles(ns uint64) uint64 {
+	return ns * b.cfg.CPUHz / 1_000_000_000
+}
+
+// suspended is one release interrupted mid-body by the breakpoint agent
+// under the Cooperative policy.
 type suspended struct {
 	u    *codegen.Unit
+	ue   *unitExec
 	m    *codegen.Machine
 	rel  uint64             // release instant
 	prev codegen.ExecResult // portion already accounted and flushed
@@ -79,7 +203,9 @@ type suspended struct {
 // the VM continues from the instruction after the hit, newly raised emits
 // and cycles are accounted as a delta, and the deadline latch that
 // dtm.ErrSuspended skipped is made up. Re-hitting a breakpoint during the
-// continuation re-suspends.
+// continuation re-suspends. Under the FixedPriority policy suspensions
+// live inside the scheduler's job queue instead (b.susp stays nil), so
+// this is a no-op there.
 func (b *Board) runSuspended() {
 	if b.susp == nil || b.sched.Halted() {
 		return
@@ -95,6 +221,7 @@ func (b *Board) runSuspended() {
 	b.flushEmits(now, newEmits)
 	if err != nil {
 		b.susp = nil
+		s.ue.recycle(s.m)
 		b.fail(err)
 		return
 	}
@@ -105,6 +232,7 @@ func (b *Board) runSuspended() {
 		return
 	}
 	b.susp = nil
+	s.ue.recycle(s.m)
 	u, rel := s.u, s.rel
 	if d := rel + u.Deadline; d > now {
 		_ = b.kernel.Schedule(d, func(n uint64) { b.deadline(u, n) })
@@ -181,7 +309,7 @@ func (b *Board) deadline(u *codegen.Unit, now uint64) {
 		return
 	}
 	if len(b.agent.bps) > 0 {
-		hit, cost := b.agent.check(u.Name, value.Value{}, false)
+		hit, cost := b.agent.check(b.pubSyms[u.Name], u.Name, value.Value{}, false)
 		b.cycles += cost
 		b.instr += cost
 		if hit {
@@ -312,6 +440,9 @@ func (b *Board) service(in protocol.Instruction, now uint64) {
 	case protocol.InWriteVar:
 		if idx, ok := b.Prog.Symbols.Index(in.Source); ok {
 			if err := b.StoreSym(idx, value.F(in.Value)); err == nil {
+				// A host write bypasses the VM's store hook; predicates
+				// over the symbol fire at the next check site.
+				b.agent.touch(in.Source)
 				b.ackWatch(in.Source, now)
 			}
 		}

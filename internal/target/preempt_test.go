@@ -1,0 +1,264 @@
+package target
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/comdes"
+	"repro/internal/dtm"
+	"repro/internal/protocol"
+	"repro/internal/value"
+	"repro/models"
+)
+
+// priorityBoard boots models.PriorityLoad preemptively on a 1 MHz core
+// with a fast line (the incident stream would saturate 115200 baud). The
+// environment feeds lowly.x = 7 so values propagating through the gain
+// chain are observable by value-carrying breakpoint conditions.
+func priorityBoard(t testing.TB, instr codegen.Instrument) *Board {
+	t.Helper()
+	sys, err := models.PriorityLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(sys, codegen.Options{Instrument: instr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBoard("main", prog, Config{
+		CPUHz: 1_000_000, Sched: dtm.FixedPriority, Baud: 2_000_000,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PreLatch = func(now uint64, actor string) {
+		if actor == "lowly" {
+			_ = b.WriteInput("lowly", "x", value.F(7))
+		}
+	}
+	return b
+}
+
+// drainTypes runs the board collecting decoded events of the given types.
+func drainTypes(t testing.TB, b *Board, dec *protocol.Decoder, ms int, types ...protocol.EventType) []protocol.Event {
+	t.Helper()
+	var out []protocol.Event
+	for i := 0; i < ms; i++ {
+		b.RunFor(1_000_000)
+		evs, _ := dec.Feed(b.HostPort().Recv())
+		for _, ev := range evs {
+			for _, want := range types {
+				if ev.Type == want {
+					out = append(out, ev)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestBreakInsidePreemptedRelease: a condition over the *last* symbol the
+// lowly body stores can only become true after the release has survived
+// several preemptions — the halt therefore lands milliseconds after the
+// release instant, inside a resumed slice, at the triggering instruction.
+func TestBreakInsidePreemptedRelease(t *testing.T) {
+	b := priorityBoard(t, codegen.Instrument{})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InSetBreak, Source: "deep", Arg1: "lowly.g49.out == 7"})
+	var dec protocol.Decoder
+	var hit *protocol.Event
+	for i := 0; i < 40 && hit == nil; i++ {
+		b.RunFor(1_000_000)
+		evs, _ := dec.Feed(b.HostPort().Recv())
+		for _, ev := range evs {
+			if ev.Type == protocol.EvBreak {
+				ev := ev
+				hit = &ev
+			}
+		}
+	}
+	if hit == nil {
+		t.Fatal("breakpoint inside the preempted release never hit")
+	}
+	if !b.Halted() {
+		t.Fatal("board not halted at the hit")
+	}
+	if hit.Arg1 != "lowly.g49.out" || hit.Value != 7 {
+		t.Errorf("trigger = %s = %g, want lowly.g49.out = 7", hit.Arg1, hit.Value)
+	}
+	// The store of g49.out is the tail of a ~600 µs body that only gets
+	// ~120 µs of CPU per millisecond: the hit must land after at least two
+	// preemptions, far from the release instant.
+	if hit.Time < 2_000_000 {
+		t.Errorf("hit at %d ns — the release cannot have been preempted yet", hit.Time)
+	}
+	var lowly *dtm.Task
+	for _, task := range b.sched.Tasks() {
+		if task.Name == "lowly" {
+			lowly = task
+		}
+	}
+	if lowly.Preemptions < 2 {
+		t.Errorf("lowly preemptions at hit = %d, want >= 2", lowly.Preemptions)
+	}
+	if lowly.Suspensions != 1 {
+		t.Errorf("lowly suspensions = %d, want 1", lowly.Suspensions)
+	}
+	// The suspended release's output has not published.
+	if v, err := b.ReadOutput("lowly", "y"); err != nil || v.Float() != 0 {
+		t.Errorf("lowly.y published %v during suspension", v)
+	}
+	// Clear + resume: the interrupted release completes (its latch passed
+	// long ago, so it late-publishes) and the board keeps scheduling.
+	sendIn(t, b, protocol.Instruction{Type: protocol.InClearBreak, Source: "deep"})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InResume})
+	// Two pumps: the first services the resume (re-queueing the job at
+	// the window boundary), the second runs the completion event and its
+	// late publish.
+	b.RunFor(2_000_000)
+	b.RunFor(2_000_000)
+	if b.Halted() {
+		t.Fatal("resume not serviced")
+	}
+	if v, err := b.ReadOutput("lowly", "y"); err != nil || v.Float() != 7 {
+		t.Errorf("late publish = %v, want 7", v)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepAcrossPreemptionBoundary: with a release suspended mid-body by
+// the agent, InStep resumes the board and completes at the next model
+// event — the late deadline publish of the preempted release — leaving
+// the board halted again with exactly one EvStepped on the wire.
+func TestStepAcrossPreemptionBoundary(t *testing.T) {
+	b := priorityBoard(t, codegen.Instrument{})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InSetBreak, Source: "deep", Arg1: "lowly.g49.out == 7"})
+	for i := 0; i < 40 && !b.Halted(); i++ {
+		b.RunFor(1_000_000)
+	}
+	if !b.Halted() {
+		t.Fatal("breakpoint never hit")
+	}
+	suspendedAt := b.Now()
+	sendIn(t, b, protocol.Instruction{Type: protocol.InClearBreak, Source: "deep"})
+	sendIn(t, b, protocol.Instruction{Type: protocol.InStep})
+	var dec protocol.Decoder
+	stepped := drainTypes(t, b, &dec, 5, protocol.EvStepped)
+	if len(stepped) != 1 {
+		t.Fatalf("%d EvStepped frames, want 1", len(stepped))
+	}
+	if !b.Halted() {
+		t.Fatal("completed step left the board running")
+	}
+	if at := stepped[0].Time; at < suspendedAt {
+		t.Errorf("step completed at %d ns, before the suspension at %d ns", at, suspendedAt)
+	}
+	// The step's model event was the resumed release's late publish.
+	if v, err := b.ReadOutput("lowly", "y"); err != nil || v.Float() != 7 {
+		t.Errorf("lowly.y = %v after the step, want the late publish 7", v)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// preemptCluster places a light producer on nodeA and the hog+lowly pair
+// on nodeB, with a cross-node binding feeding lowly's input — so nodeB
+// preempts and misses while nodeA stays clean, and the network value must
+// keep re-latching into the preempted consumer.
+func preemptCluster(t *testing.T) (*Cluster, *comdes.System) {
+	t.Helper()
+	sys, err := models.PriorityLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodNet := comdes.NewNetwork("pnet", nil, []comdes.Port{{Name: "v", Kind: value.Float}})
+	prodNet.MustAdd(comdes.MustComponent("const", "one", map[string]value.Value{"value": value.F(1)}))
+	prodNet.MustAdd(comdes.MustComponent("sum", "acc", nil))
+	prodNet.MustConnect("one", "out", "acc", "a").
+		MustConnect("acc", "out", "acc", "b").
+		MustConnect("acc", "out", "", "v")
+	prod, err := comdes.NewActor("light", prodNet, comdes.TaskSpec{
+		PeriodNs: 1_000_000, DeadlineNs: 500_000, Priority: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddActor(prod); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bind("ramp", "light", "v", "lowly", "x"); err != nil {
+		t.Fatal(err)
+	}
+	for actor, node := range map[string]string{"light": "nodeA", "hog": "nodeB", "lowly": "nodeB"} {
+		if err := sys.Place(actor, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := BuildCluster(sys, ClusterConfig{
+		LatencyNs: 100_000,
+		Board:     Config{CPUHz: 1_000_000, Sched: dtm.FixedPriority, Baud: 2_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, sys
+}
+
+// TestClusterRemoteNodeDeadlineMiss: the contended node of a shared-clock
+// cluster reports its overruns over its own UART while its sibling keeps
+// every deadline, and cross-node state messages keep re-latching into the
+// preempted consumer.
+func TestClusterRemoteNodeDeadlineMiss(t *testing.T) {
+	cl, _ := preemptCluster(t)
+	nodeA, nodeB := cl.Boards["nodeA"], cl.Boards["nodeB"]
+	var dec protocol.Decoder
+	var misses, preempts []protocol.Event
+	for i := 0; i < 40; i++ {
+		cl.RunUntil(cl.Now() + 1_000_000)
+		evs, _ := dec.Feed(nodeB.HostPort().Recv())
+		for _, ev := range evs {
+			switch ev.Type {
+			case protocol.EvDeadlineMiss:
+				misses = append(misses, ev)
+			case protocol.EvPreempt:
+				preempts = append(preempts, ev)
+			}
+		}
+	}
+	for _, n := range cl.Nodes() {
+		if err := cl.Boards[n].Err(); err != nil {
+			t.Fatalf("node %s error: %v", n, err)
+		}
+	}
+	if len(misses) == 0 {
+		t.Fatal("no EvDeadlineMiss frames from the contended remote node")
+	}
+	if misses[0].Source != "lowly" {
+		t.Errorf("missing task = %q, want lowly", misses[0].Source)
+	}
+	if len(preempts) == 0 {
+		t.Fatal("no EvPreempt frames from the contended remote node")
+	}
+	if nodeA.DeadlineMisses() != 0 {
+		t.Errorf("uncontended nodeA missed %d deadlines", nodeA.DeadlineMisses())
+	}
+	if nodeB.DeadlineMisses() == 0 {
+		t.Error("contended nodeB recorded no misses")
+	}
+	// Cross-node re-latch under preemption: the light producer's ramp must
+	// have reached lowly's latched input on nodeB despite every one of its
+	// releases being preempted mid-body.
+	idx, ok := nodeB.Prog.Symbols.Index("lowly.x")
+	if !ok {
+		t.Fatal("lowly.x symbol missing")
+	}
+	v, err := nodeB.LoadSym(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() < 10 {
+		t.Errorf("lowly.x = %v after 40 ms, want the ramp to have re-latched (>= 10)", v)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metamodel"
+	"repro/internal/protocol"
 )
 
 // ---- plugin registry ----
@@ -304,4 +305,31 @@ func (w *Wizard) ClearBreakpoint(id string) error {
 		return err
 	}
 	return w.session.ClearBreakpoint(id)
+}
+
+// BreakOnDeadlineMiss arms the standard deadline-overrun breakpoint for
+// an actor (step 5): over the active serial channel the condition runs on
+// the target's scheduling counters and halts the board at the latch
+// instant of the missing release; over passive channels the EvDeadlineMiss
+// event pattern is filtered host-side.
+func (w *Wizard) BreakOnDeadlineMiss(id, actor string) error {
+	if err := w.requireStep(StepDebugging); err != nil {
+		return err
+	}
+	return w.session.SetBreakpoint(engine.MissBreakpoint(id, actor))
+}
+
+// BreakOnPreemption arms a breakpoint on an actor being preempted (step
+// 5): on-target over the __preempts scheduling counter when the active
+// channel is attached, host-side on the EvPreempt pattern otherwise.
+func (w *Wizard) BreakOnPreemption(id, actor string) error {
+	if err := w.requireStep(StepDebugging); err != nil {
+		return err
+	}
+	return w.session.SetBreakpoint(engine.Breakpoint{
+		ID:         id,
+		Event:      protocol.EvPreempt,
+		Source:     actor,
+		TargetCond: actor + ".__preempts > 0",
+	})
 }

@@ -354,4 +354,28 @@ func TestWizardBreakpoints(t *testing.T) {
 	if err := w.ClearBreakpoint("ghost"); err == nil {
 		t.Error("clearing unknown breakpoint should fail")
 	}
+	// The scheduling-incident conveniences arm on the target through the
+	// same channel: conditions over the kernel's __misses / __preempts
+	// RAM counters.
+	if err := w.BreakOnDeadlineMiss("dl", "heater"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BreakOnPreemption("pre", "heater"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"dl", "pre"} {
+		found := false
+		for _, bp := range s.Breakpoints() {
+			if bp.ID == id && bp.OnTarget() {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("wizard %s breakpoint not armed on target", id)
+		}
+	}
+	b.RunFor(10_000_000)
+	if n := len(b.TargetBreaks()); n != 2 {
+		t.Errorf("agent armed %d conditions, want 2", n)
+	}
 }

@@ -154,6 +154,55 @@ func Heating(opt HeatingOptions) (*comdes.System, error) {
 	return sys, sys.Validate()
 }
 
+// PriorityLoad is the preemptive-scheduling demonstrator: a high-priority
+// "hog" actor whose body eats most of the CPU every millisecond, and a
+// low-priority "lowly" actor whose modest body cannot finish inside its
+// deadline once the hog keeps preempting it. On a 1 MHz board
+// (target.Config{CPUHz: 1_000_000}) under dtm.FixedPriority the lowly task
+// misses every deadline (it needs ~600 µs of CPU but gets ~120 µs per
+// millisecond gap); run cooperatively the same model meets every deadline,
+// because each release executes at its release instant with zero modeled
+// interference — the difference the DTM timing experiments need to observe.
+func PriorityLoad() (*comdes.System, error) {
+	mkChain := func(actor string, blocks int, task comdes.TaskSpec) (*comdes.Actor, error) {
+		net := comdes.NewNetwork(actor+"net",
+			[]comdes.Port{{Name: "x", Kind: value.Float}},
+			[]comdes.Port{{Name: "y", Kind: value.Float}})
+		prev, prevPort := "", "x"
+		for i := 0; i < blocks; i++ {
+			g := comdes.MustComponent("gain", fmt.Sprintf("g%d", i), map[string]value.Value{"k": value.F(1)})
+			net.MustAdd(g)
+			net.MustConnect(prev, prevPort, g.Name(), "in")
+			prev, prevPort = g.Name(), "out"
+		}
+		net.MustConnect(prev, prevPort, "", "y")
+		return comdes.NewActor(actor, net, task)
+	}
+	// Each gain block compiles to LOAD+PUSH+MUL+STORE = 12 VM cycles, so
+	// the hog body costs ~804 cycles (~804 µs at 1 MHz, ~80% utilisation
+	// at its 1 ms period) and the lowly body ~600 cycles.
+	hog, err := mkChain("hog", 67, comdes.TaskSpec{
+		PeriodNs: 1_000_000, DeadlineNs: 1_000_000, Priority: 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lowly, err := mkChain("lowly", 50, comdes.TaskSpec{
+		PeriodNs: 8_000_000, DeadlineNs: 2_000_000, Priority: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := comdes.NewSystem("priorityload")
+	if err := sys.AddActor(hog); err != nil {
+		return nil, err
+	}
+	if err := sys.AddActor(lowly); err != nil {
+		return nil, err
+	}
+	return sys, sys.Validate()
+}
+
 // TokenRing builds n actors whose state machines pass a token around a
 // ring — the paper's "multiple state machine models interacting with each
 // other" (multi-instance input models, experiment E11). Actor 0 starts

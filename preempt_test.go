@@ -1,0 +1,151 @@
+package repro
+
+// The acceptance test of the preemptive fixed-priority execution core: on
+// the same compiled binary and the same 1 MHz core, the low-priority task
+// of models.PriorityLoad provably misses its deadline under preemptive
+// scheduling — because the high-priority hog keeps taking the CPU — and
+// meets it when run cooperatively. The scheduling incidents are observable
+// over both command interfaces (EvPreempt/EvDeadlineMiss frames on the
+// active UART, kernel-counter watches translated to the same events over
+// passive JTAG) and usable as on-target breakpoint conditions.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dtm"
+	"repro/internal/protocol"
+	"repro/internal/target"
+	"repro/models"
+)
+
+func priorityDebugger(t *testing.T, tp Transport, policy dtm.Policy) *Debugger {
+	t.Helper()
+	sys, err := models.PriorityLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := Debug(sys, DebugConfig{
+		Transport: tp,
+		Board:     target.Config{CPUHz: 1_000_000, Sched: policy, Baud: 2_000_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dbg
+}
+
+func taskByName(t *testing.T, dbg *Debugger, name string) *dtm.Task {
+	t.Helper()
+	for _, task := range dbg.Board.Tasks() {
+		if task.Name == name {
+			return task
+		}
+	}
+	t.Fatalf("no task %q", name)
+	return nil
+}
+
+func TestPreemptiveMissesCooperativeMeets(t *testing.T) {
+	fp := priorityDebugger(t, Active, dtm.FixedPriority)
+	if err := fp.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Board.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lowly := taskByName(t, fp, "lowly")
+	if lowly.DeadlineMisses == 0 {
+		t.Fatal("preemptive: lowly never missed its deadline")
+	}
+	if lowly.Preemptions == 0 {
+		t.Fatal("preemptive: lowly was never preempted")
+	}
+	if hog := taskByName(t, fp, "hog"); hog.DeadlineMisses != 0 {
+		t.Errorf("preemptive: high-priority hog missed %d deadlines", hog.DeadlineMisses)
+	}
+	if lowly.WorstResponseNs <= 2_000_000 {
+		t.Errorf("lowly worst response %d ns not past its 2 ms deadline", lowly.WorstResponseNs)
+	}
+	if fp.Board.CtxSwitches() == 0 {
+		t.Error("preemptive run charged no context switches")
+	}
+	// The incidents crossed the UART as model-level events.
+	if n := fp.Session.Trace.OfType(protocol.EvPreempt).Len(); n == 0 {
+		t.Error("no EvPreempt frames over the active interface")
+	}
+	if n := fp.Session.Trace.OfType(protocol.EvDeadlineMiss).Len(); n == 0 {
+		t.Error("no EvDeadlineMiss frames over the active interface")
+	}
+
+	// Same binary, cooperative: every deadline met.
+	co := priorityDebugger(t, Active, dtm.Cooperative)
+	if err := co.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Board.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := taskByName(t, co, "lowly").DeadlineMisses; n != 0 {
+		t.Errorf("cooperative: lowly missed %d deadlines", n)
+	}
+	if n := co.Session.Trace.OfType(protocol.EvPreempt).Len(); n != 0 {
+		t.Errorf("cooperative run produced %d EvPreempt frames", n)
+	}
+}
+
+// TestPreemptEventsOverJTAG: the passive interface sees the same
+// incidents — the JTAG watch engine polls the kernel's __misses/__preempts
+// RAM counters at zero target cost and the watch translator synthesises
+// EvDeadlineMiss/EvPreempt from their growth.
+func TestPreemptEventsOverJTAG(t *testing.T) {
+	dbg := priorityDebugger(t, Passive, dtm.FixedPriority)
+	if err := dbg.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Board.InstrumentationCycles() != 0 {
+		t.Errorf("passive preemptive run charged %d instrumentation cycles",
+			dbg.Board.InstrumentationCycles())
+	}
+	if n := dbg.Session.Trace.OfType(protocol.EvDeadlineMiss).Len(); n == 0 {
+		t.Error("no EvDeadlineMiss over passive JTAG")
+	}
+	if n := dbg.Session.Trace.OfType(protocol.EvPreempt).Len(); n == 0 {
+		t.Error("no EvPreempt over passive JTAG")
+	}
+}
+
+// TestBreakOnDeadlineMissOnTarget: the miss counter is a breakpoint
+// condition like any other symbol — the board halts at the latch instant
+// of the first missed release, on the target, before anything else runs.
+func TestBreakOnDeadlineMissOnTarget(t *testing.T) {
+	dbg := priorityDebugger(t, Active, dtm.FixedPriority)
+	if err := dbg.BreakOnDeadlineMiss("dl-miss", "lowly"); err != nil {
+		t.Fatal(err)
+	}
+	bps := dbg.Session.Breakpoints()
+	if len(bps) != 1 || !bps[0].OnTarget() {
+		t.Fatalf("deadline-miss breakpoint not offloaded to the target: %+v", bps)
+	}
+	if err := dbg.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !dbg.Session.Paused() || !dbg.Board.Halted() {
+		t.Fatal("deadline-miss breakpoint did not halt the board")
+	}
+	if lb := dbg.Session.LastBreak; lb == nil || lb.ID != "dl-miss" {
+		t.Fatalf("LastBreak = %+v", dbg.Session.LastBreak)
+	}
+	var hitAt uint64
+	for _, r := range dbg.Session.Trace.OfType(protocol.EvBreak).Records {
+		hitAt = r.Event.Time
+	}
+	// The first lowly release (at 0) misses at its 2 ms latch; the board
+	// halts right there, with exactly one miss recorded.
+	if hitAt != 2_000_000 {
+		t.Errorf("halt at %d ns, want the 2 ms latch instant", hitAt)
+	}
+	if n := taskByName(t, dbg, "lowly").DeadlineMisses; n != 1 {
+		t.Errorf("misses at halt = %d, want 1", n)
+	}
+}
