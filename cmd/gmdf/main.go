@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/checkpoint"
 	"repro/internal/comdes"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -35,6 +36,10 @@ func main() {
 	svgOut := flag.String("svg", "", "write the final animated frame (SVG) here")
 	breakMachine := flag.String("break-machine", "", "state machine to break on (e.g. heater.thermostat); on the active interface the breakpoint runs on the target itself")
 	breakState := flag.String("break-state", "", "state whose entry trips -break-machine (e.g. Heating)")
+	checkpointOut := flag.String("checkpoint", "", "write a serialized checkpoint of the final state here (restore it in a fresh process with -restore)")
+	restoreIn := flag.String("restore", "", "restore a checkpoint taken from a run of the same model, then continue for -ms (models with stateful environments need the in-process recorder instead)")
+	rewindMs := flag.Uint64("rewind", 0, "after the run, rewind the session to this virtual millisecond and report the state there (enables periodic checkpointing)")
+	traceOut := flag.String("trace", "", "write the stable-format session trace here (checkpoint-replay determinism diffs)")
 	flag.Parse()
 
 	sys, err := loadSystem(*model)
@@ -94,6 +99,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *restoreIn != "" {
+		cp, err := checkpoint.ReadFile(*restoreIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dbg.RestoreCheckpoint(cp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restored checkpoint: t=%.3f ms, %d trace records carried over\n",
+			float64(dbg.Board.Now())/1e6, dbg.Session.Trace.Len())
+	}
+
 	// Optional model-level breakpoint: set -> hit -> step -> clear ->
 	// continue, end to end over the selected command interface. On the
 	// active interface the condition is compiled onto the target-resident
@@ -109,6 +126,14 @@ func main() {
 			where = "on-target (resident agent)"
 		}
 		fmt.Printf("breakpoint: enter %s.%s — armed %s\n", *breakMachine, *breakState, where)
+	}
+	if *rewindMs > 0 {
+		// Periodic checkpoints + input/command logs: the session gains
+		// reverse execution (enabled after breakpoint arming so the initial
+		// checkpoint carries the armed condition).
+		if _, err := dbg.EnableCheckpointing(250 * time.Millisecond); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if err := dbg.RunNs(budget); err != nil {
 		log.Fatal(err)
@@ -143,6 +168,34 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
+	}
+
+	if *checkpointOut != "" {
+		cp, err := dbg.Checkpoint()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cp.WriteFile(*checkpointOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote checkpoint %s (t=%.3f ms)\n", *checkpointOut, float64(cp.Time)/1e6)
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, []byte(dbg.Session.Trace.FormatStable()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote trace %s (%d records)\n", *traceOut, dbg.Session.Trace.Len())
+	}
+
+	if *rewindMs > 0 {
+		landed, err := dbg.Session.RewindTo(*rewindMs * 1_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== rewound to %.3f ms ==\n", float64(landed)/1e6)
+		fmt.Print(dbg.RenderASCII())
+		fmt.Printf("trace now %d records; board halted=%v cycles=%d\n",
+			dbg.Session.Trace.Len(), dbg.Board.Halted(), dbg.Board.Cycles())
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/codegen"
 	"repro/internal/comdes"
 	"repro/internal/core"
@@ -81,6 +82,10 @@ type Debugger struct {
 	Probe   *jtag.Probe
 	Watcher *jtag.Watcher
 
+	// Recorder is non-nil once EnableCheckpointing has run.
+	Recorder *checkpoint.Recorder
+
+	serial   *engine.SerialSource // non-nil for active sessions
 	pollNs   uint64
 	nextPoll uint64
 }
@@ -140,7 +145,8 @@ func Debug(sys *comdes.System, cfg DebugConfig) (*Debugger, error) {
 	}
 	switch cfg.Transport {
 	case Active:
-		session.AddSource(engine.NewSerialSource(board.HostPort()))
+		d.serial = engine.NewSerialSource(board.HostPort())
+		session.AddSource(d.serial)
 	case Passive:
 		probe := jtag.NewProbe(board.TAP)
 		probe.Reset()
@@ -182,8 +188,46 @@ func (d *Debugger) RunNs(durNs uint64) error {
 		if _, err := d.Session.ProcessEvents(d.Board.Now()); err != nil {
 			return err
 		}
+		if d.Recorder != nil {
+			if err := d.Recorder.Observe(d.Board.Now()); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// EnableCheckpointing attaches a checkpoint recorder to the session: an
+// initial checkpoint is taken now and further ones every interval of
+// virtual time, while environment inputs and wire commands are logged.
+// The session gains working RewindTo/ReplayUntil (reverse-step to the
+// last checkpoint, deterministically re-execute forward). Enable after
+// arming standing breakpoints so the initial checkpoint carries them.
+func (d *Debugger) EnableCheckpointing(interval time.Duration) (*checkpoint.Recorder, error) {
+	if d.Recorder != nil {
+		return d.Recorder, nil
+	}
+	rec, err := checkpoint.Attach(d.Board, d.Session, d.serial, uint64(interval.Nanoseconds()))
+	if err != nil {
+		return nil, err
+	}
+	d.Recorder = rec
+	d.Session.AttachRewinder(rec)
+	return rec, nil
+}
+
+// Checkpoint captures the complete execution state — board and host side
+// — as one serializable value (see checkpoint.Checkpoint.WriteFile for
+// the cross-process form).
+func (d *Debugger) Checkpoint() (*checkpoint.Checkpoint, error) {
+	return checkpoint.Capture(d.Board, d.Session, d.serial)
+}
+
+// RestoreCheckpoint rewinds the debugger — board, session trace,
+// breakpoints, command channel — to a checkpoint taken from a debugger
+// built from the same model (this process or another).
+func (d *Debugger) RestoreCheckpoint(cp *checkpoint.Checkpoint) error {
+	return checkpoint.Apply(cp, d.Board, d.Session, d.serial)
 }
 
 // Continue resumes after a breakpoint and keeps running for dur.

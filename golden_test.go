@@ -13,7 +13,6 @@ package repro
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -83,15 +82,9 @@ func goldenScenario(t *testing.T) *Debugger {
 	return dbg
 }
 
-// formatTrace renders the trace in a stable line format.
+// formatTrace renders the trace in the shared stable line format.
 func formatTrace(d *Debugger) string {
-	var sb strings.Builder
-	for _, r := range d.Session.Trace.Records {
-		ev := r.Event
-		fmt.Fprintf(&sb, "%04d recv=%d seq=%d t=%d %s src=%q a1=%q a2=%q v=%g\n",
-			r.Seq, r.RecvNs, ev.Seq, ev.Time, ev.Type, ev.Source, ev.Arg1, ev.Arg2, ev.Value)
-	}
-	return sb.String()
+	return d.Session.Trace.FormatStable()
 }
 
 // assertGolden compares got against the golden file byte-for-byte,

@@ -1,0 +1,153 @@
+// Package checkpoint turns the explicit-state snapshots of the lower
+// layers into checkpoint-replay debugging: the paper's DTM workflow wants
+// to revisit the moment a timing anomaly occurred, but long runs were
+// one-shot — once the virtual clock passed a deadline miss, the only
+// recourse was a full rerun. A Checkpoint composes a board (or cluster)
+// snapshot with the host-side session state into one serializable value;
+// a Recorder takes them periodically while logging the non-deterministic
+// inputs (environment writes, host wire commands), so a session can
+// reverse-step to the last checkpoint and deterministically re-execute
+// forward to any instant (engine.Session.RewindTo / ReplayUntil).
+//
+// Determinism contract: everything below the host is a pure function of
+// the restored state — the kernel replays pending events in their original
+// sequence positions, the VM machines resume at exact instruction
+// boundaries, and the UART delivers the same bytes at the same instants.
+// The two inputs that are NOT functions of board state are captured in the
+// Recorder's logs: WriteInput stimuli (the environment/plant path) and
+// instructions the host sends over the wire. Host-side interactive actions
+// that never touch the wire (host-side Step on a passive session) are
+// outside the replay contract.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/target"
+)
+
+// Version is the serialized checkpoint format version.
+const Version = 1
+
+// HostState is the host half of a checkpoint: the session (trace,
+// breakpoints, run mode) and the serial command channel.
+type HostState struct {
+	Session engine.SessionState       `json:"session"`
+	Serial  *engine.SerialSourceState `json:"serial,omitempty"`
+}
+
+// Checkpoint is one complete execution state: a standalone board or a
+// whole cluster, plus (optionally) the host session attached to it. It is
+// a plain value — JSON-serializable, so a checkpoint written by one
+// process restores in a fresh one.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	Time    uint64 `json:"time"`
+
+	Board   *target.BoardState   `json:"board,omitempty"`
+	Cluster *target.ClusterState `json:"cluster,omitempty"`
+	Host    *HostState           `json:"host,omitempty"`
+}
+
+// Encode writes the checkpoint's serialized form.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c)
+}
+
+// Decode reads a checkpoint written by Encode.
+func Decode(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if c.Version != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", c.Version, Version)
+	}
+	return &c, nil
+}
+
+// WriteFile serializes the checkpoint to a file.
+func (c *Checkpoint) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile deserializes a checkpoint from a file.
+func ReadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Capture snapshots a standalone board plus the host session attached to
+// it. src may be nil for passive sessions (no command channel state).
+func Capture(b *target.Board, s *engine.Session, src *engine.SerialSource) (*Checkpoint, error) {
+	bs, err := b.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	cp := &Checkpoint{Version: Version, Time: b.Now(), Board: bs}
+	if s != nil {
+		host := &HostState{Session: s.Snapshot()}
+		if src != nil {
+			ss := src.Snapshot()
+			host.Serial = &ss
+		}
+		cp.Host = host
+	}
+	return cp, nil
+}
+
+// CaptureCluster snapshots a whole cluster (no host session — cluster
+// debugging sessions attach per node; callers snapshot those separately).
+func CaptureCluster(c *target.Cluster) (*Checkpoint, error) {
+	cs, err := c.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{Version: Version, Time: c.Now(), Cluster: cs}, nil
+}
+
+// Apply restores a board checkpoint onto a board built from the same
+// program (possibly in a fresh process) and rewinds the attached host
+// session alongside it.
+func Apply(cp *Checkpoint, b *target.Board, s *engine.Session, src *engine.SerialSource) error {
+	if cp.Board == nil {
+		return fmt.Errorf("checkpoint: no board state (cluster checkpoint? use ApplyCluster)")
+	}
+	if err := b.Restore(cp.Board); err != nil {
+		return err
+	}
+	if cp.Host != nil && s != nil {
+		if err := s.Restore(cp.Host.Session); err != nil {
+			return err
+		}
+		if cp.Host.Serial != nil && src != nil {
+			src.Restore(*cp.Host.Serial)
+		}
+	}
+	return nil
+}
+
+// ApplyCluster restores a cluster checkpoint.
+func ApplyCluster(cp *Checkpoint, c *target.Cluster) error {
+	if cp.Cluster == nil {
+		return fmt.Errorf("checkpoint: no cluster state")
+	}
+	return c.Restore(cp.Cluster)
+}

@@ -1,0 +1,86 @@
+package codegen
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestMachineSnapshotRestore freezes a machine mid-run — operand stack
+// populated, emits pending — pushes the state through JSON, restores it
+// onto a fresh machine, and requires the completed run to match an
+// uninterrupted one exactly.
+func TestMachineSnapshotRestore(t *testing.T) {
+	st := NewSymbolTable()
+	xi, _ := st.Alloc("x", value.Int, "")
+	yi, _ := st.Alloc("y", value.Int, "")
+	p := &Program{Name: "p", Symbols: st}
+	tmpl := p.eventIndex(EventTemplate{Source: "sig", WithValue: true})
+	// x = 2; emit(x); y = x*3 + 4
+	code := []Instr{
+		{Op: OpPush, A: p.constIndex(value.I(2))},
+		{Op: OpStore, A: int32(xi)},
+		{Op: OpLoad, A: int32(xi)},
+		{Op: OpEmit, A: tmpl, B: 1},
+		{Op: OpLoad, A: int32(xi)},
+		{Op: OpPush, A: p.constIndex(value.I(3))},
+		{Op: OpMul},
+		{Op: OpPush, A: p.constIndex(value.I(4))},
+		{Op: OpAdd},
+		{Op: OpStore, A: int32(yi)},
+	}
+
+	run := func(m *Machine) ExecResult {
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	control := NewMachine(p, code, NewMapBus(st))
+	want := run(control)
+
+	bus := NewMapBus(st)
+	m := NewMachine(p, code, bus)
+	// Step to the middle of the arithmetic (stack holds x*3, next push 4).
+	for i := 0; i < 7; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap2 MachineState
+	if err := json.Unmarshal(blob, &snap2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trash the original, restore onto a fresh machine over a bus seeded
+	// with the snapshot-time RAM (x already stored).
+	fresh := NewMachine(p, code, bus)
+	if err := fresh.Restore(snap2); err != nil {
+		t.Fatal(err)
+	}
+	got := run(fresh)
+	if got.Cycles != want.Cycles || got.Steps != want.Steps || len(got.Emits) != len(want.Emits) {
+		t.Fatalf("restored run diverged: %+v vs %+v", got, want)
+	}
+	y, _ := bus.LoadSym(yi)
+	if y.Int() != 10 {
+		t.Fatalf("y = %v, want 10", y)
+	}
+
+	// The snapshot must not alias the machine: running the original after
+	// snapshotting leaves the captured stack intact.
+	if len(snap2.Stack) != 1 {
+		t.Fatalf("expected one stack slot mid-arithmetic, got %d", len(snap2.Stack))
+	}
+	v, err := value.Decode(snap2.Stack[0])
+	if err != nil || v.Int() != 6 {
+		t.Fatalf("captured stack slot = %v (%v), want 6", v, err)
+	}
+}

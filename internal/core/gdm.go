@@ -314,6 +314,26 @@ func (g *GDM) apply(b Binding, el *Element, ev protocol.Event) error {
 	return fmt.Errorf("core: binding %s: unknown reaction", b.Name)
 }
 
+// ResetAnimation rewinds the GDM's dynamic state to a freshly built
+// scene: highlights and badges cleared, initial elements re-highlighted,
+// pulse tracking and the reaction counters zeroed. The checkpoint
+// subsystem calls it before re-projecting a restored trace so the
+// animated view matches the rewound instant instead of the abandoned
+// future.
+func (g *GDM) ResetAnimation() {
+	if g.scene != nil {
+		g.scene.ClearDynamic()
+		for _, el := range g.elements {
+			if el.Initial && !IsConnector(el.Pattern) {
+				_ = g.scene.SetHighlight(el.ID, true)
+			}
+		}
+	}
+	g.lastPulse = map[string]string{}
+	g.state = Waiting
+	g.Commands, g.Reactions, g.Unbound = 0, 0, 0
+}
+
 // HighlightedElements returns the ids of highlighted scene shapes.
 func (g *GDM) HighlightedElements() []string {
 	if g.scene == nil {

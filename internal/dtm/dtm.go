@@ -76,12 +76,62 @@ func (k *Kernel) Executed() uint64 { return k.ran }
 
 // Schedule runs fn at absolute time at (>= now).
 func (k *Kernel) Schedule(at uint64, fn func(now uint64)) error {
+	_, err := k.ScheduleTagged(at, fn)
+	return err
+}
+
+// ScheduleTagged is Schedule returning the sequence number assigned to the
+// event. Owners of snapshotable pending work (the scheduler's releases and
+// latches, the network's in-flight frames, the board's deferred deadline
+// latches) record it so a restore can re-arm the event with the same
+// FIFO tie-break position — equal-timestamp ordering is part of the
+// deterministic schedule.
+func (k *Kernel) ScheduleTagged(at uint64, fn func(now uint64)) (uint64, error) {
 	if at < k.now {
-		return fmt.Errorf("dtm: schedule at %d before now %d", at, k.now)
+		return 0, fmt.Errorf("dtm: schedule at %d before now %d", at, k.now)
 	}
 	k.seq++
 	heap.Push(&k.pq, event{at: at, seq: k.seq, fn: fn})
+	return k.seq, nil
+}
+
+// Rearm re-enqueues a pending event with its original sequence number —
+// the restore path. Unlike Schedule it never advances the kernel's seq
+// counter, so re-arming the pending set in any order reproduces the exact
+// event ordering of the snapshotted timeline.
+func (k *Kernel) Rearm(at, seq uint64, fn func(now uint64)) error {
+	if at < k.now {
+		return fmt.Errorf("dtm: rearm at %d before now %d", at, k.now)
+	}
+	heap.Push(&k.pq, event{at: at, seq: seq, fn: fn})
 	return nil
+}
+
+// KernelState is the portable form of the kernel clock. The event queue
+// itself holds closures and is deliberately NOT part of it: every pending
+// event is owned by some layer (scheduler, network, board) whose own
+// snapshot records the event's instant and sequence number and whose
+// restore re-arms it via Rearm. Arbitrary user events scheduled directly
+// with Schedule/After are outside the checkpoint contract.
+type KernelState struct {
+	Now uint64 `json:"now"`
+	Seq uint64 `json:"seq"`
+	Ran uint64 `json:"ran"`
+}
+
+// Snapshot captures the kernel clock and counters.
+func (k *Kernel) Snapshot() KernelState {
+	return KernelState{Now: k.now, Seq: k.seq, Ran: k.ran}
+}
+
+// Restore rewinds the clock and counters and clears the event queue; the
+// owners of pending work re-arm their events afterwards. Restore is the
+// one operation that may move the clock backwards (rewind).
+func (k *Kernel) Restore(st KernelState) {
+	k.now = st.Now
+	k.seq = st.Seq
+	k.ran = st.Ran
+	k.pq = k.pq[:0]
 }
 
 // After runs fn delay nanoseconds from now.
@@ -144,13 +194,28 @@ func (s *Store) Set(signal string, v value.Value) {
 // Get reads the latest value of a signal (zero Value if never written).
 func (s *Store) Get(signal string) value.Value { return s.vals[signal] }
 
-// Snapshot copies the current board contents.
-func (s *Store) Snapshot() map[string]value.Value {
-	out := make(map[string]value.Value, len(s.vals))
-	for k, v := range s.vals {
-		out[k] = v
+// StoreState is the portable, deep-copied form of a Store's contents.
+type StoreState map[string]value.Encoded
+
+// Snapshot deep-copies the current board contents into the layer-snapshot
+// form: every value is re-encoded, so a restore can never alias state that
+// a live store keeps mutating.
+func (s *Store) Snapshot() StoreState {
+	return StoreState(value.EncodeMap(s.vals))
+}
+
+// Restore replaces the store contents with a snapshot. OnChange does not
+// fire — a restore is a rewind, not a publication.
+func (s *Store) Restore(st StoreState) error {
+	vals, err := value.DecodeMap(st)
+	if err != nil {
+		return fmt.Errorf("dtm: store restore: %w", err)
 	}
-	return out
+	if vals == nil {
+		vals = map[string]value.Value{}
+	}
+	s.vals = vals
+	return nil
 }
 
 // Task is a periodic DTM task. The three phases are split so the kernel
@@ -279,12 +344,37 @@ type Scheduler struct {
 	susp    []*job // jobs parked by ErrSuspended (debugger)
 	lastJob *job
 	jobSeq  uint64
-	nextRel map[*Task]uint64 // next *scheduled* release instant per task
+	// nextRel is the next *scheduled* release per task: its instant plus
+	// the kernel seq of the pending event (for snapshot re-arming).
+	nextRel map[*Task]relSlot
+
+	// unlatched are the live jobs whose deadline-latch event has not fired
+	// yet — the explicit registry a snapshot serializes (a job is reachable
+	// from here even when it already completed and only its latch instant
+	// is outstanding).
+	unlatched []*job
+
+	// pending are the cooperative releases' output latches awaiting their
+	// deadline instants, surfaced as explicit records instead of closures
+	// so a snapshot can carry them.
+	pending []pendingOutput
+}
+
+// relSlot is one pending release event.
+type relSlot struct{ at, seq uint64 }
+
+// pendingOutput is one cooperative release's deadline latch in flight,
+// unique per (task, instant) — a task has at most one release per period.
+type pendingOutput struct {
+	t   *Task
+	at  uint64
+	seq uint64
+	out map[string]value.Value
 }
 
 // NewScheduler wraps a kernel.
 func NewScheduler(k *Kernel) *Scheduler {
-	return &Scheduler{K: k, nextRel: map[*Task]uint64{}}
+	return &Scheduler{K: k, nextRel: map[*Task]relSlot{}}
 }
 
 // Tasks returns the registered tasks.
@@ -309,8 +399,8 @@ func (s *Scheduler) Start() {
 	for _, t := range s.tasks {
 		task := t
 		at := s.K.Now() + task.Offset
-		s.nextRel[task] = at
-		_ = s.K.Schedule(at, func(now uint64) { s.release(task, now) })
+		seq, _ := s.K.ScheduleTagged(at, func(now uint64) { s.release(task, now) })
+		s.nextRel[task] = relSlot{at: at, seq: seq}
 	}
 }
 
@@ -345,8 +435,8 @@ func (s *Scheduler) Suspended() bool { return len(s.susp) > 0 }
 
 func (s *Scheduler) release(t *Task, now uint64) {
 	// Schedule the next period first so halting never loses the rhythm.
-	s.nextRel[t] = now + t.Period
-	_ = s.K.Schedule(now+t.Period, func(n uint64) { s.release(t, n) })
+	seq, _ := s.K.ScheduleTagged(now+t.Period, func(n uint64) { s.release(t, n) })
+	s.nextRel[t] = relSlot{at: now + t.Period, seq: seq}
 	if s.halted {
 		return
 	}
@@ -359,7 +449,8 @@ func (s *Scheduler) release(t *Task, now uint64) {
 		j := &job{t: t, release: now, seq: s.jobSeq, in: in}
 		s.jobSeq++
 		heap.Push(&s.ready, j)
-		_ = s.K.Schedule(now+t.Deadline, func(n uint64) { s.latch(j, n) })
+		s.unlatched = append(s.unlatched, j)
+		j.latchSeq, _ = s.K.ScheduleTagged(now+t.Deadline, func(n uint64) { s.latch(j, n) })
 		s.dispatch(now)
 		return
 	}
@@ -380,8 +471,28 @@ func (s *Scheduler) release(t *Task, now uint64) {
 		t.DeadlineMisses++
 	}
 	if t.Output != nil {
-		deadline := now + t.Deadline
-		_ = s.K.Schedule(deadline, func(n uint64) { t.Output(n, out) })
+		s.deferOutput(t, now+t.Deadline, out)
+	}
+}
+
+// deferOutput queues a cooperative release's output latch as an explicit
+// pending record (snapshotable) and arms its deadline event.
+func (s *Scheduler) deferOutput(t *Task, at uint64, out map[string]value.Value) {
+	seq, _ := s.K.ScheduleTagged(at, func(n uint64) { s.firePending(t, at, n) })
+	s.pending = append(s.pending, pendingOutput{t: t, at: at, seq: seq, out: out})
+}
+
+// firePending runs the pending output latch of (t, at) and retires its
+// record. Identity by task+instant: a task has at most one release — and
+// therefore one deadline latch — per period.
+func (s *Scheduler) firePending(t *Task, at, now uint64) {
+	for i := range s.pending {
+		if s.pending[i].t == t && s.pending[i].at == at {
+			out := s.pending[i].out
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			t.Output(now, out)
+			return
+		}
 	}
 }
 
@@ -420,6 +531,12 @@ type job struct {
 	// can recognise a job completing exactly at its deadline instant.
 	endAt    uint64
 	willDone bool
+
+	// latchSeq/endSeq are the kernel sequence numbers of this job's pending
+	// deadline-latch and slice-end events, recorded so a snapshot restore
+	// re-arms them in their original tie-break positions.
+	latchSeq uint64
+	endSeq   uint64
 }
 
 // jobHeap orders ready jobs: highest Priority first, FIFO within equals.
@@ -447,9 +564,9 @@ func (h *jobHeap) Pop() interface{} {
 // kernel that has not fired yet — the CPU's preemption horizon.
 func (s *Scheduler) nextPendingRelease() uint64 {
 	min := ^uint64(0)
-	for _, at := range s.nextRel {
-		if at < min {
-			min = at
+	for _, slot := range s.nextRel {
+		if slot.at < min {
+			min = slot.at
 		}
 	}
 	return min
@@ -485,7 +602,7 @@ func (s *Scheduler) dispatch(now uint64) {
 	if ctx >= budget {
 		// The switch itself consumes the slice; the body runs next time.
 		j.endAt, j.willDone = now+ctx, false
-		_ = s.K.Schedule(now+ctx, func(n uint64) { s.sliceEnd(j, n) })
+		j.endSeq, _ = s.K.ScheduleTagged(now+ctx, func(n uint64) { s.sliceEnd(j, n) })
 		return
 	}
 	budget -= ctx
@@ -509,9 +626,9 @@ func (s *Scheduler) dispatch(now uint64) {
 	end := now + ctx + used
 	j.endAt, j.willDone = end, done
 	if done {
-		_ = s.K.Schedule(end, func(n uint64) { s.complete(j, n) })
+		j.endSeq, _ = s.K.ScheduleTagged(end, func(n uint64) { s.complete(j, n) })
 	} else {
-		_ = s.K.Schedule(end, func(n uint64) { s.sliceEnd(j, n) })
+		j.endSeq, _ = s.K.ScheduleTagged(end, func(n uint64) { s.sliceEnd(j, n) })
 	}
 }
 
@@ -576,6 +693,12 @@ func (s *Scheduler) complete(j *job, now uint64) {
 // latch is made up on completion, no miss charged). A job whose final
 // slice ends exactly at this instant completes on time.
 func (s *Scheduler) latch(j *job, now uint64) {
+	for i, u := range s.unlatched {
+		if u == j {
+			s.unlatched = append(s.unlatched[:i], s.unlatched[i+1:]...)
+			break
+		}
+	}
 	if j.failed {
 		return
 	}
@@ -602,21 +725,124 @@ func (s *Scheduler) latch(j *job, now uint64) {
 // messages delivered into remote Stores after a fixed latency. (COMDES
 // transactions assume a time-triggered network; a constant latency
 // preserves the deadline-latching analysis.)
+//
+// Frames in flight are explicit records, not closures: a snapshot carries
+// them and a restore re-arms their deliveries at the original instants.
+// Destinations that should survive a snapshot must be registered with
+// Bind, which gives each store the stable name the portable form uses.
 type Network struct {
 	K         *Kernel
 	LatencyNs uint64
 	Sent      uint64
+
+	names    map[*Store]string
+	stores   map[string]*Store
+	inflight []*netFlight
+}
+
+// netFlight is one signal message on the wire.
+type netFlight struct {
+	signal string
+	v      value.Value
+	at     uint64
+	seq    uint64
+	dst    *Store
 }
 
 // NewNetwork creates a network over the kernel with the given latency.
 func NewNetwork(k *Kernel, latencyNs uint64) *Network {
-	return &Network{K: k, LatencyNs: latencyNs}
+	return &Network{
+		K: k, LatencyNs: latencyNs,
+		names:  map[*Store]string{},
+		stores: map[string]*Store{},
+	}
+}
+
+// Bind registers a destination store under a stable name (the cluster uses
+// node names), making frames addressed to it snapshotable.
+func (n *Network) Bind(name string, dst *Store) {
+	n.names[dst] = name
+	n.stores[name] = dst
 }
 
 // Send delivers signal=v into the destination store after the latency.
 func (n *Network) Send(signal string, v value.Value, dst *Store) {
 	n.Sent++
-	n.K.After(n.LatencyNs, func(now uint64) { dst.Set(signal, v) })
+	f := &netFlight{signal: signal, v: v, at: n.K.Now() + n.LatencyNs, dst: dst}
+	n.inflight = append(n.inflight, f)
+	f.seq, _ = n.K.ScheduleTagged(f.at, func(now uint64) { n.deliver(f) })
+}
+
+// deliver lands one frame and retires its in-flight record.
+func (n *Network) deliver(f *netFlight) {
+	for i, g := range n.inflight {
+		if g == f {
+			n.inflight = append(n.inflight[:i], n.inflight[i+1:]...)
+			break
+		}
+	}
+	f.dst.Set(f.signal, f.v)
+}
+
+// Inflight returns the number of frames currently on the wire.
+func (n *Network) Inflight() int { return len(n.inflight) }
+
+// FlightState is the portable form of one in-flight frame.
+type FlightState struct {
+	Signal string        `json:"signal"`
+	Val    value.Encoded `json:"val"`
+	At     uint64        `json:"at"`
+	Seq    uint64        `json:"seq"`
+	Dst    string        `json:"dst"`
+}
+
+// NetworkState is the portable form of a Network.
+type NetworkState struct {
+	LatencyNs uint64        `json:"latencyNs"`
+	Sent      uint64        `json:"sent"`
+	Flights   []FlightState `json:"flights,omitempty"`
+}
+
+// Snapshot captures the network counters and every frame in flight. It
+// fails if a frame's destination store was never Bound — an unnamed
+// destination cannot be re-resolved at restore time.
+func (n *Network) Snapshot() (NetworkState, error) {
+	st := NetworkState{LatencyNs: n.LatencyNs, Sent: n.Sent}
+	for _, f := range n.inflight {
+		name, ok := n.names[f.dst]
+		if !ok {
+			return NetworkState{}, fmt.Errorf("dtm: in-flight frame %q to unbound store", f.signal)
+		}
+		st.Flights = append(st.Flights, FlightState{
+			Signal: f.signal, Val: value.Encode(f.v), At: f.at, Seq: f.seq, Dst: name,
+		})
+	}
+	return st, nil
+}
+
+// Restore rewinds the network: counters reset to the snapshot and every
+// recorded frame is re-armed at its original instant and kernel sequence
+// position. The kernel must have been Restored (queue cleared) first.
+func (n *Network) Restore(st NetworkState) error {
+	n.LatencyNs = st.LatencyNs
+	n.Sent = st.Sent
+	n.inflight = n.inflight[:0]
+	for _, fs := range st.Flights {
+		dst, ok := n.stores[fs.Dst]
+		if !ok {
+			return fmt.Errorf("dtm: restore frame %q to unknown store %q", fs.Signal, fs.Dst)
+		}
+		v, err := value.Decode(fs.Val)
+		if err != nil {
+			return fmt.Errorf("dtm: restore frame %q: %w", fs.Signal, err)
+		}
+		f := &netFlight{signal: fs.Signal, v: v, at: fs.At, seq: fs.Seq, dst: dst}
+		n.inflight = append(n.inflight, f)
+		if err := n.K.Rearm(f.at, f.seq, func(now uint64) { n.deliver(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // JitterRecorder observes a Store and records the set of distinct times at

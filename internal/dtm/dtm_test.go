@@ -99,8 +99,16 @@ func TestStoreStateMessages(t *testing.T) {
 	}
 	snap := s.Snapshot()
 	s.Set("x", value.F(3))
-	if snap["x"].Float() != 2 {
-		t.Error("snapshot not isolated")
+	if v, err := value.Decode(snap["x"]); err != nil || v.Float() != 2 {
+		t.Errorf("snapshot not isolated: %v %v", v, err)
+	}
+	// Restore rewinds the contents without firing OnChange.
+	before := len(changes)
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("x").Float() != 2 || len(changes) != before {
+		t.Error("restore did not rewind silently")
 	}
 	// nil clock store is safe.
 	s2 := NewStore(nil)

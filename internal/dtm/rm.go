@@ -1,0 +1,47 @@
+package dtm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AssignRateMonotonic derives fixed priorities from task periods: the
+// shorter the period, the higher the priority (the classic rate-monotonic
+// order, optimal for fixed-priority scheduling of implicit-deadline
+// periodic tasks). Tasks sharing a period get the same priority and run
+// FIFO by release order — unless their deadlines differ, in which case
+// rate order is ambiguous (deadline-monotonic order would break the tie
+// differently) and the pass refuses rather than guessing.
+//
+// The pass overwrites Task.Priority, so FixedPriority models need not
+// hand-number priorities; call it after registering tasks and before
+// Start.
+func AssignRateMonotonic(tasks []*Task) error {
+	deadlines := map[uint64]uint64{}
+	names := map[uint64]string{}
+	for _, t := range tasks {
+		if d, ok := deadlines[t.Period]; ok && d != t.Deadline {
+			return fmt.Errorf("dtm: rate-monotonic tie: tasks %s and %s share period %d but deadlines differ (%d vs %d)",
+				names[t.Period], t.Name, t.Period, d, t.Deadline)
+		}
+		deadlines[t.Period] = t.Deadline
+		names[t.Period] = t.Name
+	}
+	periods := make([]uint64, 0, len(deadlines))
+	for p := range deadlines {
+		periods = append(periods, p)
+	}
+	sort.Slice(periods, func(i, j int) bool { return periods[i] > periods[j] })
+	prio := make(map[uint64]int, len(periods))
+	for i, p := range periods {
+		prio[p] = i + 1 // longest period = 1, shortest = highest
+	}
+	for _, t := range tasks {
+		t.Priority = prio[t.Period]
+	}
+	return nil
+}
+
+// AssignRateMonotonic applies the rate-monotonic pass to the scheduler's
+// registered tasks.
+func (s *Scheduler) AssignRateMonotonic() error { return AssignRateMonotonic(s.tasks) }

@@ -1,0 +1,282 @@
+package dtm
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// Explicit-state forms of the scheduler: per-task accounting and release
+// rhythm, the FixedPriority job set (ready, suspended, running, and
+// completed-but-unlatched jobs), and the cooperative pending output
+// latches. Together with KernelState this is "the complete execution state
+// of the kernel as a value" — every pending kernel event the scheduler
+// owns is recorded as (instant, sequence number) and re-armed on restore,
+// so equal-timestamp tie-breaks replay exactly.
+
+// TaskState is the portable form of one task's accounting and rhythm.
+type TaskState struct {
+	Name            string `json:"name"`
+	Releases        uint64 `json:"releases"`
+	DeadlineMisses  uint64 `json:"deadlineMisses"`
+	LastError       string `json:"lastError,omitempty"`
+	ExecNs          uint64 `json:"execNs"`
+	WorstNs         uint64 `json:"worstNs"`
+	Suspensions     uint64 `json:"suspensions,omitempty"`
+	Preemptions     uint64 `json:"preemptions,omitempty"`
+	ResponseNs      uint64 `json:"responseNs,omitempty"`
+	WorstResponseNs uint64 `json:"worstResponseNs,omitempty"`
+	NextRelease     uint64 `json:"nextRelease"`
+	RelSeq          uint64 `json:"relSeq"`
+}
+
+// JobState is the portable form of one release-turned-job (FixedPriority).
+type JobState struct {
+	Task    string                   `json:"task"`
+	Release uint64                   `json:"release"`
+	Seq     uint64                   `json:"seq"`
+	In      map[string]value.Encoded `json:"in,omitempty"`
+	Out     map[string]value.Encoded `json:"out,omitempty"`
+
+	UsedNs    uint64 `json:"usedNs,omitempty"`
+	Done      bool   `json:"done,omitempty"`
+	Failed    bool   `json:"failed,omitempty"`
+	Suspended bool   `json:"suspended,omitempty"`
+	Latched   bool   `json:"latched,omitempty"`
+	Running   bool   `json:"running,omitempty"`
+
+	EndAt    uint64 `json:"endAt,omitempty"`
+	WillDone bool   `json:"willDone,omitempty"`
+	LatchSeq uint64 `json:"latchSeq,omitempty"`
+	EndSeq   uint64 `json:"endSeq,omitempty"`
+}
+
+// PendingOutputState is one cooperative output latch in flight.
+type PendingOutputState struct {
+	Task string                   `json:"task"`
+	At   uint64                   `json:"at"`
+	Seq  uint64                   `json:"seq"`
+	Out  map[string]value.Encoded `json:"out,omitempty"`
+}
+
+// JobRef identifies a job across snapshot and restore.
+type JobRef struct {
+	Task string `json:"task"`
+	Seq  uint64 `json:"seq"`
+}
+
+// SchedulerState is the complete portable state of a Scheduler (the tasks
+// must be re-registered by the caller before Restore — task bodies are
+// code, not state).
+type SchedulerState struct {
+	Policy      uint8  `json:"policy"`
+	CtxSwitchNs uint64 `json:"ctxSwitchNs,omitempty"`
+	CtxSwitches uint64 `json:"ctxSwitches,omitempty"`
+	Halted      bool   `json:"halted,omitempty"`
+	JobSeq      uint64 `json:"jobSeq,omitempty"`
+
+	Tasks   []TaskState          `json:"tasks"`
+	Jobs    []JobState           `json:"jobs,omitempty"`
+	LastJob *JobRef              `json:"lastJob,omitempty"`
+	Pending []PendingOutputState `json:"pending,omitempty"`
+}
+
+// liveJobs collects every job with pending kernel events or queue
+// residency, deduped, in creation (seq) order.
+func (s *Scheduler) liveJobs() []*job {
+	seen := map[*job]bool{}
+	var out []*job
+	add := func(j *job) {
+		if j != nil && !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	for _, j := range s.unlatched {
+		add(j)
+	}
+	for _, j := range s.ready {
+		add(j)
+	}
+	for _, j := range s.susp {
+		add(j)
+	}
+	add(s.running)
+	sort.Slice(out, func(i, k int) bool { return out[i].seq < out[k].seq })
+	return out
+}
+
+// Snapshot captures the scheduler's complete state. Call it only at a
+// kernel quiescent point (a RunUntil boundary): no event with timestamp
+// <= now may still be pending.
+func (s *Scheduler) Snapshot() SchedulerState {
+	st := SchedulerState{
+		Policy:      uint8(s.Policy),
+		CtxSwitchNs: s.CtxSwitchNs,
+		CtxSwitches: s.CtxSwitches,
+		Halted:      s.halted,
+		JobSeq:      s.jobSeq,
+	}
+	for _, t := range s.tasks {
+		ts := TaskState{
+			Name: t.Name, Releases: t.Releases, DeadlineMisses: t.DeadlineMisses,
+			ExecNs: t.ExecNs, WorstNs: t.WorstNs, Suspensions: t.Suspensions,
+			Preemptions: t.Preemptions, ResponseNs: t.ResponseNs,
+			WorstResponseNs: t.WorstResponseNs,
+			NextRelease:     s.nextRel[t].at, RelSeq: s.nextRel[t].seq,
+		}
+		if t.LastError != nil {
+			ts.LastError = t.LastError.Error()
+		}
+		st.Tasks = append(st.Tasks, ts)
+	}
+	for _, j := range s.liveJobs() {
+		st.Jobs = append(st.Jobs, JobState{
+			Task: j.t.Name, Release: j.release, Seq: j.seq,
+			In: value.EncodeMap(j.in), Out: value.EncodeMap(j.out),
+			UsedNs: j.usedNs, Done: j.done, Failed: j.failed,
+			Suspended: j.suspended, Latched: j.latched,
+			Running: j == s.running,
+			EndAt:   j.endAt, WillDone: j.willDone,
+			LatchSeq: j.latchSeq, EndSeq: j.endSeq,
+		})
+	}
+	if s.lastJob != nil {
+		st.LastJob = &JobRef{Task: s.lastJob.t.Name, Seq: s.lastJob.seq}
+	}
+	for i := range s.pending {
+		po := &s.pending[i]
+		st.Pending = append(st.Pending, PendingOutputState{
+			Task: po.t.Name, At: po.at, Seq: po.seq, Out: value.EncodeMap(po.out),
+		})
+	}
+	return st
+}
+
+// Restore rewinds the scheduler to a snapshot and re-arms every pending
+// release, latch, slice-end and output event on the kernel with its
+// original instant and sequence number. The kernel must have been
+// Restored (event queue cleared) first, and the task set registered via
+// AddTask must match the snapshot's by name.
+func (s *Scheduler) Restore(st SchedulerState) error {
+	byName := make(map[string]*Task, len(s.tasks))
+	for _, t := range s.tasks {
+		byName[t.Name] = t
+	}
+	if len(st.Tasks) != len(s.tasks) {
+		return fmt.Errorf("dtm: restore with %d task states onto %d registered tasks", len(st.Tasks), len(s.tasks))
+	}
+
+	s.Policy = Policy(st.Policy)
+	s.CtxSwitchNs = st.CtxSwitchNs
+	s.CtxSwitches = st.CtxSwitches
+	s.halted = st.Halted
+	s.jobSeq = st.JobSeq
+	s.ready = s.ready[:0]
+	s.susp = s.susp[:0]
+	s.running = nil
+	s.lastJob = nil
+	s.unlatched = s.unlatched[:0]
+	s.pending = s.pending[:0]
+	s.nextRel = map[*Task]relSlot{}
+
+	for _, ts := range st.Tasks {
+		t, ok := byName[ts.Name]
+		if !ok {
+			return fmt.Errorf("dtm: restore of unknown task %q", ts.Name)
+		}
+		t.Releases = ts.Releases
+		t.DeadlineMisses = ts.DeadlineMisses
+		t.LastError = nil
+		if ts.LastError != "" {
+			t.LastError = errors.New(ts.LastError)
+		}
+		t.ExecNs, t.WorstNs = ts.ExecNs, ts.WorstNs
+		t.Suspensions = ts.Suspensions
+		t.Preemptions = ts.Preemptions
+		t.ResponseNs, t.WorstResponseNs = ts.ResponseNs, ts.WorstResponseNs
+		s.nextRel[t] = relSlot{at: ts.NextRelease, seq: ts.RelSeq}
+		task := t
+		if err := s.K.Rearm(ts.NextRelease, ts.RelSeq, func(now uint64) { s.release(task, now) }); err != nil {
+			return fmt.Errorf("dtm: restore task %s release: %w", ts.Name, err)
+		}
+	}
+
+	for _, js := range st.Jobs {
+		t, ok := byName[js.Task]
+		if !ok {
+			return fmt.Errorf("dtm: restore job of unknown task %q", js.Task)
+		}
+		in, err := value.DecodeMap(js.In)
+		if err != nil {
+			return fmt.Errorf("dtm: restore job %s/%d: %w", js.Task, js.Seq, err)
+		}
+		out, err := value.DecodeMap(js.Out)
+		if err != nil {
+			return fmt.Errorf("dtm: restore job %s/%d: %w", js.Task, js.Seq, err)
+		}
+		j := &job{
+			t: t, release: js.Release, seq: js.Seq, in: in, out: out,
+			usedNs: js.UsedNs, done: js.Done, failed: js.Failed,
+			suspended: js.Suspended, latched: js.Latched,
+			endAt: js.EndAt, willDone: js.WillDone,
+			latchSeq: js.LatchSeq, endSeq: js.EndSeq,
+		}
+		if !j.latched {
+			s.unlatched = append(s.unlatched, j)
+			jj := j
+			if err := s.K.Rearm(j.release+t.Deadline, j.latchSeq, func(n uint64) { s.latch(jj, n) }); err != nil {
+				return fmt.Errorf("dtm: restore job %s/%d latch: %w", js.Task, js.Seq, err)
+			}
+		}
+		switch {
+		case js.Running:
+			s.running = j
+			jj := j
+			var fn func(uint64)
+			if j.willDone {
+				fn = func(n uint64) { s.complete(jj, n) }
+			} else {
+				fn = func(n uint64) { s.sliceEnd(jj, n) }
+			}
+			if err := s.K.Rearm(j.endAt, j.endSeq, fn); err != nil {
+				return fmt.Errorf("dtm: restore job %s/%d slice end: %w", js.Task, js.Seq, err)
+			}
+		case j.suspended:
+			s.susp = append(s.susp, j)
+		case !j.done && !j.failed:
+			heap.Push(&s.ready, j)
+		}
+		if st.LastJob != nil && st.LastJob.Task == js.Task && st.LastJob.Seq == js.Seq {
+			s.lastJob = j
+		}
+	}
+	if st.LastJob != nil && s.lastJob == nil {
+		// The job the CPU last ran is already dead; keep a placeholder with
+		// the same identity so the next dispatch still charges (or skips)
+		// the context switch exactly as the live timeline would have.
+		if t, ok := byName[st.LastJob.Task]; ok {
+			s.lastJob = &job{t: t, seq: st.LastJob.Seq, done: true, latched: true}
+		}
+	}
+
+	for _, ps := range st.Pending {
+		t, ok := byName[ps.Task]
+		if !ok {
+			return fmt.Errorf("dtm: restore pending output of unknown task %q", ps.Task)
+		}
+		out, err := value.DecodeMap(ps.Out)
+		if err != nil {
+			return fmt.Errorf("dtm: restore pending output %s: %w", ps.Task, err)
+		}
+		s.pending = append(s.pending, pendingOutput{t: t, at: ps.At, seq: ps.Seq, out: out})
+		task, at := t, ps.At
+		if err := s.K.Rearm(ps.At, ps.Seq, func(n uint64) { s.firePending(task, at, n) }); err != nil {
+			return fmt.Errorf("dtm: restore pending output %s: %w", ps.Task, err)
+		}
+	}
+	return nil
+}

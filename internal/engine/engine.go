@@ -71,6 +71,11 @@ type SerialSource struct {
 	Port *serial.Port
 	dec  protocol.Decoder
 	seq  uint16
+
+	// Tap, when set, observes every instruction sent to the target (after
+	// sequence stamping) — the checkpoint recorder's instruction log hooks
+	// here so host commands can be re-injected during deterministic replay.
+	Tap func(in protocol.Instruction)
 }
 
 // NewSerialSource wraps a host serial port.
@@ -96,6 +101,25 @@ func (s *SerialSource) Send(in protocol.Instruction) error {
 		return err
 	}
 	s.Port.Send(wire)
+	if s.Tap != nil {
+		s.Tap(in)
+	}
+	return nil
+}
+
+// Resend re-transmits an already-stamped instruction verbatim — the
+// checkpoint replay path. The sequence counter is fast-forwarded to the
+// instruction's own stamp so a live Send after the replayed window
+// continues the original numbering instead of reusing it.
+func (s *SerialSource) Resend(in protocol.Instruction) error {
+	wire, err := protocol.EncodeInstruction(in)
+	if err != nil {
+		return err
+	}
+	s.Port.Send(wire)
+	if in.Seq > s.seq {
+		s.seq = in.Seq
+	}
 	return nil
 }
 
@@ -208,11 +232,13 @@ type Session struct {
 	Target TargetControl
 	Trace  *trace.Trace
 
-	sources []EventSource
-	breaks  []*Breakpoint
-	remote  RemoteDebug
-	mode    Mode
-	paused  bool
+	sources   []EventSource
+	breaks    []*Breakpoint
+	remote    RemoteDebug
+	mode      Mode
+	paused    bool
+	rewinder  Rewinder
+	replaying bool
 
 	// Translate, when set, rewrites raw events before handling (the
 	// passive-interface translator mapping watch notifications to
@@ -442,9 +468,13 @@ func (s *Session) mirrorTargetHalt(ev protocol.Event) {
 				if bp.OneShot {
 					// One-shot semantics for on-target breakpoints: the
 					// agent keeps conditions armed until cleared, so the
-					// host disarms it after the first hit.
+					// host disarms it after the first hit. During checkpoint
+					// replay the original disarm instruction is re-injected
+					// from the recorder's log — sending a live one as well
+					// would put duplicate wire traffic on the replayed
+					// timeline.
 					bp.Enabled = false
-					if bp.onTarget && s.remote != nil {
+					if bp.onTarget && s.remote != nil && !s.replaying {
 						_ = s.remote.ClearBreak(bp.ID)
 					}
 				}

@@ -408,3 +408,36 @@ func TestMergedEvents(t *testing.T) {
 		t.Errorf("tie order wrong: %+v %+v", ev[1], ev[2])
 	}
 }
+
+func TestTimingDiagramIncidentMarkers(t *testing.T) {
+	d := NewDiagram()
+	d.Record("task:low", 0, "run")
+	d.Record("task:low", 1000, "idle")
+	d.MarkAt("task:low", 500, '^', "preempt<hog")
+	d.MarkAt("task:low", 1000, '!', "miss")
+	d.MarkAt("task:ghost", 800, '!', "miss") // marker-only track is created
+
+	out := d.ASCII(40)
+	if !strings.Contains(out, "^") || !strings.Contains(out, "!") {
+		t.Fatalf("ASCII lanes missing incident glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + (waveform + marker lane) for task:low + marker lane track.
+	if len(lines) < 4 {
+		t.Fatalf("expected marker lanes under marked tracks:\n%s", out)
+	}
+
+	svg := d.SVG(400, 28)
+	if !strings.Contains(svg, "#cc2200") || !strings.Contains(svg, "preempt&lt;hog") {
+		t.Fatalf("SVG missing incident markers/labels:\n%s", svg)
+	}
+
+	// Marks widen the span.
+	if _, t1 := d.Span(); t1 != 1000 {
+		t.Fatalf("span end %d", t1)
+	}
+	d.MarkAt("task:low", 5000, '!', "late miss")
+	if _, t1 := d.Span(); t1 != 5000 {
+		t.Fatalf("span must include marks, end %d", t1)
+	}
+}

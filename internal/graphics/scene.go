@@ -191,6 +191,15 @@ func (sc *Scene) ClearHighlights() {
 	}
 }
 
+// ClearDynamic resets all animation state — highlights and badges — back
+// to a freshly built scene (the rewind path of the checkpoint subsystem).
+func (sc *Scene) ClearDynamic() {
+	for _, s := range sc.shapes {
+		s.Highlight = false
+		s.Badge = ""
+	}
+}
+
 // Highlighted returns the sorted ids of currently highlighted shapes.
 func (sc *Scene) Highlighted() []string {
 	var out []string

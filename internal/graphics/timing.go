@@ -19,10 +19,20 @@ type Change struct {
 	Value string
 }
 
+// Mark is one scheduling incident pinned to an instant on a track — a
+// deadline miss or a preemption — rendered as a lane marker rather than a
+// value change (Bianchi-style inline annotation of the waveform).
+type Mark struct {
+	T     uint64
+	Glyph byte   // one-column ASCII marker ('!' miss, '^' preempt)
+	Label string // full annotation for SVG tooltips/labels
+}
+
 // Track is the history of one observed variable or model element.
 type Track struct {
 	Name    string
 	Changes []Change
+	Marks   []Mark
 }
 
 // valueAt returns the value in effect at time t ("" before first change).
@@ -69,6 +79,21 @@ func (d *Diagram) Record(track string, t uint64, val string) {
 	tr.Changes = append(tr.Changes, Change{T: t, Value: val})
 }
 
+// MarkAt pins an incident marker to the named track (created on first
+// use), keeping marks ordered by time.
+func (d *Diagram) MarkAt(track string, t uint64, glyph byte, label string) {
+	tr := d.index[track]
+	if tr == nil {
+		tr = &Track{Name: track}
+		d.index[track] = tr
+		d.tracks = append(d.tracks, tr)
+	}
+	if n := len(tr.Marks); n > 0 && t < tr.Marks[n-1].T {
+		t = tr.Marks[n-1].T
+	}
+	tr.Marks = append(tr.Marks, Mark{T: t, Glyph: glyph, Label: label})
+}
+
 // Tracks returns the tracks in creation order.
 func (d *Diagram) Tracks() []*Track { return d.tracks }
 
@@ -79,18 +104,24 @@ func (d *Diagram) Track(name string) *Track { return d.index[name] }
 func (d *Diagram) Span() (uint64, uint64) {
 	var t0, t1 uint64
 	first := true
+	grow := func(t uint64) {
+		if first {
+			t0, t1, first = t, t, false
+			return
+		}
+		if t < t0 {
+			t0 = t
+		}
+		if t > t1 {
+			t1 = t
+		}
+	}
 	for _, tr := range d.tracks {
 		for _, c := range tr.Changes {
-			if first {
-				t0, t1, first = c.T, c.T, false
-				continue
-			}
-			if c.T < t0 {
-				t0 = c.T
-			}
-			if c.T > t1 {
-				t1 = c.T
-			}
+			grow(c.T)
+		}
+		for _, m := range tr.Marks {
+			grow(m.T)
 		}
 	}
 	return t0, t1
@@ -141,6 +172,23 @@ func (d *Diagram) ASCII(width int) string {
 			b.WriteByte('_')
 		}
 		b.WriteString("|\n")
+		if len(tr.Marks) > 0 {
+			// Incident lane under the waveform: one glyph per mark at its
+			// column ('!' deadline miss, '^' preemption); colliding marks
+			// keep the later glyph.
+			lane := make([]byte, width)
+			for i := range lane {
+				lane[i] = ' '
+			}
+			for _, m := range tr.Marks {
+				col := int(float64(m.T-t0) / float64(t1-t0) * float64(width))
+				if col >= width {
+					col = width - 1
+				}
+				lane[col] = m.Glyph
+			}
+			fmt.Fprintf(&b, "%*s  |%s|\n", nameW, "", lane)
+		}
 	}
 	return b.String()
 }
@@ -186,6 +234,20 @@ func (d *Diagram) SVG(width, trackH int) string {
 		}
 		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%d" y2="%g" stroke="#333333"/>`+"\n",
 			prevX, yMid, labelW+width, yMid)
+		// Incident markers: a red triangle on the lane with its label, so
+		// scheduling anomalies (deadline misses, preemptions) read inline
+		// with the waveform they disturbed.
+		for _, m := range tr.Marks {
+			x := toX(m.T)
+			color := "#cc2200"
+			if m.Glyph == '^' {
+				color = "#cc7700"
+			}
+			fmt.Fprintf(&b, `<path d="M%g %g L%g %g L%g %g Z" fill="%s"/>`+"\n",
+				x-4, yTop+float64(trackH)-4, x+4, yTop+float64(trackH)-4, x, yTop+float64(trackH)-12, color)
+			fmt.Fprintf(&b, `<text x="%g" y="%g" font-size="8" font-family="monospace" fill="%s">%s</text>`+"\n",
+				x+5, yTop+float64(trackH)-5, color, xmlEscape(m.Label))
+		}
 	}
 	b.WriteString("</svg>\n")
 	return b.String()

@@ -230,3 +230,37 @@ func (d *Decoder) tryComplete() {
 
 // Pending returns the number of buffered, not-yet-decodable body bytes.
 func (d *Decoder) Pending() int { return len(d.body) }
+
+// DecoderState is the portable form of a Decoder's deframing state: the
+// partially accumulated frame body and the resynchronisation flags. A
+// checkpoint taken while a frame straddles the capture instant restores
+// with the decoder mid-frame, so the remaining bytes complete it exactly
+// as they would have.
+type DecoderState struct {
+	Body    []byte `json:"body,omitempty"`
+	InFrame bool   `json:"inFrame,omitempty"`
+	Esc     bool   `json:"esc,omitempty"`
+	Noise   bool   `json:"noise,omitempty"`
+	Errors  int    `json:"errors,omitempty"`
+}
+
+// Snapshot captures the deframing state. Decoded-but-undrained messages
+// are not part of it: callers drain Feed's return values synchronously, so
+// at any quiescent point the pending slices are empty.
+func (d *Decoder) Snapshot() DecoderState {
+	st := DecoderState{InFrame: d.inFrame, Esc: d.esc, Noise: d.noise, Errors: d.Errors}
+	if len(d.body) > 0 {
+		st.Body = append([]byte(nil), d.body...)
+	}
+	return st
+}
+
+// Restore rewinds the decoder to a previously captured deframing state.
+func (d *Decoder) Restore(st DecoderState) {
+	d.body = append(d.body[:0], st.Body...)
+	d.inFrame = st.InFrame
+	d.esc = st.Esc
+	d.noise = st.Noise
+	d.Errors = st.Errors
+	d.events, d.instructions = nil, nil
+}

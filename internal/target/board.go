@@ -48,6 +48,11 @@ type Config struct {
 	// CtxSwitchCycles is the CPU cost charged per context switch under the
 	// FixedPriority policy (default DefaultCtxSwitchCycles).
 	CtxSwitchCycles uint64
+	// RateMonotonic, when set, derives task priorities from periods at
+	// boot (dtm.AssignRateMonotonic: shorter period = higher priority),
+	// overriding any hand-numbered TaskSpec priorities. Boot fails on a
+	// period tie with differing deadlines, where rate order is ambiguous.
+	RateMonotonic bool
 	// Bindings are the system's labelled signal routes; the board delivers
 	// a published output to its consumer's input at the producer's
 	// deadline instant (state-message communication). Bindings whose
@@ -74,6 +79,10 @@ type Board struct {
 	// OnPublish, when set, observes every published output at its deadline
 	// instant. The cluster uses it to route cross-node bindings.
 	OnPublish func(now uint64, actor, port string, v value.Value)
+	// OnInput, when set, observes every successful WriteInput — the
+	// checkpoint recorder's input log hooks here to capture environment
+	// stimuli for deterministic replay.
+	OnInput func(now uint64, actor, port string, v value.Value)
 
 	cfg      Config
 	kernel   *dtm.Kernel
@@ -96,6 +105,10 @@ type Board struct {
 	// release interrupted mid-body by it (resumed by Resume/InResume).
 	agent *breakAgent
 	susp  *suspended
+	// deferred are made-up deadline latches (skipped while suspended at a
+	// breakpoint) awaiting their original instants — explicit records so a
+	// snapshot can carry them.
+	deferred []*deferredLatch
 	// dropsSeen is the last FramesDropped count reported over the wire.
 	dropsSeen uint64
 
@@ -226,6 +239,11 @@ func NewBoard(name string, prog *codegen.Program, cfg Config, kernel *dtm.Kernel
 				b.deadline(unit, now)
 			},
 		}); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RateMonotonic {
+		if err := b.sched.AssignRateMonotonic(); err != nil {
 			return nil, err
 		}
 	}
@@ -369,6 +387,9 @@ func (b *Board) WriteInput(actor, port string, v value.Value) error {
 		// Environment writes bypass the VM's store hook; predicates over
 		// the __io symbol fire at the next check site.
 		b.agent.touch(b.Prog.Symbols.Sym(idx).Name)
+	}
+	if b.OnInput != nil {
+		b.OnInput(b.kernel.Now(), actor, port, v)
 	}
 	return nil
 }

@@ -114,6 +114,7 @@ func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
 			}
 		}
 		c.inbox[node] = store
+		c.Net.Bind(node, store)
 	}
 	// Producers hand cross-node publishes to the network; intra-node
 	// bindings were already delivered by the board itself.

@@ -134,4 +134,61 @@
 // ClusterConfig.LatencyNs; intra-node bindings are delivered directly at
 // the producer's deadline instant. RunUntil advances every board in
 // lock-step event order.
+//
+// # Checkpoints
+//
+// Board.Snapshot returns the complete execution state as one copyable,
+// JSON-serializable value (BoardState); Restore rewinds a board built
+// from the same program — the same object, a fresh one, or one in another
+// process — to that exact instant. Snapshot at RunFor/RunUntil boundaries
+// (kernel quiescent points). What is in a checkpoint, layer by layer:
+//
+//	layer      captured state                      restore semantics
+//	-------    --------------------------------    ----------------------------------
+//	kernel     clock, event seq counter            clock may rewind; the event queue
+//	(dtm)                                          is rebuilt by the owners below,
+//	                                               each event re-armed at its original
+//	                                               instant AND sequence number, so
+//	                                               equal-timestamp tie-breaks replay
+//	                                               exactly
+//	scheduler  per-task accounting (releases,      pending releases/latches/slice
+//	(dtm)      misses, exec/response times),       ends re-armed; the ready heap,
+//	           release rhythm (next instant +      suspended jobs and the job on the
+//	           seq), FixedPriority job set (in/    CPU are rebuilt; cooperative
+//	           out latch maps deep-copied), the    pending outputs re-armed with
+//	           running slice (end instant,         their deep-copied value maps
+//	           will-complete), cooperative
+//	           pending output latches
+//	VM         per-unit mid-release machines:      fresh Machine per parked release
+//	(codegen)  PC, operand stack, halt flag,       (never aliases the source pool);
+//	           accumulated cycles/steps/emits      resumes at the exact instruction
+//	           (MachineState)                      boundary
+//	board      RAM image, cycle/instrumentation    byte-copied; symbol values,
+//	           counters, event seq, firmware       scheduling counters and latched
+//	           error, drop report cursor           I/O all come back with it
+//	agent      armed breakpoints (id, condition    conditions recompiled against the
+//	           text, hot/sticky flag, hit/err      program's symbol table in arming
+//	           counts), step arm, check round      order; hot flags preserved so trip
+//	                                               timing and sticky re-suspend
+//	                                               survive the rewind
+//	susp       the release interrupted by the      machine rebuilt; Resume finishes
+//	           agent (unit, release instant,       the body and makes up the skipped
+//	           machine, accounted prefix) plus     latch exactly as the live board
+//	           deferred made-up latches            would have
+//	serial     both directions: bytes in flight    bytes land at their original
+//	           with arrival instants, undrained    instants; a frame straddling the
+//	           rx, line-busy horizon, stats        checkpoint is not torn
+//	protocol   the firmware decoder mid-frame      the remaining bytes complete the
+//	           (body prefix, escape state,         frame; host-side decoder state
+//	           error count)                        travels in engine.SerialSourceState
+//	cluster    shared kernel once, per-node        boards, in-flight frames and the
+//	           BoardStates, network frames         global clock rewind together; the
+//	           mid-hop, per-node inbox stores      merged cross-node event order
+//	                                               replays exactly
+//
+// Host-side session state (trace, model-level breakpoints, GDM animation)
+// is deliberately not the board's concern: engine.SessionState captures
+// it, and internal/checkpoint composes both halves into one serialized
+// Checkpoint with periodic recording, input/command logs and
+// RewindTo/ReplayUntil on top.
 package target

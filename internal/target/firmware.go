@@ -235,10 +235,29 @@ func (b *Board) runSuspended() {
 	s.ue.recycle(s.m)
 	u, rel := s.u, s.rel
 	if d := rel + u.Deadline; d > now {
-		_ = b.kernel.Schedule(d, func(n uint64) { b.deadline(u, n) })
+		b.deferLatch(u, d)
 	} else {
 		b.deadline(u, now)
 	}
+}
+
+// deferLatch arms a made-up deadline latch as an explicit record (part of
+// the board snapshot) instead of a bare closure.
+func (b *Board) deferLatch(u *codegen.Unit, at uint64) {
+	dl := &deferredLatch{u: u, at: at}
+	b.deferred = append(b.deferred, dl)
+	dl.seq, _ = b.kernel.ScheduleTagged(at, func(n uint64) { b.fireDeferred(dl, n) })
+}
+
+// fireDeferred runs one made-up latch and retires its record.
+func (b *Board) fireDeferred(dl *deferredLatch, now uint64) {
+	for i, d := range b.deferred {
+		if d == dl {
+			b.deferred = append(b.deferred[:i], b.deferred[i+1:]...)
+			break
+		}
+	}
+	b.deadline(dl.u, now)
 }
 
 // deadline runs at the task's deadline instant: working outputs are

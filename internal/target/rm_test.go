@@ -1,0 +1,82 @@
+package target
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/dtm"
+	"repro/models"
+)
+
+// TestRateMonotonicConfig boots PriorityLoad with deliberately inverted
+// hand priorities and Config.RateMonotonic: the boot-time pass must derive
+// rate order from the periods (hog: 1 ms period beats lowly: 8 ms), so the
+// preemptive schedule behaves exactly as the hand-tuned original — lowly
+// still misses under preemption.
+func TestRateMonotonicConfig(t *testing.T) {
+	sys, err := models.PriorityLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(sys, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invert the compiled priorities; RateMonotonic must override them.
+	for _, u := range prog.Units {
+		u.Priority = -u.Priority
+	}
+	b, err := NewBoard("main", prog, Config{
+		CPUHz: 1_000_000, Sched: dtm.FixedPriority, Baud: 2_000_000,
+		RateMonotonic: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hog, lowly *dtm.Task
+	for _, tk := range b.Tasks() {
+		switch tk.Name {
+		case "hog":
+			hog = tk
+		case "lowly":
+			lowly = tk
+		}
+	}
+	if hog == nil || lowly == nil {
+		t.Fatal("missing tasks")
+	}
+	if hog.Priority <= lowly.Priority {
+		t.Fatalf("rate order not applied: hog=%d lowly=%d", hog.Priority, lowly.Priority)
+	}
+	b.RunFor(40_000_000)
+	if lowly.DeadlineMisses == 0 || lowly.Preemptions == 0 {
+		t.Fatalf("rate-monotonic schedule should preempt lowly into misses (misses=%d preemptions=%d)",
+			lowly.DeadlineMisses, lowly.Preemptions)
+	}
+	if hog.DeadlineMisses != 0 {
+		t.Fatalf("hog should meet every deadline, missed %d", hog.DeadlineMisses)
+	}
+}
+
+// TestRateMonotonicTieRejected: equal periods with different deadlines
+// make rate order ambiguous — boot must fail rather than guess.
+func TestRateMonotonicTieRejected(t *testing.T) {
+	sys, err := models.PriorityLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(sys, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range prog.Units {
+		u.Period = 2_000_000 // same period...
+	}
+	prog.Units[0].Deadline = 1_000_000 // ...different deadlines
+	prog.Units[1].Deadline = 2_000_000
+	if _, err := NewBoard("main", prog, Config{
+		CPUHz: 1_000_000, Sched: dtm.FixedPriority, RateMonotonic: true,
+	}, nil); err == nil {
+		t.Fatal("expected boot to reject the ambiguous rate tie")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/graphics"
 	"repro/internal/protocol"
@@ -44,6 +45,42 @@ func (t *Trace) Append(ev protocol.Event, recvNs uint64) Record {
 
 // Len returns the number of records.
 func (t *Trace) Len() int { return len(t.Records) }
+
+// Reseed resets the internal sequence counter to the highest record
+// sequence, so appends continue the numbering after Records were replaced
+// wholesale (a checkpoint restore or a JSON round-trip that bypassed
+// ReadJSONL).
+func (t *Trace) Reseed() {
+	t.nextSeq = 0
+	for _, r := range t.Records {
+		if r.Seq > t.nextSeq {
+			t.nextSeq = r.Seq
+		}
+	}
+}
+
+// Clone deep-copies the trace (records are values; the copy shares no
+// slice storage with the original).
+func (t *Trace) Clone() *Trace {
+	cp := New(t.Program)
+	cp.Records = append([]Record(nil), t.Records...)
+	cp.nextSeq = t.nextSeq
+	return cp
+}
+
+// FormatStable renders the trace one record per line in the stable
+// format shared by the golden-trace tests and the replay-determinism CI
+// diffs: any change to event ordering, timing, stamping or sequencing
+// shows up as a line diff.
+func (t *Trace) FormatStable() string {
+	var sb strings.Builder
+	for _, r := range t.Records {
+		ev := r.Event
+		fmt.Fprintf(&sb, "%04d recv=%d seq=%d t=%d %s src=%q a1=%q a2=%q v=%g\n",
+			r.Seq, r.RecvNs, ev.Seq, ev.Time, ev.Type, ev.Source, ev.Arg1, ev.Arg2, ev.Value)
+	}
+	return sb.String()
+}
 
 // Span returns the [first, last] target-time window covered.
 func (t *Trace) Span() (uint64, uint64) {
@@ -157,6 +194,13 @@ func (t *Trace) TimingDiagram() *graphics.Diagram {
 			d.Record("task:"+ev.Source, ev.Time, "idle")
 		case protocol.EvBreakHit:
 			d.Record("breakpoints", ev.Time, ev.Source)
+		case protocol.EvPreempt:
+			// Scheduling incidents project as lane markers on the task's
+			// track, not value changes — the preempted body is still "the"
+			// activity; the marker shows where it lost the CPU and to whom.
+			d.MarkAt("task:"+ev.Source, ev.Time, '^', "preempt<"+ev.Arg1)
+		case protocol.EvDeadlineMiss:
+			d.MarkAt("task:"+ev.Source, ev.Time, '!', "miss")
 		}
 	}
 	return d

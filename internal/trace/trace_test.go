@@ -177,3 +177,24 @@ func TestReplayDeterminism(t *testing.T) {
 		t.Errorf("replayed %d of %d", len(a), tr.Len())
 	}
 }
+
+func TestTimingDiagramSchedulingIncidents(t *testing.T) {
+	tr := New("p")
+	tr.Append(protocol.Event{Type: protocol.EvTaskStart, Source: "low", Time: 0}, 0)
+	tr.Append(protocol.Event{Type: protocol.EvPreempt, Source: "low", Arg1: "hog", Time: 700}, 1)
+	tr.Append(protocol.Event{Type: protocol.EvDeadlineMiss, Source: "low", Time: 2000}, 2)
+	d := tr.TimingDiagram()
+	track := d.Track("task:low")
+	if track == nil {
+		t.Fatal("no task track")
+	}
+	if len(track.Marks) != 2 {
+		t.Fatalf("marks = %d, want 2", len(track.Marks))
+	}
+	if track.Marks[0].Glyph != '^' || track.Marks[1].Glyph != '!' {
+		t.Fatalf("glyphs = %q %q", track.Marks[0].Glyph, track.Marks[1].Glyph)
+	}
+	if track.Marks[0].Label != "preempt<hog" {
+		t.Fatalf("label = %q", track.Marks[0].Label)
+	}
+}

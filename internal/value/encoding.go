@@ -57,6 +57,66 @@ func EncodeBytes(v Value, dst []byte) (int, error) {
 	return n, nil
 }
 
+// Encoded is the portable, JSON-friendly form of a Value used by the
+// checkpoint subsystem: kind name plus the stable textual form produced by
+// Value.String. Float text is the shortest round-tripping representation,
+// so Decode(Encode(v)) is bit-exact for every representable value.
+type Encoded struct {
+	K string `json:"k"`
+	V string `json:"v,omitempty"`
+}
+
+// Encode converts a Value to its portable form. The zero (Invalid) Value
+// encodes to the zero Encoded and decodes back to it.
+func Encode(v Value) Encoded {
+	if !v.IsValid() {
+		return Encoded{}
+	}
+	return Encoded{K: v.Kind().String(), V: v.String()}
+}
+
+// Decode converts the portable form back to a Value.
+func Decode(e Encoded) (Value, error) {
+	if e.K == "" || e.K == "invalid" {
+		return Value{}, nil
+	}
+	k, err := ParseKind(e.K)
+	if err != nil {
+		return Value{}, err
+	}
+	return Parse(k, e.V)
+}
+
+// EncodeMap deep-copies a signal map into its portable form (nil in, nil
+// out). The copy shares nothing with the input, so a restore can never
+// alias live state.
+func EncodeMap(m map[string]Value) map[string]Encoded {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]Encoded, len(m))
+	for k, v := range m {
+		out[k] = Encode(v)
+	}
+	return out
+}
+
+// DecodeMap converts a portable signal map back into live values.
+func DecodeMap(m map[string]Encoded) (map[string]Value, error) {
+	if m == nil {
+		return nil, nil
+	}
+	out := make(map[string]Value, len(m))
+	for k, e := range m {
+		v, err := Decode(e)
+		if err != nil {
+			return nil, fmt.Errorf("value: map key %q: %w", k, err)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
 // DecodeBytes reads a value of kind k from src.
 func DecodeBytes(k Kind, src []byte) (Value, error) {
 	n := ByteSize(k)
