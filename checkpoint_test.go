@@ -8,6 +8,7 @@ package repro
 
 import (
 	"bytes"
+	"os"
 	"testing"
 	"time"
 
@@ -511,5 +512,150 @@ func TestReplayReappliesManualInputs(t *testing.T) {
 	// The poked value must actually matter: it reached the board again.
 	if v, err := dbg.Board.ReadOutput("lowly", "y"); err != nil || v.Float() == 0 {
 		t.Fatalf("manual stimulus did not propagate on replay: y=%v err=%v", v, err)
+	}
+}
+
+// TestGoldenDistributedMidCycleRestore is the distributed acceptance
+// criterion: the TDMA golden scenario is checkpointed mid-cycle — frames
+// queued in TX AND in flight on the wire — serialized, restored into a
+// freshly built cluster debugger ("fresh process"), and the continuation's
+// trace must be byte-identical to the checked-in golden.
+func TestGoldenDistributedMidCycleRestore(t *testing.T) {
+	want, err := os.ReadFile(goldenDistPath)
+	if err != nil {
+		t.Fatalf("%v — run `go test -run TestGoldenDistributedTrace -update .` first", err)
+	}
+
+	orig := distributedDebugger(t)
+	// 51 ms: the producer publishes at odd milliseconds, so a frame has
+	// just joined nodeA's TX queue (or is departing into its slot) and the
+	// 0.1 ms propagation keeps it on the wire across the boundary.
+	if err := orig.Run(51 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := orig.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp = jsonRoundtrip(t, cp)
+	if cp.Cluster == nil || len(cp.Cluster.Net.Flights) == 0 {
+		t.Fatal("checkpoint not mid-cycle: no frames queued or in flight")
+	}
+	if cp.Cluster.Net.RNG == 0 || len(cp.Cluster.Net.Cursor) == 0 {
+		t.Fatalf("bus RNG/cursor state missing from the serialized form: %+v", cp.Cluster.Net)
+	}
+	if cp.ClusterHost == nil || len(cp.ClusterHost.Serials) != 2 {
+		t.Fatal("cluster host state (session + per-node serial channels) missing")
+	}
+
+	fresh := distributedDebugger(t)
+	if err := fresh.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cluster.Now() != orig.Cluster.Now() {
+		t.Fatalf("restored clock %d != %d", fresh.Cluster.Now(), orig.Cluster.Now())
+	}
+	if err := fresh.Run(49 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Session.Trace.FormatStable(); got != string(want) {
+		diffTraces(t, got, string(want))
+	}
+	// And the bus accounting converges with the uninterrupted run's.
+	if err := orig.Run(49 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range fresh.Cluster.Nodes() {
+		if got, want := fresh.BusStats(node), orig.BusStats(node); got != want {
+			t.Fatalf("bus stats[%s]: restored %+v vs live %+v", node, got, want)
+		}
+	}
+}
+
+// TestPassiveWatcherCacheRestored is the regression test for the passive
+// JTAG watcher's prev-value cache: it is captured in SessionState (not
+// rebuilt on restore), so a restored passive session — same debugger or a
+// fresh process — emits NO spurious watch events on its first post-restore
+// poll and continues byte-identically to the uninterrupted run.
+func TestPassiveWatcherCacheRestored(t *testing.T) {
+	// A memoryless environment (temperature is a pure function of virtual
+	// time) so plain checkpoint restore — without the recorder's input log
+	// — is exactly reproducible even when rewinding a live session whose
+	// plant would otherwise keep its future state.
+	passiveDebugger := func(t *testing.T, _ Transport) *Debugger {
+		t.Helper()
+		sys, err := models.Heating(models.HeatingOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbg, err := Debug(sys, DebugConfig{
+			Transport: Passive,
+			Environment: func(now uint64, b *target.Board) {
+				_ = b.WriteInput("heater", "temp", value.F(15+float64(now)/1e6*0.2))
+				_ = b.WriteInput("heater", "mode", value.I(2))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dbg
+	}
+
+	full := passiveDebugger(t, Passive)
+	if err := full.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := formatTrace(full)
+
+	half := passiveDebugger(t, Passive)
+	if err := half.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := half.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp = jsonRoundtrip(t, cp)
+	if cp.Host == nil || cp.Host.Session.Watcher == nil || len(cp.Host.Session.Watcher.Last) == 0 {
+		t.Fatal("passive checkpoint does not carry the watcher's prev-value cache")
+	}
+
+	// Fresh process: a brand-new passive debugger whose watcher cache is
+	// empty until the restore fills it.
+	fresh := passiveDebugger(t, Passive)
+	if err := fresh.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	// The first post-restore poll must announce nothing: RAM was restored
+	// to exactly the values the restored cache remembers. (Without the
+	// captured cache this poll would re-announce every watch as a baseline
+	// report and every later receive stamp would shift.)
+	evs := fresh.Watcher.Poll(fresh.Board.Now())
+	if len(evs) != 0 {
+		t.Fatalf("first post-restore poll re-announced %d unchanged watches: %v", len(evs), evs)
+	}
+	if err := fresh.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := formatTrace(fresh); got != want {
+		diffTraces(t, got, want)
+	}
+
+	// In-place rewind of a live session: the cache must diff against the
+	// restored instant, not the abandoned future.
+	if err := half.Run(10 * time.Millisecond); err != nil { // race ahead to 30 ms
+		t.Fatal(err)
+	}
+	if err := half.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if evs := half.Watcher.Poll(half.Board.Now()); len(evs) != 0 {
+		t.Fatalf("rewound session's first poll diffed against the future: %v", evs)
+	}
+	if err := half.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := formatTrace(half); got != want {
+		diffTraces(t, got, want)
 	}
 }

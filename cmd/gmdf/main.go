@@ -19,6 +19,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/comdes"
 	"repro/internal/core"
+	"repro/internal/dtm"
 	"repro/internal/engine"
 	"repro/internal/metamodel"
 	"repro/internal/plant"
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	model := flag.String("model", "heating", "built-in model (heating|traffic|ring) or COMDES model XML path")
+	model := flag.String("model", "heating", "built-in model (heating|traffic|ring|dist) or COMDES model XML path; a placed multi-node model (dist) debugs as a cluster on a TDMA bus")
 	transport := flag.String("transport", "active", "command interface: active (RS-232) | passive (JTAG)")
 	ms := flag.Uint64("ms", 2000, "virtual milliseconds to debug")
 	gdmOut := flag.String("gdm", "", "write the generated GDM file (JSON) here")
@@ -84,6 +85,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", *gdmOut, len(data))
+	}
+
+	// A placed multi-node model debugs distributed: one board per node on
+	// a shared clock, cross-node signals on a time-triggered TDMA bus, one
+	// session over every node's active interface.
+	if len(sys.Nodes()) > 1 {
+		if *breakMachine != "" || *breakState != "" {
+			log.Fatal("gmdf: -break-machine/-break-state are not supported on multi-node models yet")
+		}
+		if *rewindMs > 0 {
+			log.Fatal("gmdf: -rewind needs the single-board recorder; multi-node models support -checkpoint/-restore")
+		}
+		if *transport == "passive" {
+			log.Fatal("gmdf: multi-node models debug over every node's active interface; -transport passive is not supported")
+		}
+		runCluster(sys, *ms, *traceOut, *checkpointOut, *restoreIn, *svgOut)
+		return
 	}
 
 	// Step 5 via the facade (compile + board + channel + session).
@@ -199,6 +217,85 @@ func main() {
 	}
 }
 
+// runCluster is the distributed debugging path: the placed system boots on
+// a TDMA cluster (the Fig. 6 workflow's target is a network of boards) and
+// the one session's trace carries the slot-grid lane. The bus parameters
+// are fixed — 100 µs slot per node in placement order, 50 µs gaps, 20 µs
+// release jitter, 10% seeded loss, 100 µs propagation — so every run of
+// the same model is byte-deterministic (the CI replay jobs diff traces
+// across processes).
+func runCluster(sys *comdes.System, ms uint64, traceOut, checkpointOut, restoreIn, svgOut string) {
+	bus := &dtm.BusSchedule{GapNs: 50_000, JitterNs: 20_000, LossPerMille: 100, Seed: 2010}
+	for _, node := range sys.Nodes() {
+		bus.Slots = append(bus.Slots, dtm.BusSlot{Owner: node, LenNs: 100_000})
+	}
+	dbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{
+		Cluster: target.ClusterConfig{
+			LatencyNs: 100_000,
+			Bus:       bus,
+			Board:     target.Config{Baud: 2_000_000},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %v on a %.0f µs TDMA cycle (10%% loss, 20 µs release jitter)\n",
+		dbg.Cluster.Nodes(), float64(bus.CycleNs())/1000)
+
+	if restoreIn != "" {
+		cp, err := checkpoint.ReadFile(restoreIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dbg.RestoreCheckpoint(cp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restored cluster checkpoint: t=%.3f ms, %d trace records carried over\n",
+			float64(dbg.Cluster.Now())/1e6, dbg.Session.Trace.Len())
+	}
+
+	if err := dbg.RunNs(ms * 1_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== animated model ==")
+	fmt.Print(dbg.RenderASCII())
+	fmt.Printf("\nevents=%d reactions=%d network: %d sent, %d lost\n",
+		dbg.Session.Handled, dbg.GDM.Reactions, dbg.Cluster.Net.Sent, dbg.Cluster.Net.Dropped)
+	for _, node := range dbg.Cluster.Nodes() {
+		st := dbg.BusStats(node)
+		if st.Enqueued > 0 {
+			fmt.Printf("bus[%s]: %d enqueued, %d delivered, %d lost, worst queueing %.0f µs\n",
+				node, st.Enqueued, st.Delivered, st.Dropped, float64(st.WorstQueueNs)/1000)
+		}
+	}
+	fmt.Println("\n== timing diagram (bus track = slot grid) ==")
+	fmt.Print(dbg.TimingDiagramASCII(76))
+
+	if svgOut != "" {
+		if err := os.WriteFile(svgOut, []byte(dbg.GDM.Scene().SVG()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", svgOut)
+	}
+	if checkpointOut != "" {
+		cp, err := dbg.Checkpoint()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cp.WriteFile(checkpointOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote checkpoint %s (t=%.3f ms)\n", checkpointOut, float64(cp.Time)/1e6)
+	}
+	if traceOut != "" {
+		if err := os.WriteFile(traceOut, []byte(dbg.Session.Trace.FormatStable()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote trace %s (%d records)\n", traceOut, dbg.Session.Trace.Len())
+	}
+}
+
 func defaultBindings() []core.Binding {
 	g := core.NewGDM("tmp")
 	_ = engine.BindCOMDES(g)
@@ -213,6 +310,8 @@ func loadSystem(name string) (*comdes.System, error) {
 		return models.TrafficLight()
 	case "ring":
 		return models.TokenRing(4)
+	case "dist":
+		return models.Distributed()
 	}
 	f, err := os.Open(name)
 	if err != nil {

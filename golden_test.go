@@ -27,11 +27,45 @@ import (
 	"repro/models"
 )
 
+// goldenBus is the TDMA schedule of the distributed golden scenario —
+// the same parameters cmd/gmdf's cluster path hardcodes, so the in-test
+// golden and the CI's cross-process gmdf diffs pin the same timeline.
+func goldenBus() *dtm.BusSchedule {
+	return &dtm.BusSchedule{
+		Slots: []dtm.BusSlot{
+			{Owner: "nodeA", LenNs: 100_000},
+			{Owner: "nodeB", LenNs: 100_000},
+		},
+		GapNs: 50_000, JitterNs: 20_000, LossPerMille: 100, Seed: 2010,
+	}
+}
+
+// distributedDebugger assembles the golden TDMA cluster scenario.
+func distributedDebugger(t *testing.T) *ClusterDebugger {
+	t.Helper()
+	sys, err := models.Distributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbg, err := DebugCluster(sys, ClusterDebugConfig{
+		Cluster: target.ClusterConfig{
+			LatencyNs: 100_000,
+			Bus:       goldenBus(),
+			Board:     target.Config{Baud: 2_000_000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dbg
+}
+
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 const (
 	goldenTracePath   = "testdata/heating_trace.golden"
 	goldenPreemptPath = "testdata/preempt_trace.golden"
+	goldenDistPath    = "testdata/distributed_trace.golden"
 )
 
 // goldenScenario replays the examples/heating debugging session
@@ -156,4 +190,27 @@ func TestGoldenPreemptTrace(t *testing.T) {
 		t.Fatalf("suspiciously few preemptions in the golden run: %d", n)
 	}
 	assertGolden(t, goldenPreemptPath, got, dbg.Session.Trace.Len())
+}
+
+// TestGoldenDistributedTrace pins the TDMA distributed scenario byte for
+// byte: every slot departure, release-jitter instant, seeded frame loss,
+// cross-node signal arrival and both nodes' event sequence numbers. Any
+// change to the slot allocator, the jitter/loss RNG draw order, the
+// one-frame-per-slot rule or the cluster event interleaving fails here
+// loudly.
+func TestGoldenDistributedTrace(t *testing.T) {
+	dbg := distributedDebugger(t)
+	if err := dbg.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if n := dbg.Session.Trace.OfType(protocol.EvBusSlot).Len(); n < 20 {
+		t.Fatalf("suspiciously few bus departures in the golden run: %d", n)
+	}
+	if dbg.Session.Trace.OfType(protocol.EvFrameDropped).Len() == 0 {
+		t.Fatal("the golden run must exercise seeded frame loss")
+	}
+	if st := dbg.BusStats("nodeA"); st.WorstQueueNs == 0 {
+		t.Fatal("the golden run must exercise slot contention (queueing)")
+	}
+	assertGolden(t, goldenDistPath, dbg.Session.Trace.FormatStable(), dbg.Session.Trace.Len())
 }

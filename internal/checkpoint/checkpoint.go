@@ -40,6 +40,14 @@ type HostState struct {
 	Serial  *engine.SerialSourceState `json:"serial,omitempty"`
 }
 
+// ClusterHostState is the host half of a distributed checkpoint: one
+// session animated by the whole cluster plus the per-node serial command
+// channels (keyed by node name).
+type ClusterHostState struct {
+	Session engine.SessionState                 `json:"session"`
+	Serials map[string]engine.SerialSourceState `json:"serials,omitempty"`
+}
+
 // Checkpoint is one complete execution state: a standalone board or a
 // whole cluster, plus (optionally) the host session attached to it. It is
 // a plain value — JSON-serializable, so a checkpoint written by one
@@ -48,9 +56,10 @@ type Checkpoint struct {
 	Version int    `json:"version"`
 	Time    uint64 `json:"time"`
 
-	Board   *target.BoardState   `json:"board,omitempty"`
-	Cluster *target.ClusterState `json:"cluster,omitempty"`
-	Host    *HostState           `json:"host,omitempty"`
+	Board       *target.BoardState   `json:"board,omitempty"`
+	Cluster     *target.ClusterState `json:"cluster,omitempty"`
+	Host        *HostState           `json:"host,omitempty"`
+	ClusterHost *ClusterHostState    `json:"clusterHost,omitempty"`
 }
 
 // Encode writes the checkpoint's serialized form.
@@ -121,6 +130,48 @@ func CaptureCluster(c *target.Cluster) (*Checkpoint, error) {
 		return nil, err
 	}
 	return &Checkpoint{Version: Version, Time: c.Now(), Cluster: cs}, nil
+}
+
+// CaptureClusterSession snapshots a cluster together with the one host
+// session debugging it and the per-node serial command channels — the
+// distributed form of Capture. srcs may be nil or partial (passive nodes
+// have no command channel).
+func CaptureClusterSession(c *target.Cluster, s *engine.Session, srcs map[string]*engine.SerialSource) (*Checkpoint, error) {
+	cp, err := CaptureCluster(c)
+	if err != nil {
+		return nil, err
+	}
+	if s != nil {
+		host := &ClusterHostState{Session: s.Snapshot()}
+		if len(srcs) > 0 {
+			host.Serials = make(map[string]engine.SerialSourceState, len(srcs))
+			for node, src := range srcs {
+				host.Serials[node] = src.Snapshot()
+			}
+		}
+		cp.ClusterHost = host
+	}
+	return cp, nil
+}
+
+// ApplyClusterSession restores a distributed checkpoint onto a cluster
+// built from the same system (possibly in a fresh process), rewinding the
+// attached host session and per-node command channels alongside it.
+func ApplyClusterSession(cp *Checkpoint, c *target.Cluster, s *engine.Session, srcs map[string]*engine.SerialSource) error {
+	if err := ApplyCluster(cp, c); err != nil {
+		return err
+	}
+	if cp.ClusterHost != nil && s != nil {
+		if err := s.Restore(cp.ClusterHost.Session); err != nil {
+			return err
+		}
+		for node, st := range cp.ClusterHost.Serials {
+			if src, ok := srcs[node]; ok {
+				src.Restore(st)
+			}
+		}
+	}
+	return nil
 }
 
 // Apply restores a board checkpoint onto a board built from the same

@@ -42,6 +42,11 @@ type Options struct {
 	// FaultRewire, when non-nil, reroutes one connection — an
 	// implementation error.
 	FaultRewire *Rewire
+	// BusDrops allocates the node-level "__busdrops" RAM counter the
+	// firmware maintains on a time-triggered cluster bus. Off by default so
+	// single-board and constant-latency programs keep their exact RAM
+	// layout.
+	BusDrops bool
 }
 
 // Compile transforms a validated COMDES system into a Program.
@@ -54,10 +59,18 @@ func Compile(sys *comdes.System, opts Options) (*Program, error) {
 		opts: opts,
 	}
 	c.prog.line("// generated from COMDES system %q — pseudo-C listing", sys.Name())
+	c.prog.BusDropSym = -1
 	for _, a := range sys.Actors {
 		if err := c.compileActor(a); err != nil {
 			return nil, err
 		}
+	}
+	if opts.BusDrops {
+		sym, err := c.alloc("__busdrops", value.Int, "")
+		if err != nil {
+			return nil, err
+		}
+		c.prog.BusDropSym = sym
 	}
 	return c.prog, nil
 }

@@ -245,6 +245,14 @@ type Program struct {
 	// Instrumented records whether the active command interface was woven
 	// in (experiment E7 compares instrumented vs clean binaries).
 	Instrumented bool
+
+	// BusDropSym indexes the kernel-maintained "__busdrops" RAM counter
+	// (cumulative frames this node lost on the time-triggered bus), or -1
+	// when the program was compiled without Options.BusDrops. Like the
+	// per-actor __misses/__preempts counters it is a plain symbol, so the
+	// passive JTAG interface and on-target breakpoint conditions observe
+	// bus loss at zero instrumentation cost.
+	BusDropSym int
 }
 
 // Unit returns the named unit, or nil.

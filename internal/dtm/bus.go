@@ -1,0 +1,556 @@
+package dtm
+
+// The communication medium between nodes. Two models share one Network:
+//
+//   - Constant latency (default): every frame is delivered LatencyNs after
+//     Send — the seed behaviour, byte-identical to the original goldens.
+//   - Time-triggered bus (BusSchedule installed): a TTP/FlexRay-style TDMA
+//     cycle of named sender slots. SendFrom enqueues into the sender's TX
+//     queue; the frame departs in the sender's next free slot (one frame
+//     per slot), optionally delayed by bounded release jitter, optionally
+//     lost with a deterministic seeded per-slot probability, and arrives
+//     LatencyNs (propagation) after departure. Frames published outside
+//     any owned slot contend: they wait, queued, for the next owned slot.
+//
+// Everything is deterministic and explicit-state: the RNG is a seeded
+// splitmix64 counter captured in NetworkState, queued and in-flight frames
+// are records carrying their kernel event sequence numbers, and the
+// per-node slot cursors are serialized — a checkpoint taken mid-TDMA-cycle
+// restores with the exact queue, phase and future loss pattern.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// BusSlot is one sender slot of the TDMA cycle.
+type BusSlot struct {
+	// Owner is the node name allowed to transmit in this slot.
+	Owner string `json:"owner"`
+	// LenNs is the slot length.
+	LenNs uint64 `json:"lenNs"`
+}
+
+// BusSchedule is a TDMA cycle: the slots repeat forever in order, each
+// separated by GapNs of inter-slot gap, with the first cycle anchored at
+// virtual time zero. A node may own any number of slots per cycle; one
+// frame departs per owned slot.
+type BusSchedule struct {
+	Slots []BusSlot `json:"slots"`
+	// GapNs is the idle guard time after every slot.
+	GapNs uint64 `json:"gapNs,omitempty"`
+	// JitterNs bounds the release jitter added to each departure: a
+	// deterministic draw in [0, JitterNs] delays the frame within its slot
+	// (Validate requires JitterNs < every slot length).
+	JitterNs uint64 `json:"jitterNs,omitempty"`
+	// LossPerMille is the per-slot probability (in 1/1000) that a departing
+	// frame is lost on the medium. The draw is seeded and deterministic.
+	LossPerMille uint32 `json:"lossPerMille,omitempty"`
+	// Seed initialises the jitter/loss RNG.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Validate checks the schedule's shape.
+func (s *BusSchedule) Validate() error {
+	if len(s.Slots) == 0 {
+		return fmt.Errorf("dtm: bus schedule with no slots")
+	}
+	for i, sl := range s.Slots {
+		if sl.Owner == "" {
+			return fmt.Errorf("dtm: bus slot %d has no owner", i)
+		}
+		if sl.LenNs == 0 {
+			return fmt.Errorf("dtm: bus slot %d (%s) has zero length", i, sl.Owner)
+		}
+		if s.JitterNs >= sl.LenNs {
+			return fmt.Errorf("dtm: release jitter %d ns >= slot %d (%s) length %d ns", s.JitterNs, i, sl.Owner, sl.LenNs)
+		}
+	}
+	if s.LossPerMille > 1000 {
+		return fmt.Errorf("dtm: loss %d per mille > 1000", s.LossPerMille)
+	}
+	return nil
+}
+
+// CycleNs returns the TDMA cycle length (slots plus gaps).
+func (s *BusSchedule) CycleNs() uint64 {
+	var total uint64
+	for _, sl := range s.Slots {
+		total += sl.LenNs + s.GapNs
+	}
+	return total
+}
+
+// Owns reports whether owner holds at least one slot in the cycle.
+func (s *BusSchedule) Owns(owner string) bool {
+	for _, sl := range s.Slots {
+		if sl.Owner == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// slotOffset returns slot i's start offset within the cycle.
+func (s *BusSchedule) slotOffset(i int) uint64 {
+	var off uint64
+	for j := 0; j < i; j++ {
+		off += s.Slots[j].LenNs + s.GapNs
+	}
+	return off
+}
+
+// SlotStart returns the absolute start instant of global slot index abs
+// (abs counts slots across cycles: slot i of cycle c is c*len(Slots)+i).
+func (s *BusSchedule) SlotStart(abs uint64) uint64 {
+	n := uint64(len(s.Slots))
+	return (abs/n)*s.CycleNs() + s.slotOffset(int(abs%n))
+}
+
+// SlotAt returns the slot open at instant t, or ok=false when t falls in
+// an inter-slot gap.
+func (s *BusSchedule) SlotAt(t uint64) (owner string, abs uint64, ok bool) {
+	n := uint64(len(s.Slots))
+	cycle := t / s.CycleNs()
+	rem := t % s.CycleNs()
+	var off uint64
+	for i, sl := range s.Slots {
+		if rem >= off && rem < off+sl.LenNs {
+			return sl.Owner, cycle*n + uint64(i), true
+		}
+		off += sl.LenNs + s.GapNs
+	}
+	return "", 0, false
+}
+
+// nextOwned returns the smallest global slot index >= minAbs owned by
+// owner that is still open or ahead at instant now. ok=false when owner
+// holds no slot at all.
+func (s *BusSchedule) nextOwned(owner string, minAbs, now uint64) (uint64, bool) {
+	if !s.Owns(owner) {
+		return 0, false
+	}
+	n := uint64(len(s.Slots))
+	lo := n * (now / s.CycleNs())
+	if minAbs > lo {
+		lo = minAbs
+	}
+	for abs := lo; ; abs++ {
+		sl := s.Slots[abs%n]
+		if sl.Owner != owner {
+			continue
+		}
+		if s.SlotStart(abs)+sl.LenNs > now {
+			return abs, true
+		}
+	}
+}
+
+// BusStats is the per-node TX accounting of the time-triggered bus.
+type BusStats struct {
+	// Enqueued counts frames handed to this node's TX queue.
+	Enqueued uint64 `json:"enqueued,omitempty"`
+	// Delivered counts frames that reached their destination store.
+	Delivered uint64 `json:"delivered,omitempty"`
+	// Dropped counts frames lost on the medium (or unschedulable).
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Queued is the current TX queue depth (enqueued, not yet departed).
+	Queued int `json:"queued,omitempty"`
+	// WorstQueueNs is the worst enqueue-to-departure queueing delay seen.
+	WorstQueueNs uint64 `json:"worstQueueNs,omitempty"`
+}
+
+// Network models the communication medium between nodes: labelled signal
+// messages delivered into remote Stores. Without a BusSchedule it is a
+// constant-latency pipe (the COMDES deadline-latching analysis assumption);
+// with one it is a time-triggered TDMA bus — see the package comment at the
+// top of this file.
+//
+// Frames in flight are explicit records, not closures: a snapshot carries
+// them and a restore re-arms their events at the original instants and
+// kernel sequence positions. Destinations that should survive a snapshot
+// must be registered with Bind, which gives each store the stable name the
+// portable form uses.
+type Network struct {
+	K         *Kernel
+	LatencyNs uint64
+	Sent      uint64
+	// Dropped counts frames lost bus-wide (sum of per-node drops).
+	Dropped uint64
+
+	// OnSlot, when set, observes every TDMA frame departure: the frame of
+	// signal left owner's TX queue in global slot index slot.
+	OnSlot func(now uint64, owner, signal string, slot uint64)
+	// OnDrop, when set, observes every frame loss at its departure slot;
+	// total is the owner's cumulative drop count.
+	OnDrop func(now uint64, owner, signal string, total uint64)
+
+	sched  *BusSchedule
+	rng    uint64
+	cursor map[string]uint64 // per-node next claimable global slot index
+	stats  map[string]*BusStats
+
+	names    map[*Store]string
+	stores   map[string]*Store
+	inflight []*netFlight
+}
+
+// netFlight is one signal message queued for or on the wire.
+type netFlight struct {
+	signal string
+	v      value.Value
+	at     uint64 // delivery instant
+	seq    uint64 // delivery event sequence number
+	dst    *Store
+
+	// TDMA fields (zero on constant-latency frames).
+	src       string // sending node
+	enq       uint64 // enqueue instant
+	slot      uint64 // global index of the departure slot
+	departAt  uint64
+	departSeq uint64
+	departed  bool
+	lost      bool
+}
+
+// NewNetwork creates a constant-latency network over the kernel.
+func NewNetwork(k *Kernel, latencyNs uint64) *Network {
+	return &Network{
+		K: k, LatencyNs: latencyNs,
+		names:  map[*Store]string{},
+		stores: map[string]*Store{},
+	}
+}
+
+// SetSchedule installs (or, with nil, removes) the TDMA bus schedule.
+// LatencyNs becomes the propagation delay after departure. Installing a
+// schedule resets the jitter/loss RNG to the schedule's seed; it is
+// rejected while frames are in flight (their timing is already committed).
+func (n *Network) SetSchedule(s *BusSchedule) error {
+	if len(n.inflight) > 0 {
+		return fmt.Errorf("dtm: cannot change bus schedule with %d frames in flight", len(n.inflight))
+	}
+	if s == nil {
+		n.sched = nil
+		return nil
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	n.sched = s
+	n.rng = s.Seed
+	n.cursor = map[string]uint64{}
+	if n.stats == nil {
+		n.stats = map[string]*BusStats{}
+	}
+	return nil
+}
+
+// Schedule returns the installed TDMA schedule (nil = constant latency).
+func (n *Network) Schedule() *BusSchedule { return n.sched }
+
+// Bind registers a destination store under a stable name (the cluster uses
+// node names), making frames addressed to it snapshotable.
+func (n *Network) Bind(name string, dst *Store) {
+	n.names[dst] = name
+	n.stores[name] = dst
+}
+
+// rand is one splitmix64 draw; the counter is the checkpointed RNG state.
+func (n *Network) rand() uint64 {
+	n.rng += 0x9e3779b97f4a7c15
+	z := n.rng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Send delivers signal=v into the destination store after the latency —
+// the constant-latency path, kept verbatim for senders with no identity.
+func (n *Network) Send(signal string, v value.Value, dst *Store) {
+	n.SendFrom("", signal, v, dst)
+}
+
+// SendFrom submits a frame on behalf of sending node src. Without a bus
+// schedule (or with an anonymous sender) it behaves exactly like Send:
+// one delivery LatencyNs from now. Under a schedule the frame joins src's
+// TX queue and departs in src's next free slot — its departure instant,
+// release jitter and loss outcome are all decided (deterministically) here,
+// so a snapshot taken at any later instant carries the committed timing.
+func (n *Network) SendFrom(src, signal string, v value.Value, dst *Store) {
+	n.Sent++
+	if n.sched == nil || src == "" {
+		f := &netFlight{signal: signal, v: v, at: n.K.Now() + n.LatencyNs, dst: dst}
+		n.inflight = append(n.inflight, f)
+		f.seq, _ = n.K.ScheduleTagged(f.at, func(now uint64) { n.deliver(f) })
+		return
+	}
+	now := n.K.Now()
+	st := n.nodeStats(src)
+	st.Enqueued++
+	abs, ok := n.sched.nextOwned(src, n.cursor[src], now)
+	if !ok {
+		// A sender owning no slot can never transmit; the frame is dropped
+		// at enqueue. BuildCluster validates producers upfront, so this is
+		// only reachable on hand-built networks.
+		st.Dropped++
+		n.Dropped++
+		if n.OnDrop != nil {
+			n.OnDrop(now, src, signal, st.Dropped)
+		}
+		return
+	}
+	n.cursor[src] = abs + 1 // one frame per slot
+	start := n.sched.SlotStart(abs)
+	dep := start
+	if dep < now {
+		dep = now // published mid-slot: depart immediately within the slot
+	}
+	if n.sched.JitterNs > 0 {
+		dep += n.rand() % (n.sched.JitterNs + 1)
+		// Release jitter delays the departure *within* the slot (Validate
+		// guarantees JitterNs < slot length, so a start-of-slot departure
+		// can never overshoot). A mid-slot publish near the slot end is
+		// clamped to the last instant of the slot rather than bleeding into
+		// the guard gap or another owner's slot.
+		if end := start + n.sched.Slots[abs%uint64(len(n.sched.Slots))].LenNs; dep >= end {
+			dep = end - 1
+		}
+	}
+	f := &netFlight{
+		signal: signal, v: v, dst: dst,
+		src: src, enq: now, slot: abs, departAt: dep, at: dep + n.LatencyNs,
+	}
+	if n.sched.LossPerMille > 0 {
+		f.lost = n.rand()%1000 < uint64(n.sched.LossPerMille)
+	}
+	n.inflight = append(n.inflight, f)
+	st.Queued++
+	f.departSeq, _ = n.K.ScheduleTagged(f.departAt, func(now uint64) { n.depart(f, now) })
+	if !f.lost {
+		f.seq, _ = n.K.ScheduleTagged(f.at, func(now uint64) { n.deliver(f) })
+	}
+}
+
+// depart is the frame leaving its TX queue in its owner's slot: queueing
+// stats close, the slot hook fires, and a lost frame dies here — at the
+// slot, observable — instead of silently never arriving.
+func (n *Network) depart(f *netFlight, now uint64) {
+	f.departed = true
+	st := n.nodeStats(f.src)
+	st.Queued--
+	if wait := f.departAt - f.enq; wait > st.WorstQueueNs {
+		st.WorstQueueNs = wait
+	}
+	if n.OnSlot != nil {
+		n.OnSlot(now, f.src, f.signal, f.slot)
+	}
+	if f.lost {
+		n.retire(f)
+		st.Dropped++
+		n.Dropped++
+		if n.OnDrop != nil {
+			n.OnDrop(now, f.src, f.signal, st.Dropped)
+		}
+	}
+}
+
+// deliver lands one frame and retires its in-flight record.
+func (n *Network) deliver(f *netFlight) {
+	n.retire(f)
+	if f.src != "" && n.sched != nil {
+		n.nodeStats(f.src).Delivered++
+	}
+	f.dst.Set(f.signal, f.v)
+}
+
+// retire removes a frame from the in-flight list.
+func (n *Network) retire(f *netFlight) {
+	for i, g := range n.inflight {
+		if g == f {
+			n.inflight = append(n.inflight[:i], n.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// Inflight returns the number of frames queued or on the wire.
+func (n *Network) Inflight() int { return len(n.inflight) }
+
+// Queued returns the number of frames awaiting departure in TX queues.
+func (n *Network) Queued() int {
+	q := 0
+	for _, f := range n.inflight {
+		if f.src != "" && !f.departed {
+			q++
+		}
+	}
+	return q
+}
+
+// Stats returns node's TX accounting (zero value for unknown nodes).
+func (n *Network) Stats(node string) BusStats {
+	if st, ok := n.stats[node]; ok {
+		return *st
+	}
+	return BusStats{}
+}
+
+func (n *Network) nodeStats(node string) *BusStats {
+	if n.stats == nil {
+		n.stats = map[string]*BusStats{}
+	}
+	st, ok := n.stats[node]
+	if !ok {
+		st = &BusStats{}
+		n.stats[node] = st
+	}
+	return st
+}
+
+// FlightState is the portable form of one queued or in-flight frame.
+type FlightState struct {
+	Signal string        `json:"signal"`
+	Val    value.Encoded `json:"val"`
+	At     uint64        `json:"at"`
+	Seq    uint64        `json:"seq"`
+	Dst    string        `json:"dst"`
+
+	Src       string `json:"src,omitempty"`
+	Enq       uint64 `json:"enq,omitempty"`
+	Slot      uint64 `json:"slot,omitempty"`
+	DepartAt  uint64 `json:"departAt,omitempty"`
+	DepartSeq uint64 `json:"departSeq,omitempty"`
+	Departed  bool   `json:"departed,omitempty"`
+	Lost      bool   `json:"lost,omitempty"`
+}
+
+// NetworkState is the portable form of a Network: counters, every frame
+// queued or on the wire, and — under a TDMA schedule — the RNG counter,
+// per-node slot cursors and TX stats, so a restore lands mid-cycle with
+// the identical queue, phase and future jitter/loss pattern. The schedule
+// itself is configuration (re-installed by the owner before Restore); it
+// is captured only to cross-check compatibility.
+type NetworkState struct {
+	LatencyNs uint64        `json:"latencyNs"`
+	Sent      uint64        `json:"sent"`
+	Dropped   uint64        `json:"dropped,omitempty"`
+	Flights   []FlightState `json:"flights,omitempty"`
+
+	RNG    uint64              `json:"rng,omitempty"`
+	Cursor map[string]uint64   `json:"cursor,omitempty"`
+	Stats  map[string]BusStats `json:"stats,omitempty"`
+	Sched  *BusSchedule        `json:"sched,omitempty"`
+}
+
+// Snapshot captures the network counters and every frame queued or in
+// flight. It fails if a frame's destination store was never Bound — an
+// unnamed destination cannot be re-resolved at restore time.
+func (n *Network) Snapshot() (NetworkState, error) {
+	st := NetworkState{
+		LatencyNs: n.LatencyNs, Sent: n.Sent, Dropped: n.Dropped,
+		RNG: n.rng, Sched: n.sched,
+	}
+	for _, f := range n.inflight {
+		name, ok := n.names[f.dst]
+		if !ok {
+			return NetworkState{}, fmt.Errorf("dtm: in-flight frame %q to unbound store", f.signal)
+		}
+		st.Flights = append(st.Flights, FlightState{
+			Signal: f.signal, Val: value.Encode(f.v), At: f.at, Seq: f.seq, Dst: name,
+			Src: f.src, Enq: f.enq, Slot: f.slot,
+			DepartAt: f.departAt, DepartSeq: f.departSeq,
+			Departed: f.departed, Lost: f.lost,
+		})
+	}
+	if len(n.cursor) > 0 {
+		st.Cursor = make(map[string]uint64, len(n.cursor))
+		for k, v := range n.cursor {
+			st.Cursor[k] = v
+		}
+	}
+	if len(n.stats) > 0 {
+		st.Stats = make(map[string]BusStats, len(n.stats))
+		for k, v := range n.stats {
+			st.Stats[k] = *v
+		}
+	}
+	return st, nil
+}
+
+// Restore rewinds the network: counters, RNG, slot cursors and stats reset
+// to the snapshot, and every recorded frame re-arms its pending events —
+// the departure of a still-queued frame, the delivery of a surviving one —
+// at their original instants and kernel sequence positions. The kernel
+// must have been Restored (queue cleared) first, and any TDMA schedule
+// re-installed via SetSchedule.
+func (n *Network) Restore(st NetworkState) error {
+	if st.Sched != nil {
+		if n.sched == nil {
+			return fmt.Errorf("dtm: restore of TDMA network state onto constant-latency network")
+		}
+		// The installed schedule must be exactly the captured one — slot
+		// owners and order, lengths, gap, jitter, loss and seed. Anything
+		// weaker (count + cycle length) would let a swapped-owner or
+		// re-parameterised schedule restore cleanly and silently diverge.
+		have, err := json.Marshal(n.sched)
+		if err != nil {
+			return err
+		}
+		want, err := json.Marshal(st.Sched)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(have, want) {
+			return fmt.Errorf("dtm: restore of TDMA state with incompatible schedule (captured %s, installed %s)", want, have)
+		}
+	}
+	n.LatencyNs = st.LatencyNs
+	n.Sent = st.Sent
+	n.Dropped = st.Dropped
+	n.rng = st.RNG
+	n.cursor = map[string]uint64{}
+	for k, v := range st.Cursor {
+		n.cursor[k] = v
+	}
+	n.stats = map[string]*BusStats{}
+	for k, v := range st.Stats {
+		v := v
+		n.stats[k] = &v
+	}
+	n.inflight = n.inflight[:0]
+	for _, fs := range st.Flights {
+		dst, ok := n.stores[fs.Dst]
+		if !ok {
+			return fmt.Errorf("dtm: restore frame %q to unknown store %q", fs.Signal, fs.Dst)
+		}
+		v, err := value.Decode(fs.Val)
+		if err != nil {
+			return fmt.Errorf("dtm: restore frame %q: %w", fs.Signal, err)
+		}
+		f := &netFlight{
+			signal: fs.Signal, v: v, at: fs.At, seq: fs.Seq, dst: dst,
+			src: fs.Src, enq: fs.Enq, slot: fs.Slot,
+			departAt: fs.DepartAt, departSeq: fs.DepartSeq,
+			departed: fs.Departed, lost: fs.Lost,
+		}
+		n.inflight = append(n.inflight, f)
+		tdma := f.src != "" && n.sched != nil
+		if tdma && !f.departed {
+			if err := n.K.Rearm(f.departAt, f.departSeq, func(now uint64) { n.depart(f, now) }); err != nil {
+				return err
+			}
+		}
+		if !tdma || !f.lost {
+			if err := n.K.Rearm(f.at, f.seq, func(now uint64) { n.deliver(f) }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -721,130 +721,6 @@ func (s *Scheduler) latch(j *job, now uint64) {
 	}
 }
 
-// Network models the communication medium between nodes: labelled signal
-// messages delivered into remote Stores after a fixed latency. (COMDES
-// transactions assume a time-triggered network; a constant latency
-// preserves the deadline-latching analysis.)
-//
-// Frames in flight are explicit records, not closures: a snapshot carries
-// them and a restore re-arms their deliveries at the original instants.
-// Destinations that should survive a snapshot must be registered with
-// Bind, which gives each store the stable name the portable form uses.
-type Network struct {
-	K         *Kernel
-	LatencyNs uint64
-	Sent      uint64
-
-	names    map[*Store]string
-	stores   map[string]*Store
-	inflight []*netFlight
-}
-
-// netFlight is one signal message on the wire.
-type netFlight struct {
-	signal string
-	v      value.Value
-	at     uint64
-	seq    uint64
-	dst    *Store
-}
-
-// NewNetwork creates a network over the kernel with the given latency.
-func NewNetwork(k *Kernel, latencyNs uint64) *Network {
-	return &Network{
-		K: k, LatencyNs: latencyNs,
-		names:  map[*Store]string{},
-		stores: map[string]*Store{},
-	}
-}
-
-// Bind registers a destination store under a stable name (the cluster uses
-// node names), making frames addressed to it snapshotable.
-func (n *Network) Bind(name string, dst *Store) {
-	n.names[dst] = name
-	n.stores[name] = dst
-}
-
-// Send delivers signal=v into the destination store after the latency.
-func (n *Network) Send(signal string, v value.Value, dst *Store) {
-	n.Sent++
-	f := &netFlight{signal: signal, v: v, at: n.K.Now() + n.LatencyNs, dst: dst}
-	n.inflight = append(n.inflight, f)
-	f.seq, _ = n.K.ScheduleTagged(f.at, func(now uint64) { n.deliver(f) })
-}
-
-// deliver lands one frame and retires its in-flight record.
-func (n *Network) deliver(f *netFlight) {
-	for i, g := range n.inflight {
-		if g == f {
-			n.inflight = append(n.inflight[:i], n.inflight[i+1:]...)
-			break
-		}
-	}
-	f.dst.Set(f.signal, f.v)
-}
-
-// Inflight returns the number of frames currently on the wire.
-func (n *Network) Inflight() int { return len(n.inflight) }
-
-// FlightState is the portable form of one in-flight frame.
-type FlightState struct {
-	Signal string        `json:"signal"`
-	Val    value.Encoded `json:"val"`
-	At     uint64        `json:"at"`
-	Seq    uint64        `json:"seq"`
-	Dst    string        `json:"dst"`
-}
-
-// NetworkState is the portable form of a Network.
-type NetworkState struct {
-	LatencyNs uint64        `json:"latencyNs"`
-	Sent      uint64        `json:"sent"`
-	Flights   []FlightState `json:"flights,omitempty"`
-}
-
-// Snapshot captures the network counters and every frame in flight. It
-// fails if a frame's destination store was never Bound — an unnamed
-// destination cannot be re-resolved at restore time.
-func (n *Network) Snapshot() (NetworkState, error) {
-	st := NetworkState{LatencyNs: n.LatencyNs, Sent: n.Sent}
-	for _, f := range n.inflight {
-		name, ok := n.names[f.dst]
-		if !ok {
-			return NetworkState{}, fmt.Errorf("dtm: in-flight frame %q to unbound store", f.signal)
-		}
-		st.Flights = append(st.Flights, FlightState{
-			Signal: f.signal, Val: value.Encode(f.v), At: f.at, Seq: f.seq, Dst: name,
-		})
-	}
-	return st, nil
-}
-
-// Restore rewinds the network: counters reset to the snapshot and every
-// recorded frame is re-armed at its original instant and kernel sequence
-// position. The kernel must have been Restored (queue cleared) first.
-func (n *Network) Restore(st NetworkState) error {
-	n.LatencyNs = st.LatencyNs
-	n.Sent = st.Sent
-	n.inflight = n.inflight[:0]
-	for _, fs := range st.Flights {
-		dst, ok := n.stores[fs.Dst]
-		if !ok {
-			return fmt.Errorf("dtm: restore frame %q to unknown store %q", fs.Signal, fs.Dst)
-		}
-		v, err := value.Decode(fs.Val)
-		if err != nil {
-			return fmt.Errorf("dtm: restore frame %q: %w", fs.Signal, err)
-		}
-		f := &netFlight{signal: fs.Signal, v: v, at: fs.At, seq: fs.Seq, dst: dst}
-		n.inflight = append(n.inflight, f)
-		if err := n.K.Rearm(f.at, f.seq, func(now uint64) { n.deliver(f) }); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // JitterRecorder observes a Store and records the set of distinct times at
 // which a given signal changed, modulo the task period — for a jitter-free
 // system all output changes of an actor fall on deadline instants, so the

@@ -181,7 +181,8 @@ func WatchTranslator(sys *comdes.System) func(protocol.Event) protocol.Event {
 func AutoWatches(w *jtag.Watcher, prog *codegen.Program) error {
 	for _, sym := range prog.Symbols.All() {
 		watch := strings.HasSuffix(sym.Name, ".__state") || strings.HasSuffix(sym.Name, "__pub") ||
-			strings.HasSuffix(sym.Name, ".__misses") || strings.HasSuffix(sym.Name, ".__preempts")
+			strings.HasSuffix(sym.Name, ".__misses") || strings.HasSuffix(sym.Name, ".__preempts") ||
+			sym.Name == "__busdrops"
 		if !watch {
 			continue
 		}
@@ -218,6 +219,21 @@ func MissBreakpoint(id, actor string) Breakpoint {
 		Event:      protocol.EvDeadlineMiss,
 		Source:     actor,
 		TargetCond: missCond(actor),
+	}
+}
+
+// BusDropBreakpoint builds the standard bus-loss breakpoint for a cluster
+// node: over the active interface the TargetCond runs on the node's
+// kernel-maintained __busdrops counter (compiled into TDMA cluster
+// programs), halting the board at the slot that lost the frame; over
+// passive/replay sources the EvFrameDropped event pattern is filtered
+// host-side.
+func BusDropBreakpoint(id, node string) Breakpoint {
+	return Breakpoint{
+		ID:         id,
+		Event:      protocol.EvFrameDropped,
+		Source:     node,
+		TargetCond: "__busdrops > 0",
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/jtag"
 	"repro/internal/protocol"
 	"repro/internal/trace"
 )
@@ -37,6 +38,13 @@ type SessionState struct {
 	LastBreak string            `json:"lastBreak,omitempty"`
 	Breaks    []BreakpointState `json:"breaks,omitempty"`
 	Trace     *trace.Trace      `json:"trace"`
+
+	// Watcher is the passive JTAG watch engine's change-detection state
+	// (previous values + event seq), captured when a WatcherSource is
+	// attached. Without it a restored passive session's first poll would
+	// re-announce unchanged watches (fresh cache = baseline re-report) or
+	// diff against values from the abandoned future (stale live cache).
+	Watcher *jtag.WatcherState `json:"watcher,omitempty"`
 }
 
 // Snapshot captures the session's host-side state. The trace is
@@ -59,7 +67,22 @@ func (s *Session) Snapshot() SessionState {
 			TargetCond: bp.TargetCond, Hits: bp.Hits, OnTarget: bp.onTarget,
 		})
 	}
+	if w := s.watcher(); w != nil {
+		ws := w.Snapshot()
+		st.Watcher = &ws
+	}
 	return st
+}
+
+// watcher returns the passive watch engine behind the session's
+// WatcherSource, nil when no passive source is attached.
+func (s *Session) watcher() *jtag.Watcher {
+	for _, src := range s.sources {
+		if ws, ok := src.(*WatcherSource); ok {
+			return ws.Watcher
+		}
+	}
+	return nil
 }
 
 // Restore rewinds the session's host-side state to a snapshot. No wire
@@ -96,6 +119,15 @@ func (s *Session) Restore(st SessionState) error {
 		s.breaks = append(s.breaks, bp)
 		if bs.ID == st.LastBreak {
 			s.LastBreak = bp
+		}
+	}
+	if st.Watcher != nil {
+		w := s.watcher()
+		if w == nil {
+			return fmt.Errorf("engine: restore of passive watcher state onto a session with no watcher source")
+		}
+		if err := w.Restore(*st.Watcher); err != nil {
+			return err
 		}
 	}
 	s.GDM.ResetAnimation()

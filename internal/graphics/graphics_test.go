@@ -441,3 +441,19 @@ func TestTimingDiagramIncidentMarkers(t *testing.T) {
 		t.Fatalf("span must include marks, end %d", t1)
 	}
 }
+
+// TestSVGMarkColors: each incident class keeps a distinct SVG color —
+// red for misses, orange for preemptions, slate for bus frame drops.
+func TestSVGMarkColors(t *testing.T) {
+	d := NewDiagram()
+	d.Record("bus", 0, "nodeA")
+	d.MarkAt("bus", 100, '!', "miss")
+	d.MarkAt("bus", 200, '^', "preempt<x")
+	d.MarkAt("bus", 300, 'x', "drop:v")
+	svg := d.SVG(400, 28)
+	for _, color := range []string{"#cc2200", "#cc7700", "#555588"} {
+		if !strings.Contains(svg, color) {
+			t.Errorf("SVG missing mark color %s", color)
+		}
+	}
+}

@@ -20,11 +20,12 @@ type Change struct {
 }
 
 // Mark is one scheduling incident pinned to an instant on a track — a
-// deadline miss or a preemption — rendered as a lane marker rather than a
-// value change (Bianchi-style inline annotation of the waveform).
+// deadline miss, a preemption or a bus frame loss — rendered as a lane
+// marker rather than a value change (Bianchi-style inline annotation of
+// the waveform).
 type Mark struct {
 	T     uint64
-	Glyph byte   // one-column ASCII marker ('!' miss, '^' preempt)
+	Glyph byte   // one-column ASCII marker ('!' miss, '^' preempt, 'x' bus drop)
 	Label string // full annotation for SVG tooltips/labels
 }
 
@@ -240,8 +241,11 @@ func (d *Diagram) SVG(width, trackH int) string {
 		for _, m := range tr.Marks {
 			x := toX(m.T)
 			color := "#cc2200"
-			if m.Glyph == '^' {
+			switch m.Glyph {
+			case '^':
 				color = "#cc7700"
+			case 'x':
+				color = "#555588"
 			}
 			fmt.Fprintf(&b, `<path d="M%g %g L%g %g L%g %g Z" fill="%s"/>`+"\n",
 				x-4, yTop+float64(trackH)-4, x+4, yTop+float64(trackH)-4, x, yTop+float64(trackH)-12, color)

@@ -352,3 +352,62 @@ func TestQuickTAPRobustness(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWatcherSnapshotRestore pins the change-detection cache as state: a
+// watcher restored from a snapshot — including a fresh watcher in a new
+// process — must NOT re-announce unchanged values on its first poll, and
+// must report a change against the *restored* previous value, not against
+// whatever its own cache last saw.
+func TestWatcherSnapshotRestore(t *testing.T) {
+	tap, ram, _ := newTestTAP()
+	p := NewProbe(tap)
+	p.Reset()
+	w := NewWatcher(p)
+	buf := make([]byte, 8)
+	mustEncode(t, value.I(3), buf)
+	ram.WriteMem(0, buf)
+	if err := w.Add(Watch{Symbol: "state", Addr: 0, Size: 8, Kind: value.Int}); err != nil {
+		t.Fatal(err)
+	}
+	evs := w.Poll(1000) // baseline
+	if len(evs) != 1 || evs[0].Seq != 1 {
+		t.Fatalf("baseline = %+v", evs)
+	}
+	st := w.Snapshot()
+
+	// A fresh watcher (new process) with the state restored: first poll is
+	// silent because RAM still matches the restored previous values.
+	w2 := NewWatcher(p)
+	if err := w2.Add(Watch{Symbol: "state", Addr: 0, Size: 8, Kind: value.Int}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if evs := w2.Poll(2000); len(evs) != 0 {
+		t.Fatalf("restored watcher re-announced unchanged watches: %v", evs)
+	}
+
+	// The live watcher races ahead (sees 4); rewinding it to the snapshot
+	// must diff against the snapshot's value 3, with continued seq numbers.
+	mustEncode(t, value.I(4), buf)
+	ram.WriteMem(0, buf)
+	if evs := w.Poll(3000); len(evs) != 1 {
+		t.Fatalf("live change: %v", evs)
+	}
+	mustEncode(t, value.I(5), buf)
+	ram.WriteMem(0, buf)
+	if err := w.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	evs = w.Poll(4000)
+	if len(evs) != 1 || evs[0].Arg1 != "3" || evs[0].Arg2 != "5" || evs[0].Seq != 2 {
+		t.Fatalf("post-rewind diff = %+v (want old=3 new=5 seq=2)", evs)
+	}
+
+	// The snapshot still carries the original previous value (it is a deep
+	// copy through the portable encoding, not an alias of the live cache).
+	if v, err := value.Decode(st.Last["state"]); err != nil || v.Int() != 3 {
+		t.Fatalf("snapshot cache = %+v (decode: %v)", st.Last, err)
+	}
+}

@@ -205,6 +205,48 @@ func (w *Watcher) Watches() []Watch {
 	return out
 }
 
+// WatcherState is the portable form of the watch engine's change-detection
+// state: the per-symbol previous values and the event sequence counter.
+// It is part of a session checkpoint because the cache is *history*, not
+// something re-derivable from target RAM: a restored watcher rebuilt with
+// an empty cache would re-announce every watch on its first poll (the
+// baseline behaviour), and one keeping the live cache would diff the
+// restored RAM against values from the abandoned future.
+type WatcherState struct {
+	Seq  uint16                   `json:"seq,omitempty"`
+	Last map[string]value.Encoded `json:"last,omitempty"`
+}
+
+// Snapshot captures the watcher's change-detection state (deep-copied via
+// the portable encoding).
+func (w *Watcher) Snapshot() WatcherState {
+	st := WatcherState{Seq: w.seq}
+	if len(w.last) > 0 {
+		st.Last = make(map[string]value.Encoded, len(w.last))
+		for sym, v := range w.last {
+			st.Last[sym] = value.Encode(v)
+		}
+	}
+	return st
+}
+
+// Restore rewinds the watcher's change-detection state to a snapshot; the
+// next Poll reports only symbols whose RAM value differs from the restored
+// previous values — no spurious re-announcements.
+func (w *Watcher) Restore(st WatcherState) error {
+	last := make(map[string]value.Value, len(st.Last))
+	for sym, enc := range st.Last {
+		v, err := value.Decode(enc)
+		if err != nil {
+			return fmt.Errorf("jtag: restore watch %s: %w", sym, err)
+		}
+		last[sym] = v
+	}
+	w.last = last
+	w.seq = st.Seq
+	return nil
+}
+
 // Poll reads every watched variable once and returns an EvWatch event per
 // changed value, stamped with the supplied target time. The first poll
 // establishes baselines and reports every variable (so the GDM can render

@@ -1,0 +1,38 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBusEventWire: the TDMA bus incident events cross the frame codec
+// intact and render readably.
+func TestBusEventWire(t *testing.T) {
+	events := []Event{
+		{Type: EvBusSlot, Seq: 3, Time: 1_200_000, Source: "nodeA", Arg1: "v_sig", Value: 4},
+		{Type: EvFrameDropped, Seq: 4, Time: 1_500_000, Source: "nodeA", Arg1: "v_sig", Value: 2},
+	}
+	var dec Decoder
+	for _, ev := range events {
+		wire, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := dec.Feed(wire)
+		if len(got) != 1 {
+			t.Fatalf("%v: decoded %d events", ev.Type, len(got))
+		}
+		if got[0] != ev {
+			t.Errorf("roundtrip changed the event:\n got %+v\nwant %+v", got[0], ev)
+		}
+	}
+	if s := events[0].String(); !strings.Contains(s, "bus slot 4: nodeA sends v_sig") {
+		t.Errorf("EvBusSlot renders as %q", s)
+	}
+	if s := events[1].String(); !strings.Contains(s, "bus drop nodeA: v_sig (2 total)") {
+		t.Errorf("EvFrameDropped renders as %q", s)
+	}
+	if EvBusSlot.String() != "BusSlot" || EvFrameDropped.String() != "FrameDropped" {
+		t.Error("event type names wrong")
+	}
+}

@@ -51,6 +51,8 @@ const (
 	EvOverrun                // target-side UART drop counter: Source = board, Value = cumulative frames dropped
 	EvPreempt                // scheduler preemption: Source = preempted task, Arg1 = preempting task, Value = cumulative preemptions
 	EvDeadlineMiss           // deadline overrun, stamped at the latch instant: Source = task, Value = cumulative misses
+	EvBusSlot                // TDMA bus departure: Source = sending node, Arg1 = signal, Value = global slot index
+	EvFrameDropped           // TDMA bus loss, stamped at the departure slot: Source = sending node, Arg1 = signal, Value = node's cumulative drops
 )
 
 // String names the event type for traces and logs.
@@ -86,6 +88,10 @@ func (t EventType) String() string {
 		return "Preempt"
 	case EvDeadlineMiss:
 		return "DeadlineMiss"
+	case EvBusSlot:
+		return "BusSlot"
+	case EvFrameDropped:
+		return "FrameDropped"
 	default:
 		return fmt.Sprintf("EventType(%d)", t)
 	}
@@ -121,6 +127,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("[%d ns] preempt %s by %s (%g total)", e.Time, e.Source, e.Arg1, e.Value)
 	case EvDeadlineMiss:
 		return fmt.Sprintf("[%d ns] deadline miss %s (%g total)", e.Time, e.Source, e.Value)
+	case EvBusSlot:
+		return fmt.Sprintf("[%d ns] bus slot %g: %s sends %s", e.Time, e.Value, e.Source, e.Arg1)
+	case EvFrameDropped:
+		return fmt.Sprintf("[%d ns] bus drop %s: %s (%g total)", e.Time, e.Source, e.Arg1, e.Value)
 	default:
 		return fmt.Sprintf("[%d ns] %s %s", e.Time, e.Type, e.Source)
 	}

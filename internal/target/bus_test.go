@@ -1,0 +1,273 @@
+package target
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dtm"
+	"repro/internal/protocol"
+	"repro/models"
+)
+
+// tdmaCluster builds the two-node distributed model on a TDMA bus.
+func tdmaCluster(t testing.TB, bus *dtm.BusSchedule, latencyNs uint64) *Cluster {
+	t.Helper()
+	sys, err := models.Distributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fast line so the per-departure EvBusSlot frames never saturate the
+	// UART FIFO (frame-atomic serial drops are their own test elsewhere).
+	cl, err := BuildCluster(sys, ClusterConfig{LatencyNs: latencyNs, Bus: bus, Board: Config{Baud: 2_000_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// twoNodeBus is the standard test schedule: nodeA then nodeB, 100 µs slots,
+// 50 µs gaps — a 300 µs TDMA cycle anchored at t = 0.
+func twoNodeBus() *dtm.BusSchedule {
+	return &dtm.BusSchedule{
+		Slots: []dtm.BusSlot{{Owner: "nodeA", LenNs: 100_000}, {Owner: "nodeB", LenNs: 100_000}},
+		GapNs: 50_000,
+	}
+}
+
+// TestClusterTDMADeliveryOnSlotGrid pins the distributed latching instant
+// under the bus: the producer latches v=1 at t = 1 ms, which falls in
+// nodeB's slot — the frame waits for nodeA's next slot at 1.2 ms and the
+// consumer input changes at exactly 1.2 ms + propagation, not at
+// publish + latency as on the constant-latency network.
+func TestClusterTDMADeliveryOnSlotGrid(t *testing.T) {
+	const latency = 100_000
+	cl := tdmaCluster(t, twoNodeBus(), latency)
+	nodeB := cl.Boards["nodeB"]
+	idx, ok := nodeB.Prog.Symbols.Index("consumer.v__io")
+	if !ok {
+		t.Fatal("consumer input symbol missing")
+	}
+	read := func() float64 {
+		v, err := nodeB.LoadSym(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Float()
+	}
+	// 1 ms (publish) + latency would be 1.1 ms — the TDMA bus must hold the
+	// frame in nodeA's TX queue until the 1.2 ms slot.
+	cl.RunUntil(1_000_000 + latency)
+	if got := read(); got != 0 {
+		t.Fatalf("value %v arrived at publish+latency — slot schedule not applied", got)
+	}
+	cl.RunUntil(1_300_000 - 1)
+	if got := read(); got != 0 {
+		t.Fatalf("value %v arrived before slot start + propagation", got)
+	}
+	cl.RunUntil(1_300_000)
+	if got := read(); got != 1 {
+		t.Fatalf("value = %v at slot+propagation, want 1", got)
+	}
+	st := cl.BusStats("nodeA")
+	if st.Enqueued != 1 || st.Delivered != 1 || st.WorstQueueNs != 200_000 {
+		t.Fatalf("nodeA stats = %+v (want 200 µs queueing: published 1.0, departed 1.2)", st)
+	}
+}
+
+// TestClusterTDMAEndToEnd: the doubled ramp still crosses the bus — slower
+// (one frame per owned slot) but uncorrupted and in order.
+func TestClusterTDMAEndToEnd(t *testing.T) {
+	cl := tdmaCluster(t, twoNodeBus(), 100_000)
+	cl.RunUntil(100_000_000)
+	a, err := cl.Boards["nodeA"].ReadOutput("producer", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Boards["nodeB"].ReadOutput("consumer", "twice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Float() < 40 || b.Float() < 2*a.Float()-10 || b.Float() > 2*a.Float() {
+		t.Errorf("ramp broken on the bus: producer %v, consumer %v", a, b)
+	}
+	st := cl.BusStats("nodeA")
+	if st.Delivered == 0 || st.Dropped != 0 || st.Delivered != cl.Net.Sent {
+		t.Errorf("bus stats = %+v (sent %d)", st, cl.Net.Sent)
+	}
+	for _, n := range cl.Nodes() {
+		if err := cl.Boards[n].Err(); err != nil {
+			t.Errorf("node %s: %v", n, err)
+		}
+	}
+}
+
+// TestClusterTDMABusEventsAndDropCounter: under seeded loss the sending
+// board announces every departure with EvBusSlot and every loss with
+// EvFrameDropped, and mirrors the cumulative drop count into its
+// __busdrops RAM symbol (JTAG-visible, zero instrumentation cost).
+func TestClusterTDMABusEventsAndDropCounter(t *testing.T) {
+	bus := twoNodeBus()
+	bus.LossPerMille = 400
+	bus.Seed = 7
+	cl := tdmaCluster(t, bus, 100_000)
+	nodeA := cl.Boards["nodeA"]
+
+	var slots, drops int
+	var lastDropTotal float64
+	var dec protocol.Decoder
+	for i := 0; i < 100; i++ {
+		cl.RunUntil(cl.Now() + 1_000_000)
+		evs, _ := dec.Feed(nodeA.HostPort().Recv())
+		for _, ev := range evs {
+			switch ev.Type {
+			case protocol.EvBusSlot:
+				slots++
+				if ev.Source != "nodeA" || ev.Arg1 != "v_sig" {
+					t.Fatalf("EvBusSlot = %+v", ev)
+				}
+			case protocol.EvFrameDropped:
+				drops++
+				lastDropTotal = ev.Value
+			}
+		}
+	}
+	st := cl.BusStats("nodeA")
+	if st.Dropped == 0 || st.Delivered == 0 {
+		t.Fatalf("degenerate loss run: %+v", st)
+	}
+	if uint64(slots) != st.Enqueued || uint64(drops) != st.Dropped {
+		t.Fatalf("events: %d slots / %d drops, stats %+v", slots, drops, st)
+	}
+	if lastDropTotal != float64(st.Dropped) {
+		t.Fatalf("EvFrameDropped cumulative total %v != %d", lastDropTotal, st.Dropped)
+	}
+	if nodeA.Prog.BusDropSym < 0 {
+		t.Fatal("TDMA cluster program compiled without __busdrops")
+	}
+	v, err := nodeA.LoadSym(nodeA.Prog.BusDropSym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(v.Int()) != st.Dropped {
+		t.Fatalf("__busdrops RAM = %v, stats say %d", v, st.Dropped)
+	}
+}
+
+// TestClusterTDMABreakOnBusDrop arms an on-target condition over the
+// __busdrops counter: the sending board halts at the very slot that lost
+// the frame, with an EvBreak naming the counter.
+func TestClusterTDMABreakOnBusDrop(t *testing.T) {
+	bus := twoNodeBus()
+	bus.LossPerMille = 400
+	bus.Seed = 7
+	cl := tdmaCluster(t, bus, 100_000)
+	nodeA := cl.Boards["nodeA"]
+	sendIn(t, nodeA, protocol.Instruction{Type: protocol.InSetBreak, Source: "bus-drop", Arg1: "__busdrops > 0"})
+
+	var hit *protocol.Event
+	var dec protocol.Decoder
+	for i := 0; i < 200 && hit == nil; i++ {
+		cl.RunUntil(cl.Now() + 1_000_000)
+		evs, _ := dec.Feed(nodeA.HostPort().Recv())
+		for _, ev := range evs {
+			if ev.Type == protocol.EvBreak {
+				ev := ev
+				hit = &ev
+			}
+		}
+	}
+	if hit == nil {
+		t.Fatal("40% loss never tripped the __busdrops breakpoint")
+	}
+	if hit.Source != "bus-drop" || hit.Arg1 != "__busdrops" {
+		t.Fatalf("EvBreak = %+v", hit)
+	}
+	if !nodeA.Halted() {
+		t.Fatal("sender not halted at the dropping slot")
+	}
+	if cl.Boards["nodeB"].Halted() {
+		t.Fatal("consumer node halted by the sender's breakpoint")
+	}
+}
+
+// TestClusterTDMAProducerNeedsSlot: a schedule that never grants the
+// producing node a slot is refused at build time.
+func TestClusterTDMAProducerNeedsSlot(t *testing.T) {
+	sys, err := models.Distributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = BuildCluster(sys, ClusterConfig{
+		Bus: &dtm.BusSchedule{Slots: []dtm.BusSlot{{Owner: "nodeB", LenNs: 100_000}}},
+	})
+	if err == nil {
+		t.Fatal("BuildCluster accepted a bus schedule with no slot for the producer")
+	}
+}
+
+// TestClusterTDMACheckpointMidCycle: a snapshot taken with one frame on
+// the wire and another still queued restores — through the serialized form
+// — into a freshly built cluster whose continuation ends byte-identical to
+// the uninterrupted run.
+func TestClusterTDMACheckpointMidCycle(t *testing.T) {
+	// Cycle 2 ms, nodeA's slot at offset 1.2 ms, propagation 2.5 ms:
+	// publish k lands at 1+2k ms, departs at 1.2+2k ms, arrives 3.7+2k ms —
+	// so at 3.1 ms frame 0 is still on the wire and frame 1 is queued.
+	mk := func() *dtm.BusSchedule {
+		return &dtm.BusSchedule{
+			Slots: []dtm.BusSlot{
+				{Owner: "nodeB", LenNs: 1_100_000},
+				{Owner: "nodeA", LenNs: 800_000},
+			},
+			GapNs: 50_000, JitterNs: 40_000, Seed: 11,
+		}
+	}
+	const cut, end = 3_100_000, 60_000_000
+
+	full := tdmaCluster(t, mk(), 2_500_000)
+	full.RunUntil(end)
+	fullFinal, err := full.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig := tdmaCluster(t, mk(), 2_500_000)
+	orig.RunUntil(cut)
+	cs, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Net.Queued() == 0 || orig.Net.Inflight() == orig.Net.Queued() {
+		t.Fatalf("cut not mid-cycle: queued=%d inflight=%d", orig.Net.Queued(), orig.Net.Inflight())
+	}
+	blob, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := tdmaCluster(t, mk(), 2_500_000)
+	var decoded ClusterState
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	fresh.RunUntil(end)
+	freshFinal, err := fresh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := json.Marshal(fullFinal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(freshFinal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("restored cluster's final state diverges from the uninterrupted run")
+	}
+}

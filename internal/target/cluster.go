@@ -15,9 +15,18 @@ const DefaultLatencyNs = 100_000
 
 // ClusterConfig parameterises BuildCluster.
 type ClusterConfig struct {
-	// LatencyNs is the fixed network transmission latency for cross-node
-	// signal bindings.
+	// LatencyNs is the network transmission latency for cross-node signal
+	// bindings: the fixed end-to-end delay without a Bus schedule, the
+	// propagation delay after slot departure with one.
 	LatencyNs uint64
+	// Bus, when non-nil, replaces the constant-latency network with a
+	// time-triggered TDMA bus: cross-node publishes join the producing
+	// node's TX queue and depart in that node's slots (dtm.BusSchedule —
+	// slot grid, release jitter, seeded loss). Every node that produces a
+	// cross-node binding must own at least one slot. Each board gains a
+	// kernel-maintained "__busdrops" RAM counter, and departures/losses are
+	// announced with EvBusSlot/EvFrameDropped frames from the sending node.
+	Bus *dtm.BusSchedule
 	// Compile carries code-generation options applied to every node's
 	// program (instrumentation, fault injection).
 	Compile codegen.Options
@@ -58,6 +67,20 @@ func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
 		Boards: map[string]*Board{},
 		nodes:  sys.Nodes(),
 		inbox:  map[string]*dtm.Store{},
+	}
+	if cfg.Bus != nil {
+		if err := c.Net.SetSchedule(cfg.Bus); err != nil {
+			return nil, err
+		}
+		cfg.Compile.BusDrops = true
+		// Every producing node needs a slot, or its frames can never leave
+		// the TX queue — refuse at build time rather than dropping silently.
+		for _, bind := range sys.Bindings {
+			from, to := sys.NodeOf(bind.FromActor), sys.NodeOf(bind.ToActor)
+			if from != to && !cfg.Bus.Owns(from) {
+				return nil, fmt.Errorf("target: node %s produces cross-node signal %q but owns no bus slot", from, bind.Signal)
+			}
+		}
 	}
 	for _, node := range c.nodes {
 		sub := comdes.NewSystem(node)
@@ -117,7 +140,9 @@ func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
 		c.Net.Bind(node, store)
 	}
 	// Producers hand cross-node publishes to the network; intra-node
-	// bindings were already delivered by the board itself.
+	// bindings were already delivered by the board itself. The producing
+	// node's identity rides along so a TDMA schedule can queue the frame
+	// into that node's slots (without a schedule SendFrom is Send).
 	for _, node := range c.nodes {
 		node := node
 		c.Boards[node].OnPublish = func(now uint64, actor, port string, v value.Value) {
@@ -129,12 +154,32 @@ func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
 				if toNode == node {
 					continue
 				}
-				c.Net.Send(bind.Signal, v, c.inbox[toNode])
+				c.Net.SendFrom(node, bind.Signal, v, c.inbox[toNode])
+			}
+		}
+	}
+	if cfg.Bus != nil {
+		// Bus incidents surface from the sending node's board: a departure
+		// is announced with EvBusSlot, a loss lands in the node's __busdrops
+		// RAM counter and goes out as EvFrameDropped (where on-target
+		// breakpoint conditions over __busdrops can halt the board).
+		c.Net.OnSlot = func(now uint64, owner, signal string, slot uint64) {
+			if brd := c.Boards[owner]; brd != nil {
+				brd.busSlot(now, signal, slot)
+			}
+		}
+		c.Net.OnDrop = func(now uint64, owner, signal string, total uint64) {
+			if brd := c.Boards[owner]; brd != nil {
+				brd.busDrop(now, signal, total)
 			}
 		}
 	}
 	return c, nil
 }
+
+// BusStats returns node's TX accounting on the time-triggered bus
+// (zero-valued without a schedule).
+func (c *Cluster) BusStats(node string) dtm.BusStats { return c.Net.Stats(node) }
 
 // Nodes returns the cluster's node names in sorted order.
 func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }

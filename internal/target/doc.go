@@ -130,10 +130,67 @@
 //
 // BuildCluster places a multi-node system (comdes Placement) onto one
 // Board per node, all sharing a single kernel so virtual time is global.
-// Cross-node signal bindings travel over a dtm.Network with a fixed
-// ClusterConfig.LatencyNs; intra-node bindings are delivered directly at
-// the producer's deadline instant. RunUntil advances every board in
-// lock-step event order.
+// Cross-node signal bindings travel over a dtm.Network; intra-node
+// bindings are delivered directly at the producer's deadline instant.
+// RunUntil advances every board in lock-step event order.
+//
+// # Time-triggered bus
+//
+// Without ClusterConfig.Bus the network is a constant-latency pipe: every
+// frame arrives exactly LatencyNs after the producer's deadline latch (the
+// seed behaviour, byte-identical to the original goldens). With a
+// dtm.BusSchedule installed the medium is a TTP/FlexRay-style TDMA bus and
+// LatencyNs becomes the propagation delay after slot departure. The
+// slot/contention/loss semantics matrix:
+//
+//	aspect               constant latency            TDMA bus (ClusterConfig.Bus)
+//	delivery instant     publish + LatencyNs         departure slot start (+ release
+//	                                                 jitter) + LatencyNs
+//	who may send when    anyone, any time            the slot's Owner only; the cycle
+//	                                                 (slots + gaps) repeats from t=0
+//	publish outside      n/a                         frame queues in the sender's TX
+//	an owned slot                                    queue until its next owned slot
+//	                                                 (contention; per-node Stats track
+//	                                                 queue depth and worst queueing
+//	                                                 delay)
+//	slot capacity        n/a                         one frame per owned slot; a burst
+//	                                                 spreads over consecutive owned
+//	                                                 slots, FIFO
+//	release jitter       none                        bounded deterministic draw in
+//	                                                 [0, JitterNs] added to each
+//	                                                 departure (seeded splitmix64)
+//	frame loss           never                       per-slot seeded draw at
+//	                                                 LossPerMille; the loss happens at
+//	                                                 the departure slot, observably
+//	sender w/o slot      n/a                         BuildCluster refuses the system
+//	                                                 (a hand-built dtm.Network drops
+//	                                                 such frames at enqueue)
+//	observability        Net.Sent                    EvBusSlot per departure and
+//	                                                 EvFrameDropped per loss from the
+//	                                                 *sending* board's UART; the
+//	                                                 cumulative drop count mirrored in
+//	                                                 the node's __busdrops RAM symbol
+//	                                                 (JTAG-watchable, usable in
+//	                                                 Breakpoint.TargetCond — "break on
+//	                                                 bus loss" halts the sender at the
+//	                                                 dropping slot); per-node
+//	                                                 Cluster.BusStats
+//	checkpoints          frames in flight with       additionally: TX queues, per-node
+//	                     delivery instants + seqs    slot cursors, the jitter/loss RNG
+//	                                                 counter and TX stats — a restore
+//	                                                 lands mid-TDMA-cycle with the
+//	                                                 identical queue, phase and future
+//	                                                 jitter/loss pattern
+//	timing diagram       —                           the trace's "bus" track is the
+//	                                                 slot-grid lane (value = sending
+//	                                                 node, 'x' marks = lost frames)
+//
+// Because departures are decided (jitter and loss draws included) at
+// enqueue time, the TDMA bus is exactly as deterministic as the rest of
+// the kernel: the same model and schedule replay the same timeline, and
+// dtm.ResponseTimeAnalysis-style reasoning extends to the network — the
+// worst end-to-end latency of a cross-node signal is bounded by one TDMA
+// cycle plus queue backlog, observable in BusStats.WorstQueueNs.
 //
 // # Checkpoints
 //

@@ -156,6 +156,35 @@ func (b *Board) preempted(now uint64, t, by *dtm.Task) {
 	b.checkSchedSym(now, name, value.I(int64(t.Preemptions)))
 }
 
+// busSlot announces one TDMA frame departure from this node's TX queue —
+// the cluster network's slot hook, stamped at the departure instant.
+func (b *Board) busSlot(now uint64, signal string, slot uint64) {
+	b.send(protocol.Event{
+		Type: protocol.EvBusSlot, Time: now, Source: b.Name, Arg1: signal,
+		Value: float64(slot),
+	})
+}
+
+// busDrop is the cluster network's loss hook for this node: the cumulative
+// drop counter lands in the __busdrops RAM symbol (visible to the passive
+// JTAG interface), an EvFrameDropped frame goes out on the UART, and
+// on-target breakpoint conditions over the counter are checked — so "break
+// on bus loss" halts the board at the slot that lost the frame.
+func (b *Board) busDrop(now uint64, signal string, total uint64) {
+	if b.Prog.BusDropSym >= 0 {
+		if err := b.StoreSym(b.Prog.BusDropSym, value.I(int64(total))); err != nil {
+			b.fail(err)
+		}
+	}
+	b.send(protocol.Event{
+		Type: protocol.EvFrameDropped, Time: now, Source: b.Name, Arg1: signal,
+		Value: float64(total),
+	})
+	if b.Prog.BusDropSym >= 0 {
+		b.checkSchedSym(now, b.Prog.Symbols.Sym(b.Prog.BusDropSym).Name, value.I(int64(total)))
+	}
+}
+
 // checkSchedSym runs the indexed breakpoint check for one scheduling
 // counter symbol the kernel just wrote.
 func (b *Board) checkSchedSym(now uint64, sym string, v value.Value) {

@@ -201,6 +201,14 @@ func (t *Trace) TimingDiagram() *graphics.Diagram {
 			d.MarkAt("task:"+ev.Source, ev.Time, '^', "preempt<"+ev.Arg1)
 		case protocol.EvDeadlineMiss:
 			d.MarkAt("task:"+ev.Source, ev.Time, '!', "miss")
+		case protocol.EvBusSlot:
+			// The slot-grid lane: one shared "bus" track whose value is the
+			// node transmitting — TDMA rounds read as a repeating owner
+			// pattern, and a queue backlog shows as a node's name stretching
+			// across what should be other owners' slots.
+			d.Record("bus", ev.Time, ev.Source)
+		case protocol.EvFrameDropped:
+			d.MarkAt("bus", ev.Time, 'x', "drop:"+ev.Arg1)
 		}
 	}
 	return d

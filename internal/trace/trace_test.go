@@ -198,3 +198,31 @@ func TestTimingDiagramSchedulingIncidents(t *testing.T) {
 		t.Fatalf("label = %q", track.Marks[0].Label)
 	}
 }
+
+// TestTimingDiagramBusLane: TDMA bus events project onto one shared "bus"
+// track — departures as the slot-grid value lane (owner names) and losses
+// as 'x' marks — so bus rounds read inline with the waveforms they carry.
+func TestTimingDiagramBusLane(t *testing.T) {
+	tr := New("p")
+	tr.Append(protocol.Event{Type: protocol.EvBusSlot, Source: "nodeA", Arg1: "v_sig", Value: 0, Time: 100}, 0)
+	tr.Append(protocol.Event{Type: protocol.EvBusSlot, Source: "nodeB", Arg1: "ack", Value: 1, Time: 250}, 1)
+	tr.Append(protocol.Event{Type: protocol.EvFrameDropped, Source: "nodeA", Arg1: "v_sig", Value: 1, Time: 400}, 2)
+	tr.Append(protocol.Event{Type: protocol.EvBusSlot, Source: "nodeA", Arg1: "v_sig", Value: 2, Time: 400}, 3)
+	d := tr.TimingDiagram()
+	bus := d.Track("bus")
+	if bus == nil {
+		t.Fatal("no bus track")
+	}
+	// nodeA -> nodeB -> nodeA: three value changes on the slot grid.
+	if len(bus.Changes) != 3 || bus.Changes[0].Value != "nodeA" || bus.Changes[1].Value != "nodeB" || bus.Changes[2].Value != "nodeA" {
+		t.Fatalf("slot lane = %+v", bus.Changes)
+	}
+	if len(bus.Marks) != 1 || bus.Marks[0].Glyph != 'x' || bus.Marks[0].Label != "drop:v_sig" {
+		t.Fatalf("drop marks = %+v", bus.Marks)
+	}
+	// The drop glyph renders in the ASCII incident lane under the track.
+	out := d.ASCII(40)
+	if !strings.Contains(out, "x") || !strings.Contains(out, "bus") {
+		t.Fatalf("ASCII missing bus lane:\n%s", out)
+	}
+}
