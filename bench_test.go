@@ -14,6 +14,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/comdes"
 	"repro/internal/core"
+	"repro/internal/dtm"
 	"repro/internal/engine"
 	"repro/internal/jtag"
 	"repro/internal/plant"
@@ -398,6 +399,44 @@ func BenchmarkCompile(b *testing.B) {
 		if _, err := codegen.Compile(sys, codegen.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterParallel times cluster execution of the 32-node placed
+// token ring per virtual millisecond, serial vs parallel. The parallel
+// mode runs each node's kernel on its own goroutine between TDMA lookahead
+// barriers; on a multi-core runner it should beat serial by ≥ 4× at this
+// node count (traces and checkpoints stay byte-identical either way —
+// asserted in internal/target, not here).
+func BenchmarkClusterParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		exec target.ExecMode
+	}{{"serial", target.ExecSerial}, {"parallel", target.ExecParallel}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, err := models.RingCluster(32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bus := &dtm.BusSchedule{GapNs: 50_000, Seed: 2010}
+			for _, node := range sys.Nodes() {
+				bus.Slots = append(bus.Slots, dtm.BusSlot{Owner: node, LenNs: 100_000})
+			}
+			cl, err := target.BuildCluster(sys, target.ClusterConfig{
+				LatencyNs: 100_000,
+				Bus:       bus,
+				Exec:      mode.exec,
+				Board:     target.Config{Baud: 2_000_000},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl.RunUntil(cl.Now() + 1_000_000)
+			}
+		})
 	}
 }
 

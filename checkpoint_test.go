@@ -566,8 +566,10 @@ func TestGoldenDistributedMidCycleRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, node := range fresh.Cluster.Nodes() {
-		if got, want := fresh.BusStats(node), orig.BusStats(node); got != want {
-			t.Fatalf("bus stats[%s]: restored %+v vs live %+v", node, got, want)
+		got, gotOK := fresh.BusStats(node)
+		want, wantOK := orig.BusStats(node)
+		if got != want || gotOK != wantOK {
+			t.Fatalf("bus stats[%s]: restored %+v (ok=%v) vs live %+v (ok=%v)", node, got, gotOK, want, wantOK)
 		}
 	}
 }

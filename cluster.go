@@ -170,8 +170,12 @@ func (d *ClusterDebugger) RestoreCheckpoint(cp *checkpoint.Checkpoint) error {
 	return checkpoint.ApplyClusterSession(cp, d.Cluster, d.Session, d.Serials)
 }
 
-// BusStats returns node's TX accounting on the time-triggered bus.
-func (d *ClusterDebugger) BusStats(node string) dtm.BusStats { return d.Cluster.BusStats(node) }
+// BusStats returns node's TX accounting on the time-triggered bus. ok is
+// false when the bus does not know the node — no TDMA schedule, a
+// misspelled name, or a slot-less node that never sent.
+func (d *ClusterDebugger) BusStats(node string) (dtm.BusStats, bool) {
+	return d.Cluster.BusStats(node)
+}
 
 // RenderASCII renders the current animated model view for terminals.
 func (d *ClusterDebugger) RenderASCII() string { return d.GDM.Scene().ASCII(0, 0) }

@@ -41,6 +41,7 @@ func main() {
 	restoreIn := flag.String("restore", "", "restore a checkpoint taken from a run of the same model, then continue for -ms (models with stateful environments need the in-process recorder instead)")
 	rewindMs := flag.Uint64("rewind", 0, "after the run, rewind the session to this virtual millisecond and report the state there (enables periodic checkpointing)")
 	traceOut := flag.String("trace", "", "write the stable-format session trace here (checkpoint-replay determinism diffs)")
+	clusterExec := flag.String("cluster-exec", "auto", "multi-node execution mode: auto (parallel on a TDMA bus) | serial | parallel; traces are byte-identical across modes")
 	flag.Parse()
 
 	sys, err := loadSystem(*model)
@@ -100,7 +101,18 @@ func main() {
 		if *transport == "passive" {
 			log.Fatal("gmdf: multi-node models debug over every node's active interface; -transport passive is not supported")
 		}
-		runCluster(sys, *ms, *traceOut, *checkpointOut, *restoreIn, *svgOut)
+		var exec target.ExecMode
+		switch *clusterExec {
+		case "auto":
+			exec = target.ExecAuto
+		case "serial":
+			exec = target.ExecSerial
+		case "parallel":
+			exec = target.ExecParallel
+		default:
+			log.Fatalf("gmdf: unknown -cluster-exec %q (auto|serial|parallel)", *clusterExec)
+		}
+		runCluster(sys, *ms, exec, *traceOut, *checkpointOut, *restoreIn, *svgOut)
 		return
 	}
 
@@ -224,7 +236,7 @@ func main() {
 // release jitter, 10% seeded loss, 100 µs propagation — so every run of
 // the same model is byte-deterministic (the CI replay jobs diff traces
 // across processes).
-func runCluster(sys *comdes.System, ms uint64, traceOut, checkpointOut, restoreIn, svgOut string) {
+func runCluster(sys *comdes.System, ms uint64, exec target.ExecMode, traceOut, checkpointOut, restoreIn, svgOut string) {
 	bus := &dtm.BusSchedule{GapNs: 50_000, JitterNs: 20_000, LossPerMille: 100, Seed: 2010}
 	for _, node := range sys.Nodes() {
 		bus.Slots = append(bus.Slots, dtm.BusSlot{Owner: node, LenNs: 100_000})
@@ -234,6 +246,7 @@ func runCluster(sys *comdes.System, ms uint64, traceOut, checkpointOut, restoreI
 			LatencyNs: 100_000,
 			Bus:       bus,
 			Board:     target.Config{Baud: 2_000_000},
+			Exec:      exec,
 		},
 	})
 	if err != nil {
@@ -263,11 +276,15 @@ func runCluster(sys *comdes.System, ms uint64, traceOut, checkpointOut, restoreI
 	fmt.Printf("\nevents=%d reactions=%d network: %d sent, %d lost\n",
 		dbg.Session.Handled, dbg.GDM.Reactions, dbg.Cluster.Net.Sent, dbg.Cluster.Net.Dropped)
 	for _, node := range dbg.Cluster.Nodes() {
-		st := dbg.BusStats(node)
-		if st.Enqueued > 0 {
-			fmt.Printf("bus[%s]: %d enqueued, %d delivered, %d lost, worst queueing %.0f µs\n",
-				node, st.Enqueued, st.Delivered, st.Dropped, float64(st.WorstQueueNs)/1000)
+		// The ok-bool distinguishes "on the bus, no traffic" (printed, all
+		// zero) from "unknown to the bus" (skipped) — the old zero-value
+		// check silently conflated the two and hid idle slot owners.
+		st, ok := dbg.BusStats(node)
+		if !ok {
+			continue
 		}
+		fmt.Printf("bus[%s]: %d enqueued, %d delivered, %d lost, worst queueing %.0f µs\n",
+			node, st.Enqueued, st.Delivered, st.Dropped, float64(st.WorstQueueNs)/1000)
 	}
 	fmt.Println("\n== timing diagram (bus track = slot grid) ==")
 	fmt.Print(dbg.TimingDiagramASCII(76))

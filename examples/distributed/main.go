@@ -98,7 +98,10 @@ func main() {
 	b, _ := nodeB.ReadOutput("consumer", "twice")
 	fmt.Printf("\nafter 100 virtual ms: producer ramp = %s, consumer(2x) = %s\n", a, b)
 
-	st := cl.BusStats("nodeA")
+	st, ok := cl.BusStats("nodeA")
+	if !ok {
+		log.Fatal("nodeA unknown to the bus — schedule not installed?")
+	}
 	fmt.Printf("bus: %d enqueued, %d delivered, %d lost, worst queueing %.0f µs (TX queue now %d)\n",
 		st.Enqueued, st.Delivered, st.Dropped, float64(st.WorstQueueNs)/1000, st.Queued)
 

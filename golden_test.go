@@ -209,7 +209,11 @@ func TestGoldenDistributedTrace(t *testing.T) {
 	if dbg.Session.Trace.OfType(protocol.EvFrameDropped).Len() == 0 {
 		t.Fatal("the golden run must exercise seeded frame loss")
 	}
-	if st := dbg.BusStats("nodeA"); st.WorstQueueNs == 0 {
+	st, ok := dbg.BusStats("nodeA")
+	if !ok {
+		t.Fatal("nodeA unknown to the bus")
+	}
+	if st.WorstQueueNs == 0 {
 		t.Fatal("the golden run must exercise slot contention (queueing)")
 	}
 	assertGolden(t, goldenDistPath, dbg.Session.Trace.FormatStable(), dbg.Session.Trace.Len())

@@ -22,9 +22,18 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"repro/internal/value"
 )
+
+// DeliveryBase is the bottom of the sequence-number range the network uses
+// for delivery events. Deliveries are ordered by a dedicated counter that
+// increments in send order (the same order a shared serial kernel would
+// have assigned their seqs in), kept in a range no kernel counter can ever
+// reach so the two number spaces cannot collide when delivery events are
+// minted into a consumer node's own kernel.
+const DeliveryBase = uint64(1) << 62
 
 // BusSlot is one sender slot of the TDMA cycle.
 type BusSlot struct {
@@ -149,6 +158,23 @@ func (s *BusSchedule) nextOwned(owner string, minAbs, now uint64) (uint64, bool)
 	}
 }
 
+// EarliestDepart is the schedule's lookahead query: the earliest instant a
+// frame enqueued by owner at or after time from could leave the bus, given
+// that slots below minAbs are already claimed. A frame submitted at t >=
+// from departs at max(slot start, t), so no departure can precede
+// max(SlotStart(nextOwned), from). ok is false when owner holds no slot.
+func (s *BusSchedule) EarliestDepart(owner string, minAbs, from uint64) (uint64, bool) {
+	abs, ok := s.nextOwned(owner, minAbs, from)
+	if !ok {
+		return 0, false
+	}
+	dep := s.SlotStart(abs)
+	if dep < from {
+		dep = from
+	}
+	return dep, true
+}
+
 // BusStats is the per-node TX accounting of the time-triggered bus.
 type BusStats struct {
 	// Enqueued counts frames handed to this node's TX queue.
@@ -187,6 +213,13 @@ type Network struct {
 	// OnDrop, when set, observes every frame loss at its departure slot;
 	// total is the owner's cumulative drop count.
 	OnDrop func(now uint64, owner, signal string, total uint64)
+	// OnSend, when set, gates every identified SendFrom before it touches
+	// any shared state. The parallel cluster installs its send arbiter here:
+	// the hook blocks the calling worker until every other node's event
+	// frontier has passed the sender's current event, so RNG draws, slot
+	// cursor claims and delivery sequence numbers are handed out in exactly
+	// the virtual-time order a serial shared kernel executes the sends in.
+	OnSend func(src string)
 
 	sched  *BusSchedule
 	rng    uint64
@@ -196,6 +229,40 @@ type Network struct {
 	names    map[*Store]string
 	stores   map[string]*Store
 	inflight []*netFlight
+
+	// mu guards the cross-node shared state above (counters, RNG, cursors,
+	// stats, the in-flight list, dseq and the delivery buffer) when node
+	// kernels advance on concurrent goroutines. Uncontended in serial mode.
+	mu sync.Mutex
+	// kernels maps node name -> that node's kernel when the owning cluster
+	// executes nodes in parallel; nil means everything runs on K. Departure
+	// events are scheduled on the sending node's kernel, deliveries are
+	// minted into the destination node's kernel at the next barrier.
+	kernels map[string]*Kernel
+	// dseq numbers deliveries in send order (seq = DeliveryBase + dseq).
+	dseq uint64
+	// pending buffers deliveries created during a parallel window; the
+	// barrier flushes them into consumer kernels (FlushDeliveries) — a
+	// concurrent heap push into a running kernel would race.
+	pending []*netFlight
+}
+
+// SetNodeKernels switches the network into parallel-cluster mode: each
+// node's events (departures, deliveries) are scheduled on its own kernel,
+// and deliveries created mid-window are buffered until FlushDeliveries.
+// Pass nil to return to the single shared kernel K.
+func (n *Network) SetNodeKernels(kernels map[string]*Kernel) {
+	n.kernels = kernels
+}
+
+// kernelFor resolves the kernel a node's events run on.
+func (n *Network) kernelFor(node string) *Kernel {
+	if n.kernels != nil {
+		if k, ok := n.kernels[node]; ok {
+			return k
+		}
+	}
+	return n.K
 }
 
 // netFlight is one signal message queued for or on the wire.
@@ -246,6 +313,11 @@ func (n *Network) SetSchedule(s *BusSchedule) error {
 	if n.stats == nil {
 		n.stats = map[string]*BusStats{}
 	}
+	// Pre-register every slot owner so Stats can tell "no traffic yet"
+	// (zero stats, ok) from "not on this bus" (ok=false).
+	for _, sl := range s.Slots {
+		n.nodeStats(sl.Owner)
+	}
 	return nil
 }
 
@@ -282,15 +354,41 @@ func (n *Network) Send(signal string, v value.Value, dst *Store) {
 // TX queue and departs in src's next free slot — its departure instant,
 // release jitter and loss outcome are all decided (deterministically) here,
 // so a snapshot taken at any later instant carries the committed timing.
+//
+// Deliveries are numbered from a dedicated counter in send order
+// (DeliveryBase + dseq) instead of consuming a kernel seq: the identity is
+// then kernel-independent, so the parallel cluster — whose sends are
+// arbitrated into exactly the virtual-time order a serial run executes
+// them in — mints the delivery into the destination node's kernel with the
+// same (arrival, enqueue instant, seq) ordering key a shared kernel would
+// have used. In parallel mode the delivery is buffered until the next
+// barrier (FlushDeliveries); the departure always schedules immediately on
+// the sending node's kernel, which is the goroutine running this call.
 func (n *Network) SendFrom(src, signal string, v value.Value, dst *Store) {
-	n.Sent++
+	if src != "" && n.OnSend != nil {
+		n.OnSend(src)
+	}
+	kSrc := n.kernelFor(src)
+	now := kSrc.Now()
 	if n.sched == nil || src == "" {
-		f := &netFlight{signal: signal, v: v, at: n.K.Now() + n.LatencyNs, dst: dst}
+		n.mu.Lock()
+		n.Sent++
+		f := &netFlight{signal: signal, v: v, enq: now, at: now + n.LatencyNs, dst: dst}
+		f.seq = DeliveryBase + n.dseq
+		n.dseq++
 		n.inflight = append(n.inflight, f)
-		f.seq, _ = n.K.ScheduleTagged(f.at, func(now uint64) { n.deliver(f) })
+		buffered := n.kernels != nil
+		if buffered {
+			n.pending = append(n.pending, f)
+		}
+		n.mu.Unlock()
+		if !buffered {
+			_ = n.K.ScheduleAt(f.at, now, f.seq, func(uint64) { n.deliver(f) })
+		}
 		return
 	}
-	now := n.K.Now()
+	n.mu.Lock()
+	n.Sent++
 	st := n.nodeStats(src)
 	st.Enqueued++
 	abs, ok := n.sched.nextOwned(src, n.cursor[src], now)
@@ -300,8 +398,10 @@ func (n *Network) SendFrom(src, signal string, v value.Value, dst *Store) {
 		// only reachable on hand-built networks.
 		st.Dropped++
 		n.Dropped++
+		total := st.Dropped
+		n.mu.Unlock()
 		if n.OnDrop != nil {
-			n.OnDrop(now, src, signal, st.Dropped)
+			n.OnDrop(now, src, signal, total)
 		}
 		return
 	}
@@ -329,47 +429,121 @@ func (n *Network) SendFrom(src, signal string, v value.Value, dst *Store) {
 	if n.sched.LossPerMille > 0 {
 		f.lost = n.rand()%1000 < uint64(n.sched.LossPerMille)
 	}
+	f.seq = DeliveryBase + n.dseq
+	n.dseq++
 	n.inflight = append(n.inflight, f)
 	st.Queued++
-	f.departSeq, _ = n.K.ScheduleTagged(f.departAt, func(now uint64) { n.depart(f, now) })
-	if !f.lost {
-		f.seq, _ = n.K.ScheduleTagged(f.at, func(now uint64) { n.deliver(f) })
+	buffered := n.kernels != nil
+	if buffered && !f.lost {
+		n.pending = append(n.pending, f)
 	}
+	n.mu.Unlock()
+	f.departSeq, _ = kSrc.ScheduleTagged(f.departAt, func(now uint64) { n.depart(f, now) })
+	if !buffered && !f.lost {
+		_ = n.K.ScheduleAt(f.at, now, f.seq, func(uint64) { n.deliver(f) })
+	}
+}
+
+// FlushDeliveries mints every delivery buffered during a parallel window
+// into its destination node's kernel, in send order, with the explicit
+// (arrival, enqueue instant, delivery seq) identity fixed at send time.
+// The cluster calls it at every barrier, when no node kernel is running.
+func (n *Network) FlushDeliveries() error {
+	n.mu.Lock()
+	pend := n.pending
+	n.pending = nil
+	n.mu.Unlock()
+	for _, f := range pend {
+		f := f
+		k := n.K
+		if name, ok := n.names[f.dst]; ok {
+			k = n.kernelFor(name)
+		}
+		if err := k.ScheduleAt(f.at, f.enq, f.seq, func(uint64) { n.deliver(f) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeliveryBound returns the earliest instant a frame not yet submitted at
+// time from could possibly arrive anywhere — the conservative lookahead
+// the parallel cluster uses as its barrier horizon. Under a TDMA schedule
+// no sender departs before its next claimable slot opens (release jitter
+// only delays departures within the slot), so the bound is the earliest
+// such slot start across all owners plus propagation; without a schedule
+// it is from + LatencyNs. Cursors only advance, so a bound computed at a
+// window's start stays valid for the whole window.
+func (n *Network) DeliveryBound(from uint64) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.sched == nil {
+		return from + n.LatencyNs
+	}
+	best := ^uint64(0)
+	seen := map[string]bool{}
+	for _, sl := range n.sched.Slots {
+		if seen[sl.Owner] {
+			continue
+		}
+		seen[sl.Owner] = true
+		dep, ok := n.sched.EarliestDepart(sl.Owner, n.cursor[sl.Owner], from)
+		if !ok {
+			continue
+		}
+		if d := dep + n.LatencyNs; d < best {
+			best = d
+		}
+	}
+	if best == ^uint64(0) {
+		return from + n.LatencyNs
+	}
+	return best
 }
 
 // depart is the frame leaving its TX queue in its owner's slot: queueing
 // stats close, the slot hook fires, and a lost frame dies here — at the
-// slot, observable — instead of silently never arriving.
+// slot, observable — instead of silently never arriving. It runs on the
+// sending node's kernel (and, in parallel mode, its goroutine), so the
+// slot/drop hooks hit the sender's own board.
 func (n *Network) depart(f *netFlight, now uint64) {
+	n.mu.Lock()
 	f.departed = true
 	st := n.nodeStats(f.src)
 	st.Queued--
 	if wait := f.departAt - f.enq; wait > st.WorstQueueNs {
 		st.WorstQueueNs = wait
 	}
-	if n.OnSlot != nil {
-		n.OnSlot(now, f.src, f.signal, f.slot)
-	}
+	var total uint64
 	if f.lost {
 		n.retire(f)
 		st.Dropped++
 		n.Dropped++
-		if n.OnDrop != nil {
-			n.OnDrop(now, f.src, f.signal, st.Dropped)
-		}
+		total = st.Dropped
+	}
+	n.mu.Unlock()
+	if n.OnSlot != nil {
+		n.OnSlot(now, f.src, f.signal, f.slot)
+	}
+	if f.lost && n.OnDrop != nil {
+		n.OnDrop(now, f.src, f.signal, total)
 	}
 }
 
-// deliver lands one frame and retires its in-flight record.
+// deliver lands one frame and retires its in-flight record. It runs on the
+// destination node's kernel, so the store write (and anything it triggers
+// on the consuming board) stays node-local.
 func (n *Network) deliver(f *netFlight) {
+	n.mu.Lock()
 	n.retire(f)
 	if f.src != "" && n.sched != nil {
 		n.nodeStats(f.src).Delivered++
 	}
+	n.mu.Unlock()
 	f.dst.Set(f.signal, f.v)
 }
 
-// retire removes a frame from the in-flight list.
+// retire removes a frame from the in-flight list (mu held by the caller).
 func (n *Network) retire(f *netFlight) {
 	for i, g := range n.inflight {
 		if g == f {
@@ -380,10 +554,16 @@ func (n *Network) retire(f *netFlight) {
 }
 
 // Inflight returns the number of frames queued or on the wire.
-func (n *Network) Inflight() int { return len(n.inflight) }
+func (n *Network) Inflight() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.inflight)
+}
 
 // Queued returns the number of frames awaiting departure in TX queues.
 func (n *Network) Queued() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	q := 0
 	for _, f := range n.inflight {
 		if f.src != "" && !f.departed {
@@ -393,12 +573,19 @@ func (n *Network) Queued() int {
 	return q
 }
 
-// Stats returns node's TX accounting (zero value for unknown nodes).
-func (n *Network) Stats(node string) BusStats {
+// Stats returns node's TX accounting. ok is false when the bus does not
+// know the node — no schedule is installed, the name is misspelled, or the
+// node owns no slot and never enqueued a frame. That case used to return a
+// zero BusStats, indistinguishable from a slot owner with no traffic yet;
+// slot owners are pre-registered at SetSchedule so their zero stats read
+// as genuine "no traffic".
+func (n *Network) Stats(node string) (BusStats, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if st, ok := n.stats[node]; ok {
-		return *st
+		return *st, true
 	}
-	return BusStats{}
+	return BusStats{}, false
 }
 
 func (n *Network) nodeStats(node string) *BusStats {
@@ -446,15 +633,24 @@ type NetworkState struct {
 	Cursor map[string]uint64   `json:"cursor,omitempty"`
 	Stats  map[string]BusStats `json:"stats,omitempty"`
 	Sched  *BusSchedule        `json:"sched,omitempty"`
+	// DeliverySeq is the delivery counter (seq = DeliveryBase + i): part of
+	// the deterministic schedule, since future deliveries continue the
+	// numbering.
+	DeliverySeq uint64 `json:"deliverySeq,omitempty"`
 }
 
 // Snapshot captures the network counters and every frame queued or in
 // flight. It fails if a frame's destination store was never Bound — an
 // unnamed destination cannot be re-resolved at restore time.
 func (n *Network) Snapshot() (NetworkState, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.pending) > 0 {
+		return NetworkState{}, fmt.Errorf("dtm: snapshot with %d unflushed parallel deliveries (not a barrier)", len(n.pending))
+	}
 	st := NetworkState{
 		LatencyNs: n.LatencyNs, Sent: n.Sent, Dropped: n.Dropped,
-		RNG: n.rng, Sched: n.sched,
+		RNG: n.rng, Sched: n.sched, DeliverySeq: n.dseq,
 	}
 	for _, f := range n.inflight {
 		name, ok := n.names[f.dst]
@@ -510,10 +706,14 @@ func (n *Network) Restore(st NetworkState) error {
 			return fmt.Errorf("dtm: restore of TDMA state with incompatible schedule (captured %s, installed %s)", want, have)
 		}
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.LatencyNs = st.LatencyNs
 	n.Sent = st.Sent
 	n.Dropped = st.Dropped
 	n.rng = st.RNG
+	n.dseq = st.DeliverySeq
+	n.pending = nil
 	n.cursor = map[string]uint64{}
 	for k, v := range st.Cursor {
 		n.cursor[k] = v
@@ -542,12 +742,19 @@ func (n *Network) Restore(st NetworkState) error {
 		n.inflight = append(n.inflight, f)
 		tdma := f.src != "" && n.sched != nil
 		if tdma && !f.departed {
-			if err := n.K.Rearm(f.departAt, f.departSeq, func(now uint64) { n.depart(f, now) }); err != nil {
+			if err := n.kernelFor(f.src).Rearm(f.departAt, f.departSeq, func(now uint64) { n.depart(f, now) }); err != nil {
 				return err
 			}
 		}
 		if !tdma || !f.lost {
-			if err := n.K.Rearm(f.at, f.seq, func(now uint64) { n.deliver(f) }); err != nil {
+			// Deliveries re-arm with their full explicit identity (the
+			// enqueue instant is on the flight record), on the destination
+			// node's kernel in parallel mode.
+			dk := n.K
+			if name, ok := n.names[f.dst]; ok {
+				dk = n.kernelFor(name)
+			}
+			if err := dk.ScheduleAt(f.at, f.enq, f.seq, func(uint64) { n.deliver(f) }); err != nil {
 				return err
 			}
 		}

@@ -112,7 +112,10 @@ func TestTDMADepartureBoundBySlotPhase(t *testing.T) {
 		t.Fatalf("sent=%d dropped=%d", r.n.Sent, r.n.Dropped)
 	}
 	for _, node := range []string{"a", "b"} {
-		st := r.n.Stats(node)
+		st, ok := r.n.Stats(node)
+		if !ok {
+			t.Fatalf("node %s unknown to the bus", node)
+		}
 		if st.Enqueued != 2 || st.Delivered != 2 || st.Queued != 0 {
 			t.Fatalf("stats[%s] = %+v", node, st)
 		}
@@ -130,7 +133,7 @@ func TestTDMAContentionQueues(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		r.n.SendFrom("a", fmt.Sprintf("s%d", i), value.I(int64(i)), r.dst)
 	}
-	if st := r.n.Stats("a"); st.Queued != 3 {
+	if st, _ := r.n.Stats("a"); st.Queued != 3 {
 		t.Fatalf("queue depth after burst = %d, want 3", st.Queued)
 	}
 	if q := r.n.Queued(); q != 3 {
@@ -142,7 +145,7 @@ func TestTDMAContentionQueues(t *testing.T) {
 	if got := fmt.Sprint(r.log); got != "[10 s0=0 100 s1=1 200 s2=2]" {
 		t.Fatalf("deliveries = %v", r.log)
 	}
-	st := r.n.Stats("a")
+	st, _ := r.n.Stats("a")
 	if st.WorstQueueNs != 190 {
 		t.Fatalf("WorstQueueNs = %d, want 190 (enqueued at 10, departed at 200)", st.WorstQueueNs)
 	}
@@ -160,7 +163,11 @@ func TestTDMAUnownedSenderDrops(t *testing.T) {
 	}
 	r.n.SendFrom("ghost", "x", value.I(1), r.dst)
 	r.k.RunUntil(100)
-	if len(r.log) != 0 || r.n.Dropped != 1 || r.n.Stats("ghost").Dropped != 1 {
+	ghost, ok := r.n.Stats("ghost")
+	if !ok {
+		t.Fatal("ghost enqueued a frame, so the bus must know it")
+	}
+	if len(r.log) != 0 || r.n.Dropped != 1 || ghost.Dropped != 1 {
 		t.Fatalf("log=%v dropped=%d", r.log, r.n.Dropped)
 	}
 	if len(drops) != 1 || drops[0] != "ghost/x/1" {
@@ -247,7 +254,7 @@ func TestTDMALossDeterministic(t *testing.T) {
 			r.n.SendFrom("a", "x", value.I(int64(i)), r.dst)
 		}
 		r.k.RunUntil(100_000)
-		st := r.n.Stats("a")
+		st, _ := r.n.Stats("a")
 		if st.Delivered+st.Dropped != st.Enqueued || st.Enqueued != 50 {
 			t.Fatalf("conservation: %+v", st)
 		}
@@ -309,7 +316,7 @@ func TestBusConservationRandomSchedules(t *testing.T) {
 		var enq, del, drop uint64
 		var queued int
 		for _, o := range owners {
-			st := n.Stats(o)
+			st, _ := n.Stats(o)
 			enq += st.Enqueued
 			del += st.Delivered
 			drop += st.Dropped
@@ -407,8 +414,10 @@ func TestTDMACheckpointMidCycle(t *testing.T) {
 				t.Fatalf("post-restore deliveries diverge:\n got %s\nwant %s", got, want)
 			}
 			for _, node := range []string{"a", "b"} {
-				if got, want := fresh.n.Stats(node), full.n.Stats(node); got != want {
-					t.Fatalf("stats[%s]: restored %+v vs full %+v", node, got, want)
+				got, gotOK := fresh.n.Stats(node)
+				want, wantOK := full.n.Stats(node)
+				if got != want || gotOK != wantOK {
+					t.Fatalf("stats[%s]: restored %+v (ok=%v) vs full %+v (ok=%v)", node, got, gotOK, want, wantOK)
 				}
 			}
 			if fresh.n.Sent != full.n.Sent || fresh.n.Dropped != full.n.Dropped {

@@ -29,17 +29,30 @@ var ErrSuspended = errors.New("dtm: execution suspended by debugger")
 
 // event is one scheduled callback.
 type event struct {
-	at  uint64
-	seq uint64 // FIFO tie-break for equal timestamps
-	fn  func(now uint64)
+	at      uint64
+	schedAt uint64 // instant the event was scheduled (enqueue time)
+	seq     uint64 // FIFO tie-break for equal timestamps
+	fn      func(now uint64)
 }
 
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
+
+// Less orders events by (at, schedAt, seq). For a single kernel this is
+// provably the same order as the historical (at, seq): seq is assigned in
+// execution order, so it is monotone in the schedule instant and schedAt
+// can never invert a seq comparison. The schedAt component matters for the
+// parallel cluster path, where delivery events minted on another node's
+// kernel carry their original enqueue instant and a sequence number from a
+// separate (bus) number space — (at, schedAt, seq) then reproduces the
+// serial shared-kernel interleaving.
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].schedAt != h[j].schedAt {
+		return h[i].schedAt < h[j].schedAt
 	}
 	return h[i].seq < h[j].seq
 }
@@ -60,6 +73,18 @@ type Kernel struct {
 	seq uint64
 	pq  eventHeap
 	ran uint64
+
+	// running guards against re-entrant execution: an event callback (or a
+	// second goroutine) calling back into Step/RunUntil/RunWindow would
+	// interleave two pops on one heap — silent corruption. Scheduling from
+	// inside an event stays legal; running does not.
+	running bool
+
+	// rearmSched maps pending-event seq -> original schedule instant,
+	// stashed by Restore from KernelState.SchedAts so Rearm can re-enqueue
+	// each event with its original (at, schedAt, seq) identity without any
+	// owner snapshot carrying the extra field.
+	rearmSched map[uint64]uint64
 }
 
 // NewKernel creates a kernel at time zero.
@@ -74,7 +99,10 @@ func (k *Kernel) Pending() int { return len(k.pq) }
 // Executed returns the number of events run so far.
 func (k *Kernel) Executed() uint64 { return k.ran }
 
-// Schedule runs fn at absolute time at (>= now).
+// Schedule runs fn at absolute time at (>= now). Scheduling in the past is
+// an error and the event is NOT enqueued: with per-node clocks advancing
+// concurrently a past event would execute "before now" on the next pop,
+// silently reordering history. Rearm is the only past-tolerant path.
 func (k *Kernel) Schedule(at uint64, fn func(now uint64)) error {
 	_, err := k.ScheduleTagged(at, fn)
 	return err
@@ -91,19 +119,43 @@ func (k *Kernel) ScheduleTagged(at uint64, fn func(now uint64)) (uint64, error) 
 		return 0, fmt.Errorf("dtm: schedule at %d before now %d", at, k.now)
 	}
 	k.seq++
-	heap.Push(&k.pq, event{at: at, seq: k.seq, fn: fn})
+	heap.Push(&k.pq, event{at: at, schedAt: k.now, seq: k.seq, fn: fn})
 	return k.seq, nil
+}
+
+// ScheduleAt enqueues an event with an explicit (at, schedAt, seq)
+// identity, without touching the kernel's own sequence counter. This is
+// how foreign events — bus deliveries minted by another node's send —
+// enter a kernel: their ordering identity was fixed where the send
+// happened, and replaying it here reproduces the serial shared-kernel
+// interleaving. Callers own the seq number space (the network uses a
+// dedicated high range so it can never collide with kernel-assigned seqs).
+func (k *Kernel) ScheduleAt(at, schedAt, seq uint64, fn func(now uint64)) error {
+	if at < k.now {
+		return fmt.Errorf("dtm: schedule at %d before now %d", at, k.now)
+	}
+	heap.Push(&k.pq, event{at: at, schedAt: schedAt, seq: seq, fn: fn})
+	return nil
 }
 
 // Rearm re-enqueues a pending event with its original sequence number —
 // the restore path. Unlike Schedule it never advances the kernel's seq
 // counter, so re-arming the pending set in any order reproduces the exact
-// event ordering of the snapshotted timeline.
+// event ordering of the snapshotted timeline. The schedule instant is
+// recovered from the KernelState.SchedAts table stashed by Restore.
+//
+// Rearm is deliberately past-tolerant (the one scheduling path that is):
+// a restore may land exactly on an event's instant, and replay tooling
+// re-arms work relative to a clock it is about to rewind. A past event
+// runs on the next pop with the clock clamped monotone.
 func (k *Kernel) Rearm(at, seq uint64, fn func(now uint64)) error {
-	if at < k.now {
-		return fmt.Errorf("dtm: rearm at %d before now %d", at, k.now)
+	schedAt, ok := k.rearmSched[seq]
+	if ok {
+		delete(k.rearmSched, seq)
+	} else if schedAt = k.now; at < schedAt {
+		schedAt = at
 	}
-	heap.Push(&k.pq, event{at: at, seq: seq, fn: fn})
+	heap.Push(&k.pq, event{at: at, schedAt: schedAt, seq: seq, fn: fn})
 	return nil
 }
 
@@ -117,11 +169,27 @@ type KernelState struct {
 	Now uint64 `json:"now"`
 	Seq uint64 `json:"seq"`
 	Ran uint64 `json:"ran"`
+	// SchedAts maps each pending event's sequence number to the instant it
+	// was scheduled — the middle component of the (at, schedAt, seq) event
+	// order. Owners re-arm events by (at, seq) only; Restore stashes this
+	// table so Rearm can recover the third coordinate. Without it, a
+	// restored timeline could reorder equal-instant events whose schedule
+	// instants differ (a bus delivery vs a dispatch scheduled at its own
+	// instant).
+	SchedAts map[uint64]uint64 `json:"schedAts,omitempty"`
 }
 
-// Snapshot captures the kernel clock and counters.
+// Snapshot captures the kernel clock and counters, plus the schedule
+// instants of every pending event (keyed by seq) for Rearm.
 func (k *Kernel) Snapshot() KernelState {
-	return KernelState{Now: k.now, Seq: k.seq, Ran: k.ran}
+	st := KernelState{Now: k.now, Seq: k.seq, Ran: k.ran}
+	if len(k.pq) > 0 {
+		st.SchedAts = make(map[uint64]uint64, len(k.pq))
+		for _, ev := range k.pq {
+			st.SchedAts[ev.seq] = ev.schedAt
+		}
+	}
+	return st
 }
 
 // Restore rewinds the clock and counters and clears the event queue; the
@@ -132,6 +200,13 @@ func (k *Kernel) Restore(st KernelState) {
 	k.seq = st.Seq
 	k.ran = st.Ran
 	k.pq = k.pq[:0]
+	k.rearmSched = nil
+	if len(st.SchedAts) > 0 {
+		k.rearmSched = make(map[uint64]uint64, len(st.SchedAts))
+		for seq, at := range st.SchedAts {
+			k.rearmSched[seq] = at
+		}
+	}
 }
 
 // After runs fn delay nanoseconds from now.
@@ -139,24 +214,78 @@ func (k *Kernel) After(delay uint64, fn func(now uint64)) {
 	_ = k.Schedule(k.now+delay, fn)
 }
 
-// Step executes the earliest pending event; false when idle.
+// Step executes the earliest pending event; false when idle. The clock is
+// clamped monotone: a past event re-armed by restore tooling runs at the
+// current instant instead of dragging time backwards.
 func (k *Kernel) Step() bool {
 	if len(k.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&k.pq).(event)
-	k.now = ev.at
-	k.ran++
-	ev.fn(ev.at)
+	k.enter()
+	defer k.leave()
+	k.step()
 	return true
 }
+
+// step pops and runs one event; the caller holds the running guard.
+func (k *Kernel) step() {
+	ev := heap.Pop(&k.pq).(event)
+	if ev.at > k.now {
+		k.now = ev.at
+	}
+	k.ran++
+	ev.fn(k.now)
+}
+
+func (k *Kernel) enter() {
+	if k.running {
+		panic("dtm: re-entrant kernel run (Step/RunUntil from inside an event or a second goroutine)")
+	}
+	k.running = true
+}
+
+func (k *Kernel) leave() { k.running = false }
 
 // RunUntil executes every event with timestamp <= t, then advances the
 // clock to t.
 func (k *Kernel) RunUntil(t uint64) {
+	k.enter()
+	defer k.leave()
 	for len(k.pq) > 0 && k.pq[0].at <= t {
-		k.Step()
+		k.step()
 	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// RunWindow executes pending events with at < limit (at <= limit when incl
+// is set) without advancing the clock past them, invoking onEvent with
+// each event's (at, schedAt) immediately before it runs. It is the
+// parallel cluster's per-node worker loop: onEvent publishes the node's
+// event frontier so cross-node sends can be arbitrated into virtual-time
+// order, and the exclusive limit is the conservative lookahead barrier —
+// no event at or beyond it may run before the barrier merges cross-node
+// effects. The clock is left at the last executed event (the caller
+// advances it to the barrier explicitly with AdvanceTo).
+func (k *Kernel) RunWindow(limit uint64, incl bool, onEvent func(at, schedAt uint64)) {
+	k.enter()
+	defer k.leave()
+	for len(k.pq) > 0 {
+		at := k.pq[0].at
+		if at > limit || (!incl && at == limit) {
+			return
+		}
+		if onEvent != nil {
+			onEvent(at, k.pq[0].schedAt)
+		}
+		k.step()
+	}
+}
+
+// AdvanceTo moves the clock forward to t without running anything; it is
+// the barrier half of RunWindow. Moving backwards is a no-op.
+func (k *Kernel) AdvanceTo(t uint64) {
 	if t > k.now {
 		k.now = t
 	}

@@ -68,7 +68,10 @@ func TestClusterTDMADeliveryOnSlotGrid(t *testing.T) {
 	if got := read(); got != 1 {
 		t.Fatalf("value = %v at slot+propagation, want 1", got)
 	}
-	st := cl.BusStats("nodeA")
+	st, ok := cl.BusStats("nodeA")
+	if !ok {
+		t.Fatal("nodeA unknown to the bus")
+	}
 	if st.Enqueued != 1 || st.Delivered != 1 || st.WorstQueueNs != 200_000 {
 		t.Fatalf("nodeA stats = %+v (want 200 µs queueing: published 1.0, departed 1.2)", st)
 	}
@@ -90,7 +93,10 @@ func TestClusterTDMAEndToEnd(t *testing.T) {
 	if a.Float() < 40 || b.Float() < 2*a.Float()-10 || b.Float() > 2*a.Float() {
 		t.Errorf("ramp broken on the bus: producer %v, consumer %v", a, b)
 	}
-	st := cl.BusStats("nodeA")
+	st, ok := cl.BusStats("nodeA")
+	if !ok {
+		t.Fatal("nodeA unknown to the bus")
+	}
 	if st.Delivered == 0 || st.Dropped != 0 || st.Delivered != cl.Net.Sent {
 		t.Errorf("bus stats = %+v (sent %d)", st, cl.Net.Sent)
 	}
@@ -131,7 +137,10 @@ func TestClusterTDMABusEventsAndDropCounter(t *testing.T) {
 			}
 		}
 	}
-	st := cl.BusStats("nodeA")
+	st, ok := cl.BusStats("nodeA")
+	if !ok {
+		t.Fatal("nodeA unknown to the bus")
+	}
 	if st.Dropped == 0 || st.Delivered == 0 {
 		t.Fatalf("degenerate loss run: %+v", st)
 	}

@@ -13,6 +13,23 @@ import (
 // leaves it zero (100 µs — a time-triggered fieldbus slot).
 const DefaultLatencyNs = 100_000
 
+// ExecMode selects how Cluster.RunUntil advances the nodes.
+type ExecMode uint8
+
+// Execution modes.
+const (
+	// ExecAuto picks parallel when a TDMA bus schedule is installed (its
+	// slot grid provides the conservative lookahead windows), serial for
+	// constant-latency clusters — the seed behaviour for those.
+	ExecAuto ExecMode = iota
+	// ExecSerial drains a single shared kernel on the calling goroutine.
+	ExecSerial
+	// ExecParallel runs each node's kernel on its own goroutine between
+	// delivery-bound barriers; traces, goldens and checkpoints are
+	// byte-identical to ExecSerial.
+	ExecParallel
+)
+
 // ClusterConfig parameterises BuildCluster.
 type ClusterConfig struct {
 	// LatencyNs is the network transmission latency for cross-node signal
@@ -33,13 +50,19 @@ type ClusterConfig struct {
 	// Board is the per-node board configuration (baud, CPU clock); the
 	// system's bindings are appended automatically.
 	Board Config
+	// Exec selects serial or parallel node execution (default ExecAuto:
+	// parallel with a Bus schedule, serial without).
+	Exec ExecMode
 }
 
 // Cluster is a multi-node deployment: one Board per placement node, all
 // sharing a single virtual clock, with cross-node signal bindings carried
 // by a latency network.
 type Cluster struct {
-	// Kernel is the shared discrete-event clock.
+	// Kernel is the shared discrete-event clock. In parallel mode it holds
+	// no events — each board runs on its own kernel (kernels) — but it
+	// still carries the cluster-level notion of "now", advanced at every
+	// barrier, so Now() and the host session are mode-agnostic.
 	Kernel *dtm.Kernel
 	// Net carries cross-node signal messages (Net.Sent counts them).
 	Net *dtm.Network
@@ -48,6 +71,17 @@ type Cluster struct {
 
 	nodes []string
 	inbox map[string]*dtm.Store
+
+	// parallel is set when nodes execute on per-node kernels between
+	// delivery-bound barriers; kernels maps node -> its kernel (same
+	// iteration identity as nodes).
+	parallel bool
+	kernels  map[string]*dtm.Kernel
+	arb      *arbiter
+	// running guards RunUntil against re-entrant calls (from an event
+	// callback or a second goroutine) — on the serial path that would
+	// corrupt the shared event heap, on the parallel path the worker pool.
+	running bool
 }
 
 // BuildCluster compiles each placement node's actors into a program,
@@ -62,11 +96,24 @@ func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
 	}
 	k := dtm.NewKernel()
 	c := &Cluster{
-		Kernel: k,
-		Net:    dtm.NewNetwork(k, cfg.LatencyNs),
-		Boards: map[string]*Board{},
-		nodes:  sys.Nodes(),
-		inbox:  map[string]*dtm.Store{},
+		Kernel:   k,
+		Net:      dtm.NewNetwork(k, cfg.LatencyNs),
+		Boards:   map[string]*Board{},
+		nodes:    sys.Nodes(),
+		inbox:    map[string]*dtm.Store{},
+		parallel: cfg.Exec == ExecParallel || (cfg.Exec == ExecAuto && cfg.Bus != nil),
+	}
+	if c.parallel {
+		// One kernel per node: boards, their schedulers and the network
+		// events they own advance independently between barriers. The
+		// shared Kernel keeps the cluster clock only.
+		c.kernels = make(map[string]*dtm.Kernel, len(c.nodes))
+		for _, node := range c.nodes {
+			c.kernels[node] = dtm.NewKernel()
+		}
+		c.Net.SetNodeKernels(c.kernels)
+		c.arb = newArbiter(c.nodes)
+		c.Net.OnSend = c.arb.await
 	}
 	if cfg.Bus != nil {
 		if err := c.Net.SetSchedule(cfg.Bus); err != nil {
@@ -98,7 +145,7 @@ func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
 		}
 		bcfg := cfg.Board
 		bcfg.Bindings = append(append([]comdes.Binding(nil), bcfg.Bindings...), sys.Bindings...)
-		brd, err := NewBoard(node, prog, bcfg, k)
+		brd, err := NewBoard(node, prog, bcfg, c.nodeKernel(node))
 		if err != nil {
 			return nil, fmt.Errorf("target: node %s: %w", node, err)
 		}
@@ -113,7 +160,7 @@ func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
 	for _, node := range c.nodes {
 		node := node
 		brd := c.Boards[node]
-		store := dtm.NewStore(k.Now)
+		store := dtm.NewStore(c.nodeKernel(node).Now)
 		store.OnChange = func(now uint64, signal string, old, new value.Value) {
 			for _, bind := range sys.Bindings {
 				if bind.Signal != signal || sys.NodeOf(bind.ToActor) != node {
@@ -177,9 +224,24 @@ func BuildCluster(sys *comdes.System, cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// BusStats returns node's TX accounting on the time-triggered bus
-// (zero-valued without a schedule).
-func (c *Cluster) BusStats(node string) dtm.BusStats { return c.Net.Stats(node) }
+// nodeKernel returns the kernel node's events run on: its own kernel in
+// parallel mode, the shared one otherwise.
+func (c *Cluster) nodeKernel(node string) *dtm.Kernel {
+	if c.parallel {
+		return c.kernels[node]
+	}
+	return c.Kernel
+}
+
+// Parallel reports whether nodes execute on per-node kernels between
+// delivery-bound barriers.
+func (c *Cluster) Parallel() bool { return c.parallel }
+
+// BusStats returns node's TX accounting on the time-triggered bus. ok is
+// false when the node is unknown to the bus (no schedule installed, or a
+// node owning no slot that never sent) — previously that case returned a
+// zero BusStats, indistinguishable from a slot owner with no traffic.
+func (c *Cluster) BusStats(node string) (dtm.BusStats, bool) { return c.Net.Stats(node) }
 
 // Nodes returns the cluster's node names in sorted order.
 func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }
@@ -189,9 +251,21 @@ func (c *Cluster) Now() uint64 { return c.Kernel.Now() }
 
 // RunUntil advances the whole cluster to absolute time t, executing every
 // board's releases, deadlines and network deliveries in global event
-// order, then drains each board's UART boundary work.
+// order, then drains each board's UART boundary work. Serial and parallel
+// modes produce byte-identical traces; re-entrant calls (from an event
+// callback or a second goroutine) panic rather than corrupt the event
+// heap or the worker pool.
 func (c *Cluster) RunUntil(t uint64) {
-	c.Kernel.RunUntil(t)
+	if c.running {
+		panic("target: re-entrant Cluster.RunUntil")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	if c.parallel {
+		c.runParallel(t)
+	} else {
+		c.Kernel.RunUntil(t)
+	}
 	for _, node := range c.nodes {
 		c.Boards[node].sync(t)
 	}

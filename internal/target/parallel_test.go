@@ -1,0 +1,386 @@
+package target
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/comdes"
+	"repro/internal/dtm"
+	"repro/internal/value"
+	"repro/models"
+)
+
+// sameInstantSystem is the collision model for the parallel/serial
+// equivalence sweep: producers p1 (node n1) and p2 (node n2) both latch at
+// t = 500 µs — p1 via deadline 500 µs, p2 via offset 100 µs + deadline
+// 400 µs, so their frames share an arrival instant but not a schedule
+// history — and consumer cons (node n3) releases at exactly the arrival
+// instant. With a 500 µs constant-latency network, both frames, cons's
+// release and p1's next release all land on the same nanosecond across
+// three nodes.
+func sameInstantSystem(t testing.TB) *comdes.System {
+	t.Helper()
+	ramp := func(name string, task comdes.TaskSpec) *comdes.Actor {
+		net := comdes.NewNetwork(name+"net", nil, []comdes.Port{{Name: "v", Kind: value.Float}})
+		net.MustAdd(comdes.MustComponent("const", "one", map[string]value.Value{"value": value.F(1)}))
+		net.MustAdd(comdes.MustComponent("sum", "acc", nil))
+		net.MustConnect("one", "out", "acc", "a").
+			MustConnect("acc", "out", "acc", "b").
+			MustConnect("acc", "out", "", "v")
+		a, err := comdes.NewActor(name, net, task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	p1 := ramp("p1", comdes.TaskSpec{PeriodNs: 1_000_000, DeadlineNs: 500_000})
+	p2 := ramp("p2", comdes.TaskSpec{PeriodNs: 1_000_000, OffsetNs: 100_000, DeadlineNs: 400_000})
+
+	consNet := comdes.NewNetwork("cnet",
+		[]comdes.Port{{Name: "a", Kind: value.Float}, {Name: "b", Kind: value.Float}},
+		[]comdes.Port{{Name: "s", Kind: value.Float}})
+	consNet.MustAdd(comdes.MustComponent("sum", "add", nil))
+	consNet.MustConnect("", "a", "add", "a").
+		MustConnect("", "b", "add", "b").
+		MustConnect("add", "out", "", "s")
+	cons, err := comdes.NewActor("cons", consNet,
+		comdes.TaskSpec{PeriodNs: 1_000_000, OffsetNs: 1_000_000, DeadlineNs: 500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := comdes.NewSystem("collide")
+	for _, a := range []*comdes.Actor{p1, p2, cons} {
+		if err := sys.AddActor(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Bind("sa", "p1", "v", "cons", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bind("sb", "p2", "v", "cons", "b"); err != nil {
+		t.Fatal(err)
+	}
+	for actor, node := range map[string]string{"p1": "n1", "p2": "n2", "cons": "n3"} {
+		if err := sys.Place(actor, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// clusterTrace is everything a mode change could perturb: the raw UART
+// event stream per node plus a clock/network/bus-stats summary.
+type clusterTrace struct {
+	uart    map[string][]byte
+	summary string
+}
+
+// collectTrace advances cl in 1 ms host slices (the repro session cadence,
+// so each slice is a separate RunUntil with its own parallel windows) and
+// drains every node's UART after each slice.
+func collectTrace(t *testing.T, cl *Cluster, ms int) clusterTrace {
+	t.Helper()
+	tr := clusterTrace{uart: map[string][]byte{}}
+	for i := 0; i < ms; i++ {
+		cl.RunUntil(cl.Now() + 1_000_000)
+		for _, n := range cl.Nodes() {
+			tr.uart[n] = append(tr.uart[n], cl.Boards[n].HostPort().Recv()...)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%d sent=%d\n", cl.Now(), cl.Net.Sent)
+	for _, n := range cl.Nodes() {
+		if err := cl.Boards[n].Err(); err != nil {
+			t.Fatalf("node %s: %v", n, err)
+		}
+		if st, ok := cl.BusStats(n); ok {
+			fmt.Fprintf(&b, "%s %+v\n", n, st)
+		}
+	}
+	tr.summary = b.String()
+	return tr
+}
+
+func diffTraces(t *testing.T, serial, parallel clusterTrace) {
+	t.Helper()
+	if serial.summary != parallel.summary {
+		t.Errorf("summaries diverge:\nserial:   %sparallel: %s", serial.summary, parallel.summary)
+	}
+	for n, want := range serial.uart {
+		if len(want) == 0 {
+			t.Errorf("node %s emitted no UART traffic — degenerate comparison", n)
+		}
+		if !bytes.Equal(want, parallel.uart[n]) {
+			t.Errorf("node %s UART stream diverges (%d vs %d bytes)", n, len(want), len(parallel.uart[n]))
+		}
+	}
+}
+
+// TestClusterSameInstantPinned proves the collision the equivalence sweep
+// relies on actually exists: both frames arrive at n3 on the same
+// nanosecond (t = 1 ms), which is also cons's first release instant.
+func TestClusterSameInstantPinned(t *testing.T) {
+	cl, err := BuildCluster(sameInstantSystem(t), ClusterConfig{LatencyNs: 500_000, Exec: ExecSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n3 := cl.Boards["n3"]
+	read := func(sym string) float64 {
+		idx, ok := n3.Prog.Symbols.Index(sym)
+		if !ok {
+			t.Fatalf("symbol %s missing", sym)
+		}
+		v, err := n3.LoadSym(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Float()
+	}
+	var releases []uint64
+	n3.PreLatch = func(now uint64, actor string) { releases = append(releases, now) }
+	cl.RunUntil(999_999)
+	if a, b := read("cons.a__io"), read("cons.b__io"); a != 0 || b != 0 {
+		t.Fatalf("frames (a=%v b=%v) arrived before t=1ms", a, b)
+	}
+	cl.RunUntil(1_000_000)
+	if a, b := read("cons.a__io"), read("cons.b__io"); a != 1 || b != 1 {
+		t.Fatalf("frames (a=%v b=%v) not both delivered at t=1ms", a, b)
+	}
+	if len(releases) != 1 || releases[0] != 1_000_000 {
+		t.Fatalf("consumer releases = %v, want exactly [1000000]", releases)
+	}
+}
+
+// TestClusterSameInstantSerialParallelIdentical is the tentpole's hard
+// invariant at test scale: serial and parallel execution of the collision
+// model produce byte-identical per-node traces, across constant-latency
+// (parallel forced) and TDMA configurations with jitter and seeded loss.
+// Run under -race in CI.
+func TestClusterSameInstantSerialParallelIdentical(t *testing.T) {
+	bus := func(jitter, loss uint64) *dtm.BusSchedule {
+		return &dtm.BusSchedule{
+			Slots: []dtm.BusSlot{{Owner: "n1", LenNs: 100_000}, {Owner: "n2", LenNs: 100_000}},
+			GapNs: 50_000, JitterNs: jitter, LossPerMille: uint32(loss), Seed: 2010,
+		}
+	}
+	cases := []struct {
+		name string
+		cfg  ClusterConfig
+	}{
+		{"const-latency", ClusterConfig{LatencyNs: 500_000}},
+		{"tdma", ClusterConfig{LatencyNs: 100_000, Bus: bus(0, 0), Board: Config{Baud: 2_000_000}}},
+		{"tdma-jitter-loss", ClusterConfig{LatencyNs: 100_000, Bus: bus(20_000, 100), Board: Config{Baud: 2_000_000}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			build := func(exec ExecMode) *Cluster {
+				cfg := tc.cfg
+				cfg.Exec = exec
+				cl, err := BuildCluster(sameInstantSystem(t), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cl
+			}
+			serial, parallel := build(ExecSerial), build(ExecParallel)
+			if serial.Parallel() || !parallel.Parallel() {
+				t.Fatalf("exec modes not honoured: serial=%v parallel=%v", serial.Parallel(), parallel.Parallel())
+			}
+			const ms = 50
+			diffTraces(t, collectTrace(t, serial, ms), collectTrace(t, parallel, ms))
+			for _, cl := range []*Cluster{serial, parallel} {
+				v, err := cl.Boards["n3"].ReadOutput("cons", "s")
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Both ramps crossed: the sum tracks p1+p2 with pipeline lag.
+				if v.Float() < 80 {
+					t.Errorf("consumer sum = %v after %d ms", v, ms)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterRingSerialParallelIdentical sweeps the equivalence at fan-out:
+// an 8-node token ring on an 8-slot TDMA bus, every node both producing and
+// consuming cross-node frames every millisecond.
+func TestClusterRingSerialParallelIdentical(t *testing.T) {
+	build := func(exec ExecMode) *Cluster {
+		sys, err := models.RingCluster(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var slots []dtm.BusSlot
+		for i := 0; i < 8; i++ {
+			slots = append(slots, dtm.BusSlot{Owner: fmt.Sprintf("node%02d", i), LenNs: 50_000})
+		}
+		cl, err := BuildCluster(sys, ClusterConfig{
+			LatencyNs: 100_000,
+			Bus:       &dtm.BusSchedule{Slots: slots, GapNs: 10_000, JitterNs: 5_000, Seed: 42},
+			Board:     Config{Baud: 2_000_000},
+			Exec:      exec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	serial, parallel := build(ExecSerial), build(ExecParallel)
+	const ms = 40
+	st, pt := collectTrace(t, serial, ms), collectTrace(t, parallel, ms)
+	diffTraces(t, st, pt)
+	if serial.Net.Sent == 0 {
+		t.Fatal("token never crossed the ring")
+	}
+}
+
+// TestClusterRunUntilReentrantPanics: a RunUntil issued from inside the
+// run — here a board release hook, the place host tooling is most tempted
+// to do it — must panic loudly in both modes instead of corrupting the
+// shared event heap (serial) or the worker pool (parallel).
+func TestClusterRunUntilReentrantPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		exec ExecMode
+	}{{"serial", ExecSerial}, {"parallel", ExecParallel}} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cl, err := BuildCluster(sameInstantSystem(t), ClusterConfig{LatencyNs: 500_000, Exec: tc.exec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// In parallel mode the hook runs on a worker goroutine, so the
+			// panic must be recovered where it is raised.
+			var msg any
+			var once sync.Once
+			cl.Boards["n1"].PreLatch = func(now uint64, actor string) {
+				once.Do(func() {
+					defer func() { msg = recover() }()
+					cl.RunUntil(now + 1)
+				})
+			}
+			cl.RunUntil(5_000_000)
+			if s, ok := msg.(string); !ok || s != "target: re-entrant Cluster.RunUntil" {
+				t.Fatalf("re-entrant RunUntil panic = %v", msg)
+			}
+			// The guard must have been released: a fresh top-level call works.
+			cl.RunUntil(6_000_000)
+			if cl.Now() != 6_000_000 {
+				t.Fatalf("cluster wedged after recovered re-entrant call: now=%d", cl.Now())
+			}
+		})
+	}
+}
+
+// TestClusterRestoreModeMismatch: serial and parallel snapshots carry their
+// pending events on different clocks (one shared kernel vs one per node),
+// so restoring across modes must be refused, both ways.
+func TestClusterRestoreModeMismatch(t *testing.T) {
+	build := func(exec ExecMode) *Cluster {
+		cl, err := BuildCluster(sameInstantSystem(t), ClusterConfig{LatencyNs: 500_000, Exec: exec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	serial, parallel := build(ExecSerial), build(ExecParallel)
+	serial.RunUntil(5_000_000)
+	parallel.RunUntil(5_000_000)
+	ss, err := serial.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := parallel.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps.Parallel || ss.Parallel {
+		t.Fatalf("snapshot mode flags: serial=%v parallel=%v", ss.Parallel, ps.Parallel)
+	}
+	if err := build(ExecParallel).Restore(ss); err == nil || !strings.Contains(err.Error(), "serial-mode snapshot") {
+		t.Fatalf("serial->parallel restore: %v", err)
+	}
+	if err := build(ExecSerial).Restore(ps); err == nil || !strings.Contains(err.Error(), "parallel-mode snapshot") {
+		t.Fatalf("parallel->serial restore: %v", err)
+	}
+}
+
+// TestClusterParallelCheckpointRoundTrip: snapshot a parallel
+// constant-latency cluster mid-run, restore through the serialized form
+// into a fresh parallel cluster, and require the continuation to end
+// byte-identical to the uninterrupted run. (The TDMA variant is covered by
+// TestClusterTDMACheckpointMidCycle, which runs parallel via ExecAuto.)
+func TestClusterParallelCheckpointRoundTrip(t *testing.T) {
+	build := func() *Cluster {
+		cl, err := BuildCluster(sameInstantSystem(t), ClusterConfig{LatencyNs: 500_000, Exec: ExecParallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	const cut, end = 7_000_000, 50_000_000
+
+	full := build()
+	full.RunUntil(end)
+	fullFinal, err := full.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig := build()
+	orig.RunUntil(cut)
+	cs, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := build()
+	var decoded ClusterState
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	fresh.RunUntil(end)
+	freshFinal, err := fresh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(fullFinal)
+	b, _ := json.Marshal(freshFinal)
+	if !bytes.Equal(a, b) {
+		t.Fatal("restored parallel cluster diverges from the uninterrupted run")
+	}
+}
+
+// TestClusterBusStatsUnknown: the ok bool separates "unknown to the bus"
+// from "slot owner with no traffic" — the zero-value ambiguity satellite.
+func TestClusterBusStatsUnknown(t *testing.T) {
+	tdma := tdmaCluster(t, twoNodeBus(), 100_000)
+	if _, ok := tdma.BusStats("ghost"); ok {
+		t.Error("unknown node reported bus stats")
+	}
+	if st, ok := tdma.BusStats("nodeB"); !ok || st.Enqueued != 0 {
+		t.Errorf("idle slot owner: ok=%v stats=%+v (want known, zero)", ok, st)
+	}
+	flat := distCluster(t, 300_000)
+	if _, ok := flat.BusStats("nodeA"); ok {
+		t.Error("slot-less network reported bus stats")
+	}
+}

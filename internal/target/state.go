@@ -286,28 +286,42 @@ func (b *Board) restoreLocal(st *BoardState) error {
 // distributed run restores coherently: every board, every cross-node
 // signal mid-hop, and the global clock rewind together.
 type ClusterState struct {
-	Kernel  dtm.KernelState           `json:"kernel"`
-	Net     dtm.NetworkState          `json:"net"`
-	Boards  map[string]*BoardState    `json:"boards"`
-	Inboxes map[string]dtm.StoreState `json:"inboxes,omitempty"`
+	// Parallel records the execution mode the snapshot was taken under. A
+	// parallel snapshot carries one kernel per board (BoardState.Kernel)
+	// plus the facade clock in Kernel; a serial snapshot carries the single
+	// shared kernel in Kernel and nil per-board kernels. Restoring across
+	// modes is rejected — the pending events would land on the wrong clocks.
+	Parallel bool                      `json:"parallel,omitempty"`
+	Kernel   dtm.KernelState           `json:"kernel"`
+	Net      dtm.NetworkState          `json:"net"`
+	Boards   map[string]*BoardState    `json:"boards"`
+	Inboxes  map[string]dtm.StoreState `json:"inboxes,omitempty"`
 }
 
-// Snapshot captures the whole cluster at a RunUntil boundary.
+// Snapshot captures the whole cluster at a RunUntil boundary. In parallel
+// mode every RunUntil return is a barrier (workers joined, deliveries
+// flushed, all clocks at the horizon), so the same boundary contract
+// applies; each node's kernel is captured into its BoardState.
 func (c *Cluster) Snapshot() (*ClusterState, error) {
 	net, err := c.Net.Snapshot()
 	if err != nil {
 		return nil, err
 	}
 	st := &ClusterState{
-		Kernel:  c.Kernel.Snapshot(),
-		Net:     net,
-		Boards:  map[string]*BoardState{},
-		Inboxes: map[string]dtm.StoreState{},
+		Parallel: c.parallel,
+		Kernel:   c.Kernel.Snapshot(),
+		Net:      net,
+		Boards:   map[string]*BoardState{},
+		Inboxes:  map[string]dtm.StoreState{},
 	}
 	for _, node := range c.nodes {
 		bs, err := c.Boards[node].snapshotLocal()
 		if err != nil {
 			return nil, fmt.Errorf("target: node %s: %w", node, err)
+		}
+		if c.parallel {
+			ks := c.kernels[node].Snapshot()
+			bs.Kernel = &ks
 		}
 		st.Boards[node] = bs
 		st.Inboxes[node] = c.inbox[node].Snapshot()
@@ -324,11 +338,26 @@ func (c *Cluster) Restore(st *ClusterState) error {
 	if len(st.Boards) != len(c.nodes) {
 		return fmt.Errorf("target: restore of %d-node state onto %d-node cluster", len(st.Boards), len(c.nodes))
 	}
+	if st.Parallel != c.parallel {
+		mode := func(p bool) string {
+			if p {
+				return "parallel"
+			}
+			return "serial"
+		}
+		return fmt.Errorf("target: restore of %s-mode snapshot onto %s-mode cluster (set ClusterConfig.Exec to match)", mode(st.Parallel), mode(c.parallel))
+	}
 	c.Kernel.Restore(st.Kernel)
 	for _, node := range c.nodes {
 		bs, ok := st.Boards[node]
 		if !ok {
 			return fmt.Errorf("target: restore state missing node %q", node)
+		}
+		if c.parallel {
+			if bs.Kernel == nil {
+				return fmt.Errorf("target: parallel restore: node %s snapshot carries no kernel", node)
+			}
+			c.kernels[node].Restore(*bs.Kernel)
 		}
 		if err := c.Boards[node].restoreLocal(bs); err != nil {
 			return fmt.Errorf("target: node %s: %w", node, err)

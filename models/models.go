@@ -307,6 +307,28 @@ func Distributed() (*comdes.System, error) {
 	return sys, sys.Validate()
 }
 
+// RingCluster is TokenRing placed one actor per node — an n-node
+// distributed deployment where every node both produces and consumes a
+// cross-node signal, so a TDMA schedule gives each node a slot. Node names
+// are zero-padded (node00, node01, ...) so sorted node order equals ring
+// order; n is capped at two digits. It is the scale model for the parallel
+// cluster execution benchmark.
+func RingCluster(n int) (*comdes.System, error) {
+	if n > 99 {
+		return nil, fmt.Errorf("models: ring cluster supports at most 99 nodes (zero-padded names)")
+	}
+	sys, err := TokenRing(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := sys.Place(fmt.Sprintf("ring%d", i), fmt.Sprintf("node%02d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return sys, sys.Validate()
+}
+
 // ChainFSM builds one actor containing n independent two-state machines in
 // a single network — a synthetic model-size sweep for the abstraction
 // benchmark (E4).
