@@ -6,12 +6,18 @@
 //
 //	go run ./cmd/gmdf -model heating -transport passive -ms 3000
 //	go run ./cmd/gmdf -model path/to/model.xml -gdm out.gdm
+//
+// With -connect it drives a session on a gmdfd debug farm server instead
+// of an in-process board; the remote trace is byte-identical to the
+// in-process one for the same model and budget:
+//
+//	go run ./cmd/gmdf -connect 127.0.0.1:7788 -model heating -ms 300 -trace remote.trace
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -19,73 +25,98 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/comdes"
 	"repro/internal/core"
-	"repro/internal/dtm"
 	"repro/internal/engine"
+	"repro/internal/farm"
 	"repro/internal/metamodel"
-	"repro/internal/plant"
 	"repro/internal/target"
-	"repro/internal/value"
 	"repro/internal/workbench"
 	"repro/models"
 )
 
 func main() {
-	model := flag.String("model", "heating", "built-in model (heating|traffic|ring|dist) or COMDES model XML path; a placed multi-node model (dist) debugs as a cluster on a TDMA bus")
-	transport := flag.String("transport", "active", "command interface: active (RS-232) | passive (JTAG)")
-	ms := flag.Uint64("ms", 2000, "virtual milliseconds to debug")
-	gdmOut := flag.String("gdm", "", "write the generated GDM file (JSON) here")
-	svgOut := flag.String("svg", "", "write the final animated frame (SVG) here")
-	breakMachine := flag.String("break-machine", "", "state machine to break on (e.g. heater.thermostat); on the active interface the breakpoint runs on the target itself")
-	breakState := flag.String("break-state", "", "state whose entry trips -break-machine (e.g. Heating)")
-	checkpointOut := flag.String("checkpoint", "", "write a serialized checkpoint of the final state here (restore it in a fresh process with -restore)")
-	restoreIn := flag.String("restore", "", "restore a checkpoint taken from a run of the same model, then continue for -ms (models with stateful environments need the in-process recorder instead)")
-	rewindMs := flag.Uint64("rewind", 0, "after the run, rewind the session to this virtual millisecond and report the state there (enables periodic checkpointing)")
-	traceOut := flag.String("trace", "", "write the stable-format session trace here (checkpoint-replay determinism diffs)")
-	clusterExec := flag.String("cluster-exec", "auto", "multi-node execution mode: auto (parallel on a TDMA bus) | serial | parallel; traces are byte-identical across modes")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gmdf:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole tool behind an error return: no exit points between a
+// side effect and its deferred cleanup, so a late failure (say, an
+// unwritable -svg path) cannot skip the trace flush — and tests drive
+// the binary end to end without forking.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gmdf", flag.ContinueOnError)
+	model := fs.String("model", "heating", "built-in model (heating|traffic|ring|dist) or COMDES model XML path; a placed multi-node model (dist) debugs as a cluster on a TDMA bus")
+	transport := fs.String("transport", "active", "command interface: active (RS-232) | passive (JTAG)")
+	ms := fs.Uint64("ms", 2000, "virtual milliseconds to debug")
+	gdmOut := fs.String("gdm", "", "write the generated GDM file (JSON) here")
+	svgOut := fs.String("svg", "", "write the final animated frame (SVG) here")
+	breakMachine := fs.String("break-machine", "", "state machine to break on (e.g. heater.thermostat); on the active interface the breakpoint runs on the target itself")
+	breakState := fs.String("break-state", "", "state whose entry trips -break-machine (e.g. Heating)")
+	checkpointOut := fs.String("checkpoint", "", "write a serialized checkpoint of the final state here (restore it in a fresh process with -restore)")
+	restoreIn := fs.String("restore", "", "restore a checkpoint taken from a run of the same model, then continue for -ms (models with stateful environments need the in-process recorder instead)")
+	rewindMs := fs.Uint64("rewind", 0, "after the run, rewind the session to this virtual millisecond and report the state there (enables periodic checkpointing)")
+	traceOut := fs.String("trace", "", "write the stable-format session trace here (checkpoint-replay determinism diffs)")
+	clusterExec := fs.String("cluster-exec", "auto", "multi-node execution mode: auto (parallel on a TDMA bus) | serial | parallel; traces are byte-identical across modes")
+	connect := fs.String("connect", "", "drive a session on a gmdfd farm server at this address instead of an in-process board")
+	resume := fs.String("resume", "", "with -connect: resume a session from this checkpoint digest in the server's store")
+	detach := fs.Bool("detach", false, "with -connect: detach with a checkpoint after the run and print its digest")
+	digestOut := fs.String("digest-out", "", "with -connect -detach: also write the checkpoint digest to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *connect != "" {
+		return runRemote(out, remoteOpts{
+			addr: *connect, model: *model, resume: *resume,
+			ms: *ms, exec: *clusterExec,
+			breakMachine: *breakMachine, breakState: *breakState,
+			traceOut: *traceOut, detach: *detach, digestOut: *digestOut,
+		})
+	}
 
 	sys, err := loadSystem(*model)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	meta := comdes.Metamodel()
 	mod, err := comdes.ToModel(sys, meta)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Fig. 6 steps 1–4 through the workbench wizard.
 	w := workbench.NewWizard()
 	if err := w.SelectInputs(meta, mod); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := w.UseMapping(engine.DefaultCOMDESMapping()); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("== abstraction guide (Fig. 4) ==")
-	fmt.Print(w.GuidePanel())
+	fmt.Fprintln(out, "== abstraction guide (Fig. 4) ==")
+	fmt.Fprint(out, w.GuidePanel())
 	if err := w.FinishAbstraction(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, b := range defaultBindings() {
 		if err := w.BindCommand(b); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if err := w.FinishCommandSetup(); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("GDM created: %d elements, %d command bindings\n\n",
+	fmt.Fprintf(out, "GDM created: %d elements, %d command bindings\n\n",
 		len(w.GDM().Elements()), len(w.GDM().Bindings()))
 	if *gdmOut != "" {
 		data, err := w.GDM().MarshalJSON()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*gdmOut, data, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", *gdmOut, len(data))
+		fmt.Fprintf(out, "wrote %s (%d bytes)\n", *gdmOut, len(data))
 	}
 
 	// A placed multi-node model debugs distributed: one board per node on
@@ -93,27 +124,19 @@ func main() {
 	// session over every node's active interface.
 	if len(sys.Nodes()) > 1 {
 		if *breakMachine != "" || *breakState != "" {
-			log.Fatal("gmdf: -break-machine/-break-state are not supported on multi-node models yet")
+			return fmt.Errorf("-break-machine/-break-state are not supported on multi-node models yet")
 		}
 		if *rewindMs > 0 {
-			log.Fatal("gmdf: -rewind needs the single-board recorder; multi-node models support -checkpoint/-restore")
+			return fmt.Errorf("-rewind needs the single-board recorder; multi-node models support -checkpoint/-restore")
 		}
 		if *transport == "passive" {
-			log.Fatal("gmdf: multi-node models debug over every node's active interface; -transport passive is not supported")
+			return fmt.Errorf("multi-node models debug over every node's active interface; -transport passive is not supported")
 		}
-		var exec target.ExecMode
-		switch *clusterExec {
-		case "auto":
-			exec = target.ExecAuto
-		case "serial":
-			exec = target.ExecSerial
-		case "parallel":
-			exec = target.ExecParallel
-		default:
-			log.Fatalf("gmdf: unknown -cluster-exec %q (auto|serial|parallel)", *clusterExec)
+		exec, err := parseExec(*clusterExec)
+		if err != nil {
+			return err
 		}
-		runCluster(sys, *ms, exec, *traceOut, *checkpointOut, *restoreIn, *svgOut)
-		return
+		return runCluster(out, sys, *ms, exec, *traceOut, *checkpointOut, *restoreIn, *svgOut)
 	}
 
 	// Step 5 via the facade (compile + board + channel + session).
@@ -123,21 +146,32 @@ func main() {
 	}
 	dbg, err := repro.Debug(sys, repro.DebugConfig{
 		Transport:   tp,
-		Environment: environmentFor(sys.Name()),
+		Environment: repro.StandardEnvironment(sys.Name()),
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	// The trace is the session's primary artifact — flush it even when a
+	// later output step fails, so a determinism diff never reads a
+	// truncated file.
+	traceWritten := false
+	if *traceOut != "" {
+		defer func() {
+			if !traceWritten {
+				_ = os.WriteFile(*traceOut, []byte(dbg.Session.Trace.FormatStable()), 0o644)
+			}
+		}()
 	}
 
 	if *restoreIn != "" {
 		cp, err := checkpoint.ReadFile(*restoreIn)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := dbg.RestoreCheckpoint(cp); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("restored checkpoint: t=%.3f ms, %d trace records carried over\n",
+		fmt.Fprintf(out, "restored checkpoint: t=%.3f ms, %d trace records carried over\n",
 			float64(dbg.Board.Now())/1e6, dbg.Session.Trace.Len())
 	}
 
@@ -149,131 +183,141 @@ func main() {
 	budget := *ms * 1_000_000
 	if *breakMachine != "" && *breakState != "" {
 		if err := dbg.BreakOnState("cli", *breakMachine, *breakState); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		where := "host-side (trace filtering)"
 		if dbg.Session.Breakpoints()[0].OnTarget() {
 			where = "on-target (resident agent)"
 		}
-		fmt.Printf("breakpoint: enter %s.%s — armed %s\n", *breakMachine, *breakState, where)
+		fmt.Fprintf(out, "breakpoint: enter %s.%s — armed %s\n", *breakMachine, *breakState, where)
 	}
 	if *rewindMs > 0 {
 		// Periodic checkpoints + input/command logs: the session gains
 		// reverse execution (enabled after breakpoint arming so the initial
 		// checkpoint carries the armed condition).
 		if _, err := dbg.EnableCheckpointing(250 * time.Millisecond); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if err := dbg.RunNs(budget); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *breakMachine != "" && dbg.Session.Paused() {
-		fmt.Printf("breakpoint hit: target halted at %.3f ms\n", float64(dbg.Board.Now())/1e6)
+		fmt.Fprintf(out, "breakpoint hit: target halted at %.3f ms\n", float64(dbg.Board.Now())/1e6)
 		if err := dbg.StepOnTarget(time.Second); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("stepped to next model event at %.3f ms, highlights %v\n",
+		fmt.Fprintf(out, "stepped to next model event at %.3f ms, highlights %v\n",
 			float64(dbg.Board.Now())/1e6, dbg.GDM.HighlightedElements())
 		if err := dbg.Session.ClearBreakpoint("cli"); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		dbg.Session.Continue()
 		if spent := dbg.Board.Now(); spent < budget {
 			if err := dbg.RunNs(budget - spent); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	}
 
-	fmt.Println("== animated model ==")
-	fmt.Print(dbg.RenderASCII())
-	fmt.Printf("\ntransport=%s events=%d reactions=%d target-cycles=%d instr-cycles=%d\n",
+	fmt.Fprintln(out, "== animated model ==")
+	fmt.Fprint(out, dbg.RenderASCII())
+	fmt.Fprintf(out, "\ntransport=%s events=%d reactions=%d target-cycles=%d instr-cycles=%d\n",
 		*transport, dbg.Session.Handled, dbg.GDM.Reactions, dbg.Board.Cycles(), dbg.Board.InstrumentationCycles())
-	fmt.Println("\n== timing diagram ==")
-	fmt.Print(dbg.TimingDiagramASCII(76))
+	fmt.Fprintln(out, "\n== timing diagram ==")
+	fmt.Fprint(out, dbg.TimingDiagramASCII(76))
 
 	if *svgOut != "" {
 		if err := os.WriteFile(*svgOut, []byte(dbg.RenderSVG()), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", *svgOut)
+		fmt.Fprintf(out, "wrote %s\n", *svgOut)
 	}
 
 	if *checkpointOut != "" {
 		cp, err := dbg.Checkpoint()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := cp.WriteFile(*checkpointOut); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote checkpoint %s (t=%.3f ms)\n", *checkpointOut, float64(cp.Time)/1e6)
+		fmt.Fprintf(out, "wrote checkpoint %s (t=%.3f ms)\n", *checkpointOut, float64(cp.Time)/1e6)
 	}
 	if *traceOut != "" {
 		if err := os.WriteFile(*traceOut, []byte(dbg.Session.Trace.FormatStable()), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote trace %s (%d records)\n", *traceOut, dbg.Session.Trace.Len())
+		traceWritten = true
+		fmt.Fprintf(out, "wrote trace %s (%d records)\n", *traceOut, dbg.Session.Trace.Len())
 	}
 
 	if *rewindMs > 0 {
 		landed, err := dbg.Session.RewindTo(*rewindMs * 1_000_000)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\n== rewound to %.3f ms ==\n", float64(landed)/1e6)
-		fmt.Print(dbg.RenderASCII())
-		fmt.Printf("trace now %d records; board halted=%v cycles=%d\n",
+		fmt.Fprintf(out, "\n== rewound to %.3f ms ==\n", float64(landed)/1e6)
+		fmt.Fprint(out, dbg.RenderASCII())
+		fmt.Fprintf(out, "trace now %d records; board halted=%v cycles=%d\n",
 			dbg.Session.Trace.Len(), dbg.Board.Halted(), dbg.Board.Cycles())
 	}
+	return nil
+}
+
+func parseExec(mode string) (target.ExecMode, error) {
+	switch mode {
+	case "auto":
+		return target.ExecAuto, nil
+	case "serial":
+		return target.ExecSerial, nil
+	case "parallel":
+		return target.ExecParallel, nil
+	}
+	return 0, fmt.Errorf("unknown -cluster-exec %q (auto|serial|parallel)", mode)
 }
 
 // runCluster is the distributed debugging path: the placed system boots on
 // a TDMA cluster (the Fig. 6 workflow's target is a network of boards) and
 // the one session's trace carries the slot-grid lane. The bus parameters
-// are fixed — 100 µs slot per node in placement order, 50 µs gaps, 20 µs
-// release jitter, 10% seeded loss, 100 µs propagation — so every run of
-// the same model is byte-deterministic (the CI replay jobs diff traces
-// across processes).
-func runCluster(sys *comdes.System, ms uint64, exec target.ExecMode, traceOut, checkpointOut, restoreIn, svgOut string) {
-	bus := &dtm.BusSchedule{GapNs: 50_000, JitterNs: 20_000, LossPerMille: 100, Seed: 2010}
-	for _, node := range sys.Nodes() {
-		bus.Slots = append(bus.Slots, dtm.BusSlot{Owner: node, LenNs: 100_000})
-	}
-	dbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{
-		Cluster: target.ClusterConfig{
-			LatencyNs: 100_000,
-			Bus:       bus,
-			Board:     target.Config{Baud: 2_000_000},
-			Exec:      exec,
-		},
-	})
+// are the repro.StandardBus schedule, fixed so every run of the same model
+// is byte-deterministic (the CI replay jobs diff traces across processes).
+func runCluster(out io.Writer, sys *comdes.System, ms uint64, exec target.ExecMode, traceOut, checkpointOut, restoreIn, svgOut string) error {
+	cfg := repro.StandardClusterConfig(sys.Nodes(), exec)
+	dbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{Cluster: cfg})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("cluster: %v on a %.0f µs TDMA cycle (10%% loss, 20 µs release jitter)\n",
-		dbg.Cluster.Nodes(), float64(bus.CycleNs())/1000)
+	fmt.Fprintf(out, "cluster: %v on a %.0f µs TDMA cycle (10%% loss, 20 µs release jitter)\n",
+		dbg.Cluster.Nodes(), float64(cfg.Bus.CycleNs())/1000)
+	traceWritten := false
+	if traceOut != "" {
+		defer func() {
+			if !traceWritten {
+				_ = os.WriteFile(traceOut, []byte(dbg.Session.Trace.FormatStable()), 0o644)
+			}
+		}()
+	}
 
 	if restoreIn != "" {
 		cp, err := checkpoint.ReadFile(restoreIn)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := dbg.RestoreCheckpoint(cp); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("restored cluster checkpoint: t=%.3f ms, %d trace records carried over\n",
+		fmt.Fprintf(out, "restored cluster checkpoint: t=%.3f ms, %d trace records carried over\n",
 			float64(dbg.Cluster.Now())/1e6, dbg.Session.Trace.Len())
 	}
 
 	if err := dbg.RunNs(ms * 1_000_000); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("== animated model ==")
-	fmt.Print(dbg.RenderASCII())
-	fmt.Printf("\nevents=%d reactions=%d network: %d sent, %d lost\n",
+	fmt.Fprintln(out, "== animated model ==")
+	fmt.Fprint(out, dbg.RenderASCII())
+	fmt.Fprintf(out, "\nevents=%d reactions=%d network: %d sent, %d lost\n",
 		dbg.Session.Handled, dbg.GDM.Reactions, dbg.Cluster.Net.Sent, dbg.Cluster.Net.Dropped)
 	for _, node := range dbg.Cluster.Nodes() {
 		// The ok-bool distinguishes "on the bus, no traffic" (printed, all
@@ -283,34 +327,136 @@ func runCluster(sys *comdes.System, ms uint64, exec target.ExecMode, traceOut, c
 		if !ok {
 			continue
 		}
-		fmt.Printf("bus[%s]: %d enqueued, %d delivered, %d lost, worst queueing %.0f µs\n",
+		fmt.Fprintf(out, "bus[%s]: %d enqueued, %d delivered, %d lost, worst queueing %.0f µs\n",
 			node, st.Enqueued, st.Delivered, st.Dropped, float64(st.WorstQueueNs)/1000)
 	}
-	fmt.Println("\n== timing diagram (bus track = slot grid) ==")
-	fmt.Print(dbg.TimingDiagramASCII(76))
+	fmt.Fprintln(out, "\n== timing diagram (bus track = slot grid) ==")
+	fmt.Fprint(out, dbg.TimingDiagramASCII(76))
 
 	if svgOut != "" {
 		if err := os.WriteFile(svgOut, []byte(dbg.GDM.Scene().SVG()), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s\n", svgOut)
+		fmt.Fprintf(out, "wrote %s\n", svgOut)
 	}
 	if checkpointOut != "" {
 		cp, err := dbg.Checkpoint()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := cp.WriteFile(checkpointOut); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote checkpoint %s (t=%.3f ms)\n", checkpointOut, float64(cp.Time)/1e6)
+		fmt.Fprintf(out, "wrote checkpoint %s (t=%.3f ms)\n", checkpointOut, float64(cp.Time)/1e6)
 	}
 	if traceOut != "" {
 		if err := os.WriteFile(traceOut, []byte(dbg.Session.Trace.FormatStable()), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote trace %s (%d records)\n", traceOut, dbg.Session.Trace.Len())
+		traceWritten = true
+		fmt.Fprintf(out, "wrote trace %s (%d records)\n", traceOut, dbg.Session.Trace.Len())
 	}
+	return nil
+}
+
+// remoteOpts is the -connect mode configuration.
+type remoteOpts struct {
+	addr, model, resume      string
+	ms                       uint64
+	exec                     string
+	breakMachine, breakState string
+	traceOut, digestOut      string
+	detach                   bool
+}
+
+// runRemote drives one session on a gmdfd farm server: create (or resume
+// from a checkpoint digest), optionally break, run the budget, fetch the
+// trace, optionally detach with a checkpoint. The server builds the same
+// system, environment and bus schedule this process would build in-process
+// — so the fetched trace diffs clean against a local run.
+func runRemote(out io.Writer, o remoteOpts) error {
+	cl, err := farm.Dial(o.addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	created, err := cl.Create(farm.CreateParams{Model: o.model, Checkpoint: o.resume, Exec: o.exec})
+	if err != nil {
+		return err
+	}
+	sid := created.Session
+	if o.resume != "" {
+		fmt.Fprintf(out, "resumed session %s on %s: model %s at t=%.3f ms, %d trace records carried over\n",
+			sid, o.addr, created.Model, float64(created.NowNs)/1e6, created.Records)
+	} else {
+		fmt.Fprintf(out, "created session %s on %s: model %s\n", sid, o.addr, created.Model)
+	}
+	if len(created.Nodes) > 1 {
+		fmt.Fprintf(out, "cluster session: nodes %v\n", created.Nodes)
+	}
+	if _, err := cl.Attach(sid); err != nil {
+		return err
+	}
+
+	if o.breakMachine != "" && o.breakState != "" {
+		br, err := cl.Break(sid, farm.BreakParams{ID: "cli", Machine: o.breakMachine, State: o.breakState})
+		if err != nil {
+			return err
+		}
+		where := "host-side (trace filtering)"
+		if br.OnTarget {
+			where = "on-target (resident agent)"
+		}
+		fmt.Fprintf(out, "breakpoint: enter %s.%s — armed %s\n", o.breakMachine, o.breakState, where)
+	}
+
+	budget := created.NowNs + o.ms*1_000_000
+	run, err := cl.RunUntil(sid, budget)
+	if err != nil {
+		return err
+	}
+	if run.Paused && run.LastBreak != "" {
+		fmt.Fprintf(out, "breakpoint hit: target halted at %.3f ms\n", float64(run.NowNs)/1e6)
+		// Disarm before resuming — a still-true condition re-trips at the
+		// next check site — then spend the rest of the budget.
+		if err := cl.ClearBreak(sid, run.LastBreak); err != nil {
+			return err
+		}
+		if _, err := cl.Continue(sid); err != nil {
+			return err
+		}
+		if run, err = cl.RunUntil(sid, budget); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "remote session at %.3f ms: %d events handled, %d trace records\n",
+		float64(run.NowNs)/1e6, run.Handled, run.Records)
+
+	if o.traceOut != "" {
+		tr, err := cl.TraceStable(sid)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.traceOut, []byte(tr.Stable), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote trace %s (%d records)\n", o.traceOut, tr.Records)
+	}
+
+	if o.detach {
+		det, err := cl.Detach(sid, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "detached: checkpoint %s (t=%.3f ms)\n", det.Digest, float64(det.TimeNs)/1e6)
+		if o.digestOut != "" {
+			if err := os.WriteFile(o.digestOut, []byte(det.Digest+"\n"), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func defaultBindings() []core.Binding {
@@ -320,15 +466,8 @@ func defaultBindings() []core.Binding {
 }
 
 func loadSystem(name string) (*comdes.System, error) {
-	switch name {
-	case "heating":
-		return models.Heating(models.HeatingOptions{})
-	case "traffic":
-		return models.TrafficLight()
-	case "ring":
-		return models.TokenRing(4)
-	case "dist":
-		return models.Distributed()
+	if sys, err := models.ByName(name); err == nil {
+		return sys, nil
 	}
 	f, err := os.Open(name)
 	if err != nil {
@@ -340,30 +479,4 @@ func loadSystem(name string) (*comdes.System, error) {
 		return nil, err
 	}
 	return comdes.FromModel(mod)
-}
-
-// environmentFor supplies a plant for the built-in models.
-func environmentFor(sysName string) func(uint64, *target.Board) {
-	switch sysName {
-	case "heating":
-		room := plant.NewThermal(15)
-		var last uint64
-		return func(now uint64, b *target.Board) {
-			dt := now - last
-			last = now
-			power := 0.0
-			if p, err := b.ReadOutput("heater", "power"); err == nil {
-				power = p.Float()
-			}
-			_ = b.WriteInput("heater", "temp", value.F(room.Step(dt, power)))
-			_ = b.WriteInput("heater", "mode", value.I(2))
-		}
-	case "traffic":
-		return func(now uint64, b *target.Board) {
-			t := float64(now%12_000_000_000) / 1e9
-			_ = b.WriteInput("signal", "t", value.F(t))
-		}
-	default:
-		return nil
-	}
 }

@@ -66,6 +66,40 @@ type DebugConfig struct {
 	Environment func(now uint64, b *target.Board)
 	// JTAGPollNs is the passive watch polling interval (default 1 ms).
 	JTAGPollNs uint64
+	// Program, when non-nil, skips compilation and loads this precompiled
+	// program instead. It must come from CompileFor with the same system
+	// and config — the farm server compiles each model once and shares the
+	// immutable program across hundreds of sessions (per-session state is
+	// just board RAM + pooled machines; the IR is never written at run
+	// time).
+	Program *codegen.Program
+}
+
+// CompileFor compiles sys exactly as Debug would under cfg — same
+// instrument defaulting, same options — so the result can be handed back
+// via DebugConfig.Program and shared across many sessions.
+func CompileFor(sys *comdes.System, cfg DebugConfig) (*codegen.Program, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return codegen.Compile(sys, compileOptions(cfg))
+}
+
+// compileOptions is the one place the facade's instrument defaulting
+// lives; Debug and CompileFor must agree or a shared program would differ
+// from a per-session compile.
+func compileOptions(cfg DebugConfig) codegen.Options {
+	opts := cfg.Compile
+	if cfg.Transport == Active {
+		if cfg.Instrument != nil {
+			opts.Instrument = *cfg.Instrument
+		} else {
+			opts.Instrument = codegen.Instrument{StateEnter: true, Transitions: true, Signals: true}
+		}
+	} else {
+		opts.Instrument = codegen.Instrument{}
+	}
+	return opts
 }
 
 // Debugger bundles one assembled debugging setup.
@@ -95,19 +129,13 @@ func Debug(sys *comdes.System, cfg DebugConfig) (*Debugger, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
-	opts := cfg.Compile
-	if cfg.Transport == Active {
-		if cfg.Instrument != nil {
-			opts.Instrument = *cfg.Instrument
-		} else {
-			opts.Instrument = codegen.Instrument{StateEnter: true, Transitions: true, Signals: true}
+	prog := cfg.Program
+	if prog == nil {
+		var err error
+		prog, err = codegen.Compile(sys, compileOptions(cfg))
+		if err != nil {
+			return nil, err
 		}
-	} else {
-		opts.Instrument = codegen.Instrument{}
-	}
-	prog, err := codegen.Compile(sys, opts)
-	if err != nil {
-		return nil, err
 	}
 	board, err := target.NewBoard("main", prog, withBindings(cfg.Board, sys), nil)
 	if err != nil {

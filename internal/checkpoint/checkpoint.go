@@ -21,6 +21,9 @@
 package checkpoint
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -78,6 +81,36 @@ func Decode(r io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", c.Version, Version)
 	}
 	return &c, nil
+}
+
+// Marshal returns the checkpoint's canonical serialized form — the exact
+// bytes Encode writes. Content addressing (Digest, the farm's checkpoint
+// store) hashes these bytes, so Marshal is the one serialization path.
+func (c *Checkpoint) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DigestBytes is the content address of a serialized checkpoint: the hex
+// SHA-256 of its canonical bytes.
+func DigestBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Digest serializes the checkpoint and returns its content address. Two
+// checkpoints of byte-identical execution states digest identically, so a
+// store keyed by Digest deduplicates repeated captures for free and a
+// reader can verify integrity by re-hashing what it fetched.
+func (c *Checkpoint) Digest() (string, error) {
+	b, err := c.Marshal()
+	if err != nil {
+		return "", err
+	}
+	return DigestBytes(b), nil
 }
 
 // WriteFile serializes the checkpoint to a file.

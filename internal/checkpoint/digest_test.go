@@ -1,0 +1,109 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/target"
+	"repro/models"
+)
+
+func ringBoard(t testing.TB) *target.Board {
+	t.Helper()
+	sys, err := models.TokenRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Compile(sys, codegen.Options{
+		Instrument: codegen.Instrument{StateEnter: true, Transitions: true, Signals: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := target.NewBoard("ring", prog, target.Config{Bindings: sys.Bindings}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDigestContentAddressing: same execution state -> same digest; a
+// different state -> a different digest; the digest matches a re-hash of
+// the marshalled bytes (store integrity check).
+func TestDigestContentAddressing(t *testing.T) {
+	b := ringBoard(t)
+	b.RunFor(10_000_000)
+	cp1, err := Capture(b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := cp1.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != 64 {
+		t.Fatalf("digest %q is not hex sha256", d1)
+	}
+
+	// A second capture of the untouched board is the same content.
+	cp2, err := Capture(b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := cp2.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("same state digests differ: %s vs %s", d1, d2)
+	}
+
+	b.RunFor(1_000_000)
+	cp3, err := Capture(b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := cp3.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("advanced state digests identically to the old one")
+	}
+
+	raw, err := cp1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DigestBytes(raw) != d1 {
+		t.Fatal("Digest does not hash the Marshal bytes")
+	}
+}
+
+// TestMarshalDecodeRoundTrip: the canonical bytes decode back to a
+// checkpoint that re-marshals byte-identically (fresh-process resume reads
+// exactly what was stored).
+func TestMarshalDecodeRoundTrip(t *testing.T) {
+	b := ringBoard(t)
+	b.RunFor(7_000_000)
+	cp, err := Capture(b, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("decode/re-marshal is not byte-identical")
+	}
+}

@@ -293,18 +293,17 @@ func (s *Session) SetBreakpoint(bp Breakpoint) error {
 	if bp.ID == "" {
 		return fmt.Errorf("engine: breakpoint with empty id")
 	}
+	// Validate everything before any wire traffic: arming the on-target
+	// condition first and failing a later check would leave the agent
+	// holding a live breakpoint the session never recorded — it could halt
+	// the board with no host-side entry to clear it through.
 	if bp.TargetCond != "" {
 		if _, err := expr.Parse(bp.TargetCond); err != nil {
 			return fmt.Errorf("engine: breakpoint %s target condition: %w", bp.ID, err)
 		}
-		if s.remote != nil {
-			if err := s.remote.SetBreak(bp.ID, bp.TargetCond); err != nil {
-				return err
-			}
-			bp.onTarget = true
-		}
 	}
-	if bp.Event == protocol.EvInvalid && !bp.onTarget {
+	willArm := bp.TargetCond != "" && s.remote != nil
+	if bp.Event == protocol.EvInvalid && !willArm {
 		return fmt.Errorf("engine: breakpoint %s with no event type", bp.ID)
 	}
 	if bp.Cond != "" {
@@ -313,6 +312,12 @@ func (s *Session) SetBreakpoint(bp Breakpoint) error {
 			return fmt.Errorf("engine: breakpoint %s: %w", bp.ID, err)
 		}
 		bp.cond = node
+	}
+	if willArm {
+		if err := s.remote.SetBreak(bp.ID, bp.TargetCond); err != nil {
+			return err
+		}
+		bp.onTarget = true
 	}
 	bp.Enabled = true
 	for i, ex := range s.breaks {
@@ -343,15 +348,28 @@ func (s *Session) ClearBreakpoint(id string) error {
 					return err
 				}
 			}
-			s.breaks = append(s.breaks[:i], s.breaks[i+1:]...)
+			// Splice without leaving a dangling *Breakpoint in the backing
+			// array: the vacated tail slot is nil'd so the removed
+			// breakpoint becomes collectable and can never be resurrected
+			// by a later append into the shared backing storage.
+			copy(s.breaks[i:], s.breaks[i+1:])
+			s.breaks[len(s.breaks)-1] = nil
+			s.breaks = s.breaks[:len(s.breaks)-1]
 			return nil
 		}
 	}
 	return fmt.Errorf("engine: no breakpoint %q", id)
 }
 
-// Breakpoints returns the installed breakpoints.
-func (s *Session) Breakpoints() []*Breakpoint { return s.breaks }
+// Breakpoints returns the installed breakpoints. The slice is a copy:
+// callers may reorder or truncate it freely without corrupting the
+// session's matching order (the pointed-to breakpoints are still the live
+// ones — hit counters keep updating).
+func (s *Session) Breakpoints() []*Breakpoint {
+	out := make([]*Breakpoint, len(s.breaks))
+	copy(out, s.breaks)
+	return out
+}
 
 // Paused reports whether the session (and target) is paused.
 func (s *Session) Paused() bool { return s.paused }

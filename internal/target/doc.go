@@ -314,4 +314,60 @@
 // it, and internal/checkpoint composes both halves into one serialized
 // Checkpoint with periodic recording, input/command logs and
 // RewindTo/ReplayUntil on top.
+//
+// # Session lifecycle
+//
+// One debug session owns one board (repro.Debug) or one cluster
+// (repro.DebugCluster) plus its host half. Sessions exist in-process (the
+// gmdf CLI, tests) or multiplexed behind a farm server (internal/farm,
+// cmd/gmdfd), where many isolated sessions share one immutable compiled
+// program — codegen.Program is static IR; all mutable state (RAM, kernel,
+// machines, agent, trace) lives in the board/cluster and the session.
+// The lifecycle matrix, by operation × target shape × checkpoint state:
+//
+//	operation   single board                cluster
+//	create      compile (or reuse the       always compiled per model; one
+//	(fresh)     cached program), boot the   board per placed node on a shared
+//	            board, bind the standard    virtual clock, the standard TDMA
+//	            environment; t=0, empty     bus underneath; RecordMs (rewind)
+//	            trace                       is refused — reverse execution
+//	                                        needs the single-board recorder
+//	create      checkpoint.Apply onto the   ClusterCheckpoint.Apply; node set
+//	(from       freshly booted board: RAM,  must match the model's placement;
+//	digest)     kernel, agent, serial and   restore lands mid-TDMA-cycle with
+//	            the host trace land at      identical queue phase and future
+//	            cp.Time; the continuation   jitter/loss draws
+//	            is byte-identical to the
+//	            uninterrupted run
+//	attach      binds a connection as the   same; events from every node of
+//	            session's event stream      the cluster interleave in virtual-
+//	            sink; records already in    time order on the one stream
+//	            the trace are reported,
+//	            then new records stream
+//	            in run-boundary batches
+//	detach      destroys the session.       same; the checkpoint is the
+//	            With checkpoint=true the    cluster-wide snapshot (all boards,
+//	            final state is stored       frames mid-hop, bus cursors)
+//	            content-addressed (hex
+//	            SHA-256 of the serialized
+//	            checkpoint) and the digest
+//	            returned; without, the
+//	            state is dropped
+//	migrate     detach(checkpoint) in       identical — cluster checkpoints
+//	            process A, create(digest)   refuse only cross-exec-mode
+//	            in process B sharing the    restores (serial vs parallel
+//	            store directory; the        kernel shapes differ)
+//	            digest verifies on fetch
+//	            (re-hash), so a corrupt
+//	            store entry fails loudly
+//	            instead of replaying
+//	            wrongly
+//
+// Checkpoint-state column, orthogonally: a session with RecordMs enabled
+// (single board only) also keeps periodic in-process checkpoints and can
+// RewindTo/ReplayUntil within its recorded window; detach checkpoints are
+// one-shot full snapshots and work on any session at any run boundary.
+// Virtual time makes all of this deterministic: create-from-digest in a
+// fresh process and the original session produce byte-identical stable
+// traces, which the farm tests and the CI cross-process jobs diff.
 package target

@@ -1,0 +1,40 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comdes"
+)
+
+// Registry: the built-in models addressable by name — the same catalogue
+// the gmdf CLI offers — so the debug-farm server and the CLI build
+// identical systems (and therefore byte-identical traces) from the same
+// string. Each call returns a fresh, independent system; the expensive
+// shared artifact is the compiled program, cached by the caller.
+
+// Names lists the built-in model names in stable order.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var builders = map[string]func() (*comdes.System, error){
+	"heating": func() (*comdes.System, error) { return Heating(HeatingOptions{}) },
+	"traffic": TrafficLight,
+	"ring":    func() (*comdes.System, error) { return TokenRing(4) },
+	"dist":    Distributed,
+}
+
+// ByName builds the named built-in model.
+func ByName(name string) (*comdes.System, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return b()
+}
