@@ -1,0 +1,220 @@
+// Command benchgate parses `go test -bench` output into a stable JSON
+// form and gates performance regressions against a checked-in baseline.
+//
+// Two modes:
+//
+//	benchgate -in bench.out -json BENCH_8.json
+//	    Parse benchmark output and write the results as JSON (the
+//	    checked-in baseline format).
+//
+//	benchgate -in bench.out -baseline BENCH_8.json -key BenchmarkE7_Target/clean -max-regress 15
+//	    Compare the named benchmark in fresh output against the baseline
+//	    and exit non-zero when ns/op regressed by more than -max-regress
+//	    percent, or when allocs/op grew at all (allocation counts are
+//	    machine-independent, so any growth is a real regression).
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix (`BenchmarkE7_Target/clean-4` -> `BenchmarkE7_Target/clean`) so
+// baselines compare across machines with different core counts. When the
+// same benchmark appears multiple times (go test -count=N), the best
+// (minimum) ns/op is kept — the minimum is the least noisy estimate of
+// the true cost on a shared runner.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	HasMem      bool    `json:"hasMem,omitempty"` // -benchmem columns were present
+}
+
+// Report is the JSON document benchgate reads and writes.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches `BenchmarkName-N  iters  X ns/op [custom metrics] [Y B/op  Z allocs/op]`.
+// Custom ReportMetric columns (events/ms, target-cycles/ms, …) may appear
+// between ns/op and the -benchmem columns.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// gomaxprocsSuffix strips the trailing -N go test appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalize(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// parseBench reads `go test -bench` output, keeping the best ns/op per
+// normalized benchmark name.
+func parseBench(r io.Reader) (Report, error) {
+	var rep Report
+	best := map[string]int{} // name -> index into rep.Results
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: normalize(m[1])}
+		var err error
+		if res.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return rep, fmt.Errorf("benchgate: bad iteration count in %q: %w", line, err)
+		}
+		if res.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return rep, fmt.Errorf("benchgate: bad ns/op in %q: %w", line, err)
+		}
+		if m[4] != "" {
+			res.HasMem = true
+			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if i, ok := best[res.Name]; ok {
+			if res.NsPerOp < rep.Results[i].NsPerOp {
+				rep.Results[i] = res
+			}
+			continue
+		}
+		best[res.Name] = len(rep.Results)
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, sc.Err()
+}
+
+func (rep Report) find(name string) (Result, bool) {
+	for _, r := range rep.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// gate compares one benchmark in cur against base. It returns a
+// description of the comparison and an error when the gate fails.
+func gate(cur, base Report, key string, maxRegressPct float64) (string, error) {
+	c, ok := cur.find(key)
+	if !ok {
+		return "", fmt.Errorf("benchgate: %s not found in fresh benchmark output", key)
+	}
+	b, ok := base.find(key)
+	if !ok {
+		return "", fmt.Errorf("benchgate: %s not found in baseline", key)
+	}
+	if b.NsPerOp <= 0 {
+		return "", fmt.Errorf("benchgate: baseline %s has non-positive ns/op", key)
+	}
+	pct := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+	desc := fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f ns/op (%+.1f%%, limit +%.0f%%)",
+		key, c.NsPerOp, b.NsPerOp, pct, maxRegressPct)
+	if c.HasMem && b.HasMem {
+		desc += fmt.Sprintf("; %d allocs/op vs baseline %d", c.AllocsPerOp, b.AllocsPerOp)
+		if c.AllocsPerOp > b.AllocsPerOp {
+			return desc, fmt.Errorf("benchgate: %s allocs/op grew %d -> %d", key, b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+	if pct > maxRegressPct {
+		return desc, fmt.Errorf("benchgate: %s regressed %.1f%% (limit %.0f%%)", key, pct, maxRegressPct)
+	}
+	return desc, nil
+}
+
+func run() error {
+	in := flag.String("in", "", "benchmark output file (go test -bench ... | tee file); - for stdin")
+	jsonOut := flag.String("json", "", "write parsed results as JSON to this file")
+	baseline := flag.String("baseline", "", "baseline JSON file to gate against")
+	key := flag.String("key", "", "benchmark name to gate (normalized, e.g. BenchmarkE7_Target/clean)")
+	maxRegress := flag.Float64("max-regress", 15, "maximum allowed ns/op regression in percent")
+	flag.Parse()
+
+	if *in == "" {
+		return fmt.Errorf("benchgate: -in is required")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("benchgate: no benchmark lines found in %s", *in)
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %d results to %s\n", len(rep.Results), *jsonOut)
+	}
+
+	if *baseline != "" {
+		if *key == "" {
+			return fmt.Errorf("benchgate: -baseline requires -key")
+		}
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			return err
+		}
+		var base Report
+		if err := json.Unmarshal(buf, &base); err != nil {
+			return fmt.Errorf("benchgate: bad baseline %s: %w", *baseline, err)
+		}
+		desc, err := gate(rep, base, *key, *maxRegress)
+		if desc != "" {
+			fmt.Println("benchgate:", desc)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkE5_Host-4              	 4303826	       278.9 ns/op	      16 B/op	       1 allocs/op
+BenchmarkE7_Target/clean-4      	 8694662	       138.6 ns/op	        14.10 target-cycles/ms	       6 B/op	       0 allocs/op
+BenchmarkE7_Target/clean-interp-4	 7360216	       163.0 ns/op	       6 B/op	       0 allocs/op
+BenchmarkE7_Target/clean-4      	 8000000	       141.2 ns/op	       6 B/op	       0 allocs/op
+BenchmarkE7_Target/instrumented-4	 1000000	      1042 ns/op
+PASS
+ok  	repro	12.3s
+pkg: repro/internal/farm
+BenchmarkFarmSession-4          	     356	   3361768 ns/op	  201344 B/op	    2101 allocs/op
+PASS
+`
+
+func parseSample(t *testing.T) Report {
+	t.Helper()
+	rep, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseBench(t *testing.T) {
+	rep := parseSample(t)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Errorf("goos/goarch = %q/%q", rep.Goos, rep.Goarch)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Results) != 5 {
+		t.Fatalf("got %d results, want 5: %+v", len(rep.Results), rep.Results)
+	}
+
+	clean, ok := rep.find("BenchmarkE7_Target/clean")
+	if !ok {
+		t.Fatal("BenchmarkE7_Target/clean not found (GOMAXPROCS suffix not stripped?)")
+	}
+	// Two lines for the same benchmark (-count=2): the best run wins.
+	if clean.NsPerOp != 138.6 {
+		t.Errorf("clean ns/op = %v, want best-of 138.6", clean.NsPerOp)
+	}
+	if !clean.HasMem || clean.BytesPerOp != 6 || clean.AllocsPerOp != 0 {
+		t.Errorf("clean mem columns = %+v", clean)
+	}
+	if clean.Iterations != 8694662 {
+		t.Errorf("clean iterations = %d", clean.Iterations)
+	}
+
+	instr, ok := rep.find("BenchmarkE7_Target/instrumented")
+	if !ok {
+		t.Fatal("instrumented not found")
+	}
+	if instr.HasMem {
+		t.Error("instrumented had no -benchmem columns but HasMem is set")
+	}
+	if instr.NsPerOp != 1042 {
+		t.Errorf("instrumented ns/op = %v", instr.NsPerOp)
+	}
+
+	farm, ok := rep.find("BenchmarkFarmSession")
+	if !ok {
+		t.Fatal("BenchmarkFarmSession not found")
+	}
+	if farm.AllocsPerOp != 2101 {
+		t.Errorf("farm allocs/op = %d", farm.AllocsPerOp)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := parseSample(t)
+	const key = "BenchmarkE7_Target/clean"
+
+	fresh := func(ns float64, allocs int64) Report {
+		return Report{Results: []Result{{
+			Name: key, Iterations: 1, NsPerOp: ns,
+			BytesPerOp: 6, AllocsPerOp: allocs, HasMem: true,
+		}}}
+	}
+
+	if _, err := gate(fresh(140, 0), base, key, 15); err != nil {
+		t.Errorf("1%% slower within a 15%% limit should pass: %v", err)
+	}
+	if _, err := gate(fresh(120, 0), base, key, 15); err != nil {
+		t.Errorf("an improvement should pass: %v", err)
+	}
+	if _, err := gate(fresh(200, 0), base, key, 15); err == nil {
+		t.Error("44% regression must fail the gate")
+	}
+	if _, err := gate(fresh(140, 2), base, key, 15); err == nil {
+		t.Error("allocs/op growth must fail the gate even within the ns/op limit")
+	}
+	if _, err := gate(fresh(140, 0), base, "BenchmarkNope", 15); err == nil {
+		t.Error("missing key must fail")
+	}
+}

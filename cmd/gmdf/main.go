@@ -58,11 +58,16 @@ func run(args []string, out io.Writer) error {
 	rewindMs := fs.Uint64("rewind", 0, "after the run, rewind the session to this virtual millisecond and report the state there (enables periodic checkpointing)")
 	traceOut := fs.String("trace", "", "write the stable-format session trace here (checkpoint-replay determinism diffs)")
 	clusterExec := fs.String("cluster-exec", "auto", "multi-node execution mode: auto (parallel on a TDMA bus) | serial | parallel; traces are byte-identical across modes")
+	backend := fs.String("backend", "auto", "VM dispatch backend: auto|threaded (direct-threaded compiled bodies, the default) | interp (per-instruction interpreter escape hatch); both are bit-identical, threaded is faster")
 	connect := fs.String("connect", "", "drive a session on a gmdfd farm server at this address instead of an in-process board")
 	resume := fs.String("resume", "", "with -connect: resume a session from this checkpoint digest in the server's store")
 	detach := fs.Bool("detach", false, "with -connect: detach with a checkpoint after the run and print its digest")
 	digestOut := fs.String("digest-out", "", "with -connect -detach: also write the checkpoint digest to this file")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	be, err := target.ParseBackend(*backend)
+	if err != nil {
 		return err
 	}
 
@@ -136,7 +141,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runCluster(out, sys, *ms, exec, *traceOut, *checkpointOut, *restoreIn, *svgOut)
+		return runCluster(out, sys, *ms, exec, be, *traceOut, *checkpointOut, *restoreIn, *svgOut)
 	}
 
 	// Step 5 via the facade (compile + board + channel + session).
@@ -147,6 +152,7 @@ func run(args []string, out io.Writer) error {
 	dbg, err := repro.Debug(sys, repro.DebugConfig{
 		Transport:   tp,
 		Environment: repro.StandardEnvironment(sys.Name()),
+		Board:       target.Config{Backend: be},
 	})
 	if err != nil {
 		return err
@@ -282,8 +288,9 @@ func parseExec(mode string) (target.ExecMode, error) {
 // the one session's trace carries the slot-grid lane. The bus parameters
 // are the repro.StandardBus schedule, fixed so every run of the same model
 // is byte-deterministic (the CI replay jobs diff traces across processes).
-func runCluster(out io.Writer, sys *comdes.System, ms uint64, exec target.ExecMode, traceOut, checkpointOut, restoreIn, svgOut string) error {
+func runCluster(out io.Writer, sys *comdes.System, ms uint64, exec target.ExecMode, be target.Backend, traceOut, checkpointOut, restoreIn, svgOut string) error {
 	cfg := repro.StandardClusterConfig(sys.Nodes(), exec)
+	cfg.Board.Backend = be
 	dbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{Cluster: cfg})
 	if err != nil {
 		return err

@@ -72,6 +72,14 @@ func Compile(sys *comdes.System, opts Options) (*Program, error) {
 		}
 		c.prog.BusDropSym = sym
 	}
+	// Ahead-of-time backend: thread every unit's code now, while the
+	// Program is still exclusively owned, so the compiled form travels
+	// with the shared Program (the farm compiles once per model) and no
+	// later consumer ever mutates it concurrently.
+	for _, u := range c.prog.Units {
+		u.ThreadedInit = Thread(c.prog, u.Init)
+		u.ThreadedBody = Thread(c.prog, u.Body)
+	}
 	return c.prog, nil
 }
 
@@ -435,7 +443,13 @@ func (c *compiler) compileBinary(code *[]Instr, e *expr.Binary,
 	default:
 		return fmt.Errorf("unknown operator %q", e.Op)
 	}
-	*code = append(*code, Instr{Op: op, Line: line})
+	in := Instr{Op: op, Line: line}
+	if isArith(op) {
+		// Fold the operator byte into the instruction so the VM does not
+		// re-derive it on every execution.
+		in.A = int32(arithByte(op))
+	}
+	*code = append(*code, in)
 	return nil
 }
 

@@ -1,0 +1,209 @@
+package codegen
+
+// Peephole fusion for the threaded backend. The compiler's dominant
+// output shapes — basic-block assignments (Load sym; Push const; Arith;
+// Store sym), state-dispatch guards (Load sym; Push const; Cmp; JZ),
+// zero/constant initialisation (Push const; Store sym) and latch-style
+// copies (Load sym; Store sym) — each become one superinstruction: one
+// closure dispatch and one batched Steps/Cycles update instead of two to
+// four, with all intermediate stack traffic eliminated.
+//
+// Equivalence argument: every fused pattern has net-zero stack effect on
+// its success path AND on every error exit (the interpreter pops operands
+// before an Arith/Compare/Store/Load error surfaces), so the fused form
+// may keep intermediates in locals. Error exits charge exactly the
+// instructions the interpreter would have executed, leave the PC at the
+// failing instruction, and reproduce its error (including the
+// "codegen: pc %d" wrap). The runner de-fuses whenever a break hook is
+// armed or a budget/step-limit boundary could land strictly inside, so
+// preemption and halt-at-instruction semantics never observe a fused
+// region.
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+func isArith(o Op) bool { return o >= OpAdd && o <= OpMod }
+func isCmp(o Op) bool   { return o >= OpLT && o <= OpNE }
+
+// fuse scans code and attaches superinstruction closures to every pc where
+// a pattern begins. Overlapping matches are fine: a jump into the middle
+// of a fused region enters at that pc's own single-step node.
+func fuse(p *Program, code []Instr, nodes []tnode) {
+	next := func(pc int) *tnode {
+		if pc < 0 || pc >= len(code) {
+			return nil
+		}
+		return &nodes[pc]
+	}
+	for pc := 0; pc+1 < len(code); pc++ {
+		if pc+3 < len(code) &&
+			code[pc].Op == OpLoad && code[pc+1].Op == OpPush &&
+			isArith(code[pc+2].Op) && code[pc+3].Op == OpStore {
+			fuseLoadPushArithStore(p, code, pc, next, &nodes[pc])
+			continue
+		}
+		if pc+3 < len(code) &&
+			code[pc].Op == OpLoad && code[pc+1].Op == OpPush &&
+			isCmp(code[pc+2].Op) && code[pc+3].Op == OpJZ {
+			fuseLoadPushCmpJZ(p, code, pc, next, &nodes[pc])
+			continue
+		}
+		if code[pc].Op == OpPush && code[pc+1].Op == OpStore {
+			fusePushStore(p, code, pc, next, &nodes[pc])
+			continue
+		}
+		if code[pc].Op == OpLoad && code[pc+1].Op == OpStore {
+			fuseLoadStore(code, pc, next, &nodes[pc])
+		}
+	}
+}
+
+// fuseLoadPushArithStore: dst = src <op> const, the basic-block assignment
+// shape. 4 instructions, one dispatch, no stack traffic.
+func fuseLoadPushArithStore(p *Program, code []Instr, pc int, next func(int) *tnode, n *tnode) {
+	src := int(code[pc].A)
+	cv := p.Consts[code[pc+1].A]
+	aop := code[pc+2].Op
+	ab := byte(code[pc+2].A)
+	if ab == 0 {
+		ab = arithByte(aop)
+	}
+	dst := int(code[pc+3].A)
+	acyc := aop.Cycles()
+	after := next(pc + 4)
+	n.fusedLen = 4
+	n.fusedButLast = 4 + 1 + acyc
+	total := n.fusedButLast + 4
+	n.fused = func(m *Machine) (*tnode, error) {
+		av, err := m.Bus.LoadSym(src)
+		if err != nil {
+			m.Res.Steps++
+			m.Res.Cycles += 4
+			return nil, err
+		}
+		r, err := value.Arith(ab, av, cv)
+		if err != nil {
+			m.Res.Steps += 3
+			m.Res.Cycles += 5 + acyc
+			m.PC = pc + 2
+			return nil, fmt.Errorf("codegen: pc %d: %w", pc+2, err)
+		}
+		if err := m.Bus.StoreSym(dst, r); err != nil {
+			m.Res.Steps += 4
+			m.Res.Cycles += total
+			m.PC = pc + 3
+			return nil, err
+		}
+		m.Res.Steps += 4
+		m.Res.Cycles += total
+		m.PC = pc + 4
+		return after, nil
+	}
+}
+
+// fuseLoadPushCmpJZ: the state/guard dispatch shape — compare a symbol
+// against a constant and branch.
+func fuseLoadPushCmpJZ(p *Program, code []Instr, pc int, next func(int) *tnode, n *tnode) {
+	src := int(code[pc].A)
+	cv := p.Consts[code[pc+1].A]
+	cop := code[pc+2].Op
+	jpc := int(code[pc+3].A)
+	jn := next(jpc)
+	after := next(pc + 4)
+	n.fusedLen = 4
+	n.fusedButLast = 4 + 1 + 1
+	total := n.fusedButLast + 2
+	n.fused = func(m *Machine) (*tnode, error) {
+		av, err := m.Bus.LoadSym(src)
+		if err != nil {
+			m.Res.Steps++
+			m.Res.Cycles += 4
+			return nil, err
+		}
+		var r bool
+		switch cop {
+		case OpEQ:
+			r = value.Equal(av, cv)
+		case OpNE:
+			r = !value.Equal(av, cv)
+		default:
+			c, err := value.Compare(av, cv)
+			if err != nil {
+				m.Res.Steps += 3
+				m.Res.Cycles += 6
+				m.PC = pc + 2
+				return nil, fmt.Errorf("codegen: pc %d: %w", pc+2, err)
+			}
+			switch cop {
+			case OpLT:
+				r = c < 0
+			case OpLE:
+				r = c <= 0
+			case OpGT:
+				r = c > 0
+			default:
+				r = c >= 0
+			}
+		}
+		m.Res.Steps += 4
+		m.Res.Cycles += total
+		if !r {
+			m.PC = jpc
+			return jn, nil
+		}
+		m.PC = pc + 4
+		return after, nil
+	}
+}
+
+// fusePushStore: dst = const, the initialisation/zeroing shape.
+func fusePushStore(p *Program, code []Instr, pc int, next func(int) *tnode, n *tnode) {
+	cv := p.Consts[code[pc].A]
+	dst := int(code[pc+1].A)
+	after := next(pc + 2)
+	n.fusedLen = 2
+	n.fusedButLast = 1
+	n.fused = func(m *Machine) (*tnode, error) {
+		if err := m.Bus.StoreSym(dst, cv); err != nil {
+			m.Res.Steps += 2
+			m.Res.Cycles += 5
+			m.PC = pc + 1
+			return nil, err
+		}
+		m.Res.Steps += 2
+		m.Res.Cycles += 5
+		m.PC = pc + 2
+		return after, nil
+	}
+}
+
+// fuseLoadStore: dst = src, the copy shape of composite outputs and modal
+// passthroughs.
+func fuseLoadStore(code []Instr, pc int, next func(int) *tnode, n *tnode) {
+	src := int(code[pc].A)
+	dst := int(code[pc+1].A)
+	after := next(pc + 2)
+	n.fusedLen = 2
+	n.fusedButLast = 4
+	n.fused = func(m *Machine) (*tnode, error) {
+		v, err := m.Bus.LoadSym(src)
+		if err != nil {
+			m.Res.Steps++
+			m.Res.Cycles += 4
+			return nil, err
+		}
+		if err := m.Bus.StoreSym(dst, v); err != nil {
+			m.Res.Steps += 2
+			m.Res.Cycles += 8
+			m.PC = pc + 1
+			return nil, err
+		}
+		m.Res.Steps += 2
+		m.Res.Cycles += 8
+		m.PC = pc + 2
+		return after, nil
+	}
+}

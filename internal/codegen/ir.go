@@ -215,6 +215,13 @@ type Unit struct {
 	Init []Instr // run once at boot
 	Body []Instr // run every release
 
+	// ThreadedInit / ThreadedBody are the direct-threaded compiled forms
+	// of Init/Body, built eagerly by Compile and shared immutably by every
+	// machine (and every farm session) running this unit. Nil means the
+	// code could not be threaded; execution falls back to the interpreter.
+	ThreadedInit *Threaded `json:"-"`
+	ThreadedBody *Threaded `json:"-"`
+
 	// InLatch copies __io input symbols to latched input symbols at
 	// release; OutLatch copies working outputs to published symbols at the
 	// deadline.

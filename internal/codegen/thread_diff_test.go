@@ -1,0 +1,230 @@
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+	"repro/models"
+)
+
+// The differential gate of the threaded backend: for every registered
+// model, for fuzz-generated instruction sequences, and for budgeted slices
+// landing on every interior boundary of every fused superinstruction, the
+// interpreter and the threaded form must agree bit-for-bit — ExecResult
+// (cycles, steps, check cycles, emits, BreakPC), bus state, final PC, and
+// error text.
+
+// diffRun executes code once on each backend from identical zero-init
+// buses and compares everything observable.
+func diffRun(t *testing.T, tag string, p *Program, code []Instr, seed func(*MapBus)) {
+	t.Helper()
+	th := Thread(p, code)
+	if th == nil {
+		t.Fatalf("%s: Thread returned nil for valid code", tag)
+	}
+	ib, tb := NewMapBus(p.Symbols), NewMapBus(p.Symbols)
+	if seed != nil {
+		seed(ib)
+		seed(tb)
+	}
+	im := NewMachine(p, code, ib)
+	tm := NewMachine(p, code, tb)
+	tm.SetThreaded(th)
+	if !tm.ThreadedAttached() {
+		t.Fatalf("%s: threaded form did not attach", tag)
+	}
+	ires, ierr := im.Run()
+	tres, terr := tm.Run()
+	compareRuns(t, tag, im, tm, ires, tres, ierr, terr, ib, tb)
+}
+
+func compareRuns(t *testing.T, tag string, im, tm *Machine, ires, tres ExecResult, ierr, terr error, ib, tb *MapBus) {
+	t.Helper()
+	if (ierr == nil) != (terr == nil) || (ierr != nil && ierr.Error() != terr.Error()) {
+		t.Fatalf("%s: interp err = %v, threaded err = %v", tag, ierr, terr)
+	}
+	if ires.Cycles != tres.Cycles || ires.Steps != tres.Steps ||
+		ires.CheckCycles != tres.CheckCycles || ires.BreakPC != tres.BreakPC {
+		t.Fatalf("%s: interp result %+v, threaded result %+v", tag, ires, tres)
+	}
+	if len(ires.Emits) != len(tres.Emits) {
+		t.Fatalf("%s: interp %d emits, threaded %d", tag, len(ires.Emits), len(tres.Emits))
+	}
+	for i := range ires.Emits {
+		ie, te := ires.Emits[i], tres.Emits[i]
+		if ie.Template != te.Template || ie.HasValue != te.HasValue ||
+			(ie.HasValue && !value.Equal(ie.Value, te.Value)) {
+			t.Fatalf("%s: emit %d: interp %+v, threaded %+v", tag, i, ie, te)
+		}
+	}
+	if im.PC != tm.PC || im.Done() != tm.Done() {
+		t.Fatalf("%s: interp PC=%d done=%v, threaded PC=%d done=%v",
+			tag, im.PC, im.Done(), tm.PC, tm.Done())
+	}
+	for i := range ib.Vals {
+		if ib.Vals[i].Kind() != tb.Vals[i].Kind() || !value.Equal(ib.Vals[i], tb.Vals[i]) {
+			t.Fatalf("%s: symbol %s: interp %v, threaded %v",
+				tag, ib.Table.Sym(i).Name, ib.Vals[i], tb.Vals[i])
+		}
+	}
+}
+
+// TestThreadedMatchesInterpreterAllModels runs every unit of every
+// registered model — init and several body releases, clean and fully
+// instrumented — on both backends and requires identical results.
+func TestThreadedMatchesInterpreterAllModels(t *testing.T) {
+	for _, name := range models.Names() {
+		for _, instr := range []Instrument{{}, {StateEnter: true, Transitions: true, Signals: true, TaskEvents: true}} {
+			sys, err := models.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Compile(sys, Options{Instrument: instr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range prog.Units {
+				tag := fmt.Sprintf("%s(%v)/%s", name, instr.Any(), u.Name)
+				if u.ThreadedInit == nil || u.ThreadedBody == nil {
+					t.Fatalf("%s: Compile did not attach threaded forms", tag)
+				}
+				ib, tb := NewMapBus(prog.Symbols), NewMapBus(prog.Symbols)
+				im := NewMachine(prog, u.Init, ib)
+				tm := NewMachine(prog, u.Init, tb)
+				tm.SetThreaded(u.ThreadedInit)
+				ires, ierr := im.Run()
+				tres, terr := tm.Run()
+				compareRuns(t, tag+"/init", im, tm, ires, tres, ierr, terr, ib, tb)
+
+				// Several releases with evolving inputs: latch, run, compare.
+				rng := rand.New(rand.NewSource(0x5eed))
+				for rel := 0; rel < 5; rel++ {
+					for _, idx := range u.InputSyms {
+						v := value.F(float64(rng.Intn(80)) - 20)
+						_ = ib.StoreSym(idx, v)
+						_ = tb.StoreSym(idx, v)
+					}
+					for _, bus := range []*MapBus{ib, tb} {
+						for _, lp := range u.InLatch {
+							v, _ := bus.LoadSym(lp.Work)
+							_ = bus.StoreSym(lp.Out, v)
+						}
+					}
+					im, tm = NewMachine(prog, u.Body, ib), NewMachine(prog, u.Body, tb)
+					tm.SetThreaded(u.ThreadedBody)
+					ires, ierr = im.Run()
+					tres, terr = tm.Run()
+					compareRuns(t, fmt.Sprintf("%s/body@%d", tag, rel), im, tm, ires, tres, ierr, terr, ib, tb)
+				}
+			}
+		}
+	}
+}
+
+// fuzzProgram builds the symbol/const pool the generated sequences index.
+func fuzzProgram(t *testing.T) *Program {
+	t.Helper()
+	p := &Program{Symbols: NewSymbolTable()}
+	for i, k := range []value.Kind{value.Float, value.Int, value.Bool, value.Float, value.Int} {
+		if _, err := p.Symbols.Alloc(fmt.Sprintf("s%d", i), k, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []value.Value{
+		value.F(0), value.F(1.5), value.F(-3), value.I(0), value.I(7), value.B(true),
+	} {
+		p.Consts = append(p.Consts, v)
+	}
+	p.Events = []EventTemplate{{Source: "fuzz"}}
+	return p
+}
+
+// genCode emits one stack-disciplined random instruction sequence: a depth
+// counter keeps pops legal, forward jumps target the end of the sequence
+// (any leftover stack is fine), and the constant pool includes zeros so
+// division-by-zero error paths are exercised.
+func genCode(rng *rand.Rand, p *Program) []Instr {
+	var code []Instr
+	depth := 0
+	n := 4 + rng.Intn(24)
+	for i := 0; i < n; i++ {
+		switch pick := rng.Intn(10); {
+		case pick < 3 || depth == 0:
+			if rng.Intn(2) == 0 {
+				code = append(code, Instr{Op: OpPush, A: int32(rng.Intn(len(p.Consts)))})
+			} else {
+				code = append(code, Instr{Op: OpLoad, A: int32(rng.Intn(p.Symbols.Len()))})
+			}
+			depth++
+		case pick < 5 && depth >= 2:
+			op := []Op{OpAdd, OpSub, OpMul, OpDiv, OpMod, OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE}[rng.Intn(11)]
+			in := Instr{Op: op}
+			if isArith(op) {
+				in.A = int32(arithByte(op))
+			}
+			code = append(code, in)
+			depth--
+		case pick < 6:
+			code = append(code, Instr{Op: OpStore, A: int32(rng.Intn(p.Symbols.Len()))})
+			depth--
+		case pick < 7:
+			op := OpNeg
+			if rng.Intn(2) == 0 {
+				op = OpNot
+			}
+			code = append(code, Instr{Op: op})
+		case pick < 8:
+			// Forward branch to the end: the fall-through keeps its depth.
+			op := []Op{OpJZ, OpJNZ}[rng.Intn(2)]
+			code = append(code, Instr{Op: op, A: -1}) // patched below
+			depth--
+		case pick < 9 && depth >= 1:
+			code = append(code, Instr{Op: OpCall, A: 0, B: 1}) // abs/1
+		default:
+			code = append(code, Instr{Op: OpEmit, A: 0, B: 0})
+		}
+	}
+	for i := range code {
+		if (code[i].Op == OpJZ || code[i].Op == OpJNZ) && code[i].A == -1 {
+			code[i].A = int32(len(code))
+		}
+	}
+	return code
+}
+
+// TestThreadedMatchesInterpreterFuzz compares the backends over seeded
+// random instruction sequences, run to completion and in budget-1 slices.
+func TestThreadedMatchesInterpreterFuzz(t *testing.T) {
+	p := fuzzProgram(t)
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 400; iter++ {
+		code := genCode(rng, p)
+		tag := fmt.Sprintf("fuzz#%d", iter)
+		seed := func(b *MapBus) {
+			_ = b.StoreSym(0, value.F(2.25))
+			_ = b.StoreSym(1, value.I(-4))
+			_ = b.StoreSym(2, value.B(true))
+		}
+		diffRun(t, tag, p, code, seed)
+
+		// The same sequence again, single-cycle slices against the
+		// interpreter run — every instruction boundary is a preemption.
+		th := Thread(p, code)
+		ib, tb := NewMapBus(p.Symbols), NewMapBus(p.Symbols)
+		seed(ib)
+		seed(tb)
+		im, tm := NewMachine(p, code, ib), NewMachine(p, code, tb)
+		tm.SetThreaded(th)
+		var ierr, terr error
+		for guard := 0; !im.Done() && ierr == nil; guard++ {
+			if guard > 10_000 {
+				t.Fatalf("%s: sliced run does not terminate", tag)
+			}
+			_, ierr = im.RunBudget(1)
+			_, terr = tm.RunBudget(1)
+			compareRuns(t, tag+"/slice", im, tm, im.Res, tm.Res, ierr, terr, ib, tb)
+		}
+	}
+}

@@ -11,13 +11,19 @@ import (
 // and the VM (OpCall.A indexes this slice).
 var builtinNames = expr.Builtins()
 
-func builtinIndex(name string) (int32, bool) {
+// builtinIdx inverts builtinNames once at package init; the compiler and
+// the threaded backend resolve call sites through it in O(1).
+var builtinIdx = func() map[string]int32 {
+	m := make(map[string]int32, len(builtinNames))
 	for i, n := range builtinNames {
-		if n == name {
-			return int32(i), true
-		}
+		m[n] = int32(i)
 	}
-	return 0, false
+	return m
+}()
+
+func builtinIndex(name string) (int32, bool) {
+	i, ok := builtinIdx[name]
+	return i, ok
 }
 
 // Bus is the VM's access to symbol storage. The target board implements it
@@ -88,6 +94,13 @@ type Machine struct {
 	Res   ExecResult
 
 	halted bool
+
+	// threaded, when set, is the direct-threaded compiled form of Code;
+	// Run/RunBudget dispatch through it instead of the Step switch. All
+	// machine state (PC, stack, Res, halted) is shared between the two
+	// dispatch paths, so they interleave freely at instruction boundaries
+	// (Snapshot/Restore, external single-Step, slice resumption).
+	threaded *Threaded
 }
 
 // NewMachine prepares a VM run.
@@ -100,6 +113,9 @@ func NewMachine(p *Program, code []Instr, bus Bus) *Machine {
 // emit buffers (capacity retained) so a pooled machine executes a new
 // release without allocating.
 func (m *Machine) Reset(code []Instr) {
+	if m.threaded != nil && !m.threaded.matches(code) {
+		m.threaded = nil
+	}
 	m.Code = code
 	m.PC = 0
 	m.halted = false
@@ -107,6 +123,25 @@ func (m *Machine) Reset(code []Instr) {
 	emits := m.Res.Emits[:0]
 	m.Res = ExecResult{BreakPC: -1, Emits: emits}
 }
+
+// SetThreaded attaches a direct-threaded compiled form of the machine's
+// code; Run/RunBudget then dispatch through it. A form built for different
+// code (or nil) detaches, falling back to the interpreter. The Threaded
+// value is immutable and may be shared by any number of machines.
+func (m *Machine) SetThreaded(t *Threaded) {
+	if t != nil && !t.matches(m.Code) {
+		t = nil
+	}
+	m.threaded = t
+	if t != nil && t.emits > cap(m.Res.Emits) && len(m.Res.Emits) == 0 {
+		// Pre-size the machine-owned emit buffer to the body's worst case
+		// so OpEmit never grows it mid-run; Reset keeps the capacity.
+		m.Res.Emits = make([]EmitRef, 0, t.emits)
+	}
+}
+
+// ThreadedAttached reports whether Run/RunBudget use the threaded backend.
+func (m *Machine) ThreadedAttached() bool { return m.threaded != nil }
 
 // Done reports whether execution has finished.
 func (m *Machine) Done() bool { return m.halted || m.PC >= len(m.Code) }
@@ -163,7 +198,13 @@ func (m *Machine) Step() (bool, error) {
 		}
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 		b, a := m.pop(), m.pop()
-		r, err := value.Arith(arithByte(in.Op), a, b)
+		// The compiler folds the operator byte into A; hand-assembled code
+		// (A == 0) still derives it from the opcode.
+		ab := byte(in.A)
+		if ab == 0 {
+			ab = arithByte(in.Op)
+		}
+		r, err := value.Arith(ab, a, b)
 		if err != nil {
 			return false, fmt.Errorf("codegen: pc %d: %w", m.PC, err)
 		}
@@ -214,12 +255,12 @@ func (m *Machine) Step() (bool, error) {
 			return !m.Done(), nil
 		}
 	case OpCall:
+		// The top argc stack cells already sit in call order — pass them as
+		// an in-place window instead of copying into a fresh slice.
 		argc := int(in.B)
-		args := make([]value.Value, argc)
-		for i := argc - 1; i >= 0; i-- {
-			args[i] = m.pop()
-		}
-		r, err := expr.CallBuiltin(builtinNames[in.A], args)
+		base := len(m.stack) - argc
+		r, err := expr.CallBuiltin(builtinNames[in.A], m.stack[base:])
+		m.stack = m.stack[:base]
 		if err != nil {
 			return false, fmt.Errorf("codegen: pc %d: %w", m.PC, err)
 		}
@@ -273,6 +314,9 @@ func (m *Machine) Run() (ExecResult, error) {
 // board scheduler — a release interrupted at a budget boundary resumes at
 // the next instruction on the next call.
 func (m *Machine) RunBudget(budget uint64) (ExecResult, error) {
+	if m.threaded != nil {
+		return m.runThreaded(budget)
+	}
 	m.Res.BreakPC = -1
 	start := m.Res.Cycles
 	for {

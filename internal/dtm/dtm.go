@@ -12,7 +12,6 @@
 package dtm
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -56,14 +55,53 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// push enqueues an event — container/heap's Push specialised to the
+// element type, so the hot scheduling path does not box every event into
+// an interface (one heap allocation per scheduled callback).
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	a := *h
+	j := len(a) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !a.Less(j, i) {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		j = i
+	}
+}
+
+// pop dequeues the minimum event — container/heap's Pop specialised to
+// the element type. The vacated slot is zeroed so the heap does not pin
+// the popped callback's closure. Less is a strict total order
+// ((at, schedAt, seq) never ties), so the pop sequence is identical to
+// the generic implementation's.
+func (h *eventHeap) pop() event {
+	a := *h
+	last := len(a) - 1
+	a[0], a[last] = a[last], a[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && a.Less(r, l) {
+			m = r
+		}
+		if !a.Less(m, i) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	ev := a[last]
+	a[last] = event{}
+	*h = a[:last]
+	return ev
 }
 
 // Kernel is a single-threaded discrete-event simulator over nanosecond
@@ -119,7 +157,7 @@ func (k *Kernel) ScheduleTagged(at uint64, fn func(now uint64)) (uint64, error) 
 		return 0, fmt.Errorf("dtm: schedule at %d before now %d", at, k.now)
 	}
 	k.seq++
-	heap.Push(&k.pq, event{at: at, schedAt: k.now, seq: k.seq, fn: fn})
+	k.pq.push(event{at: at, schedAt: k.now, seq: k.seq, fn: fn})
 	return k.seq, nil
 }
 
@@ -134,7 +172,7 @@ func (k *Kernel) ScheduleAt(at, schedAt, seq uint64, fn func(now uint64)) error 
 	if at < k.now {
 		return fmt.Errorf("dtm: schedule at %d before now %d", at, k.now)
 	}
-	heap.Push(&k.pq, event{at: at, schedAt: schedAt, seq: seq, fn: fn})
+	k.pq.push(event{at: at, schedAt: schedAt, seq: seq, fn: fn})
 	return nil
 }
 
@@ -155,7 +193,7 @@ func (k *Kernel) Rearm(at, seq uint64, fn func(now uint64)) error {
 	} else if schedAt = k.now; at < schedAt {
 		schedAt = at
 	}
-	heap.Push(&k.pq, event{at: at, schedAt: schedAt, seq: seq, fn: fn})
+	k.pq.push(event{at: at, schedAt: schedAt, seq: seq, fn: fn})
 	return nil
 }
 
@@ -229,7 +267,7 @@ func (k *Kernel) Step() bool {
 
 // step pops and runs one event; the caller holds the running guard.
 func (k *Kernel) step() {
-	ev := heap.Pop(&k.pq).(event)
+	ev := k.pq.pop()
 	if ev.at > k.now {
 		k.now = ev.at
 	}
@@ -402,6 +440,11 @@ type Task struct {
 	// Preemptions counts the times a running job of this task was kicked
 	// off the CPU by a higher-priority release (FixedPriority only).
 	Preemptions uint64
+
+	// relFn caches the scheduler's release callback for this task so the
+	// periodic re-arm inside release() does not allocate a fresh closure
+	// every period. Owned by the scheduler the task is registered with.
+	relFn func(now uint64)
 	// ResponseNs / WorstResponseNs accumulate release-to-completion times
 	// (FixedPriority only): unlike ExecNs they include the time jobs spent
 	// waiting in the ready queue and being preempted.
@@ -528,7 +571,10 @@ func (s *Scheduler) Start() {
 	for _, t := range s.tasks {
 		task := t
 		at := s.K.Now() + task.Offset
-		seq, _ := s.K.ScheduleTagged(at, func(now uint64) { s.release(task, now) })
+		if task.relFn == nil {
+			task.relFn = func(now uint64) { s.release(task, now) }
+		}
+		seq, _ := s.K.ScheduleTagged(at, task.relFn)
 		s.nextRel[task] = relSlot{at: at, seq: seq}
 	}
 }
@@ -550,7 +596,7 @@ func (s *Scheduler) Resume() {
 	}
 	for _, j := range s.susp {
 		j.suspended = false
-		heap.Push(&s.ready, j)
+		s.ready.push(j)
 	}
 	s.susp = s.susp[:0]
 	s.dispatch(s.K.Now())
@@ -564,7 +610,10 @@ func (s *Scheduler) Suspended() bool { return len(s.susp) > 0 }
 
 func (s *Scheduler) release(t *Task, now uint64) {
 	// Schedule the next period first so halting never loses the rhythm.
-	seq, _ := s.K.ScheduleTagged(now+t.Period, func(n uint64) { s.release(t, n) })
+	if t.relFn == nil {
+		t.relFn = func(n uint64) { s.release(t, n) }
+	}
+	seq, _ := s.K.ScheduleTagged(now+t.Period, t.relFn)
 	s.nextRel[t] = relSlot{at: now + t.Period, seq: seq}
 	if s.halted {
 		return
@@ -577,7 +626,7 @@ func (s *Scheduler) release(t *Task, now uint64) {
 	if s.Policy == FixedPriority {
 		j := &job{t: t, release: now, seq: s.jobSeq, in: in}
 		s.jobSeq++
-		heap.Push(&s.ready, j)
+		s.ready.push(j)
 		s.unlatched = append(s.unlatched, j)
 		j.latchSeq, _ = s.K.ScheduleTagged(now+t.Deadline, func(n uint64) { s.latch(j, n) })
 		s.dispatch(now)
@@ -678,15 +727,49 @@ func (h jobHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*job)) }
-func (h *jobHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+
+// push and pop are container/heap's operations specialised to *job (no
+// interface boxing on the dispatch path); the vacated slot is nilled so
+// the queue does not pin finished jobs. The (Priority, seq) order is
+// strict and total, so pop order matches the generic implementation.
+func (h *jobHeap) push(j *job) {
+	*h = append(*h, j)
+	a := *h
+	c := len(a) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !a.Less(c, p) {
+			break
+		}
+		a[p], a[c] = a[c], a[p]
+		c = p
+	}
+}
+
+func (h *jobHeap) pop() *job {
+	a := *h
+	last := len(a) - 1
+	a[0], a[last] = a[last], a[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		m := l
+		if r := l + 1; r < last && a.Less(r, l) {
+			m = r
+		}
+		if !a.Less(m, i) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	j := a[last]
+	a[last] = nil
+	*h = a[:last]
+	return j
 }
 
 // nextPendingRelease returns the earliest release instant scheduled in the
@@ -716,7 +799,7 @@ func (s *Scheduler) dispatch(now uint64) {
 		_ = s.K.Schedule(now, func(n uint64) { s.dispatch(n) })
 		return
 	}
-	j := heap.Pop(&s.ready).(*job)
+	j := s.ready.pop()
 	s.running = j
 	var ctx uint64
 	if s.lastJob != j && s.CtxSwitchNs > 0 {
@@ -781,7 +864,7 @@ func (s *Scheduler) runSlice(j *job, now, budgetNs uint64) (uint64, bool, error)
 // higher priority is now ahead of it, that is a preemption.
 func (s *Scheduler) sliceEnd(j *job, now uint64) {
 	s.running = nil
-	heap.Push(&s.ready, j)
+	s.ready.push(j)
 	if s.halted {
 		return // frozen mid-body; Resume re-dispatches
 	}

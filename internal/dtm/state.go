@@ -1,7 +1,6 @@
 package dtm
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -248,7 +247,7 @@ func (s *Scheduler) Restore(st SchedulerState) error {
 		case j.suspended:
 			s.susp = append(s.susp, j)
 		case !j.done && !j.failed:
-			heap.Push(&s.ready, j)
+			s.ready.push(j)
 		}
 		if st.LastJob != nil && st.LastJob.Task == js.Task && st.LastJob.Seq == js.Seq {
 			s.lastJob = j

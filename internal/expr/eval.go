@@ -108,6 +108,19 @@ func CallBuiltin(name string, args []value.Value) (value.Value, error) {
 	return b.apply(args)
 }
 
+// BuiltinApply resolves the named intrinsic to its apply function when the
+// argument count is statically within arity, so an ahead-of-time compiler
+// can bind the call site once instead of re-resolving per invocation. It
+// returns nil when the name is unknown or nargs is out of range — callers
+// fall back to CallBuiltin, which produces the canonical error.
+func BuiltinApply(name string, nargs int) func(args []value.Value) (value.Value, error) {
+	b, ok := builtins[name]
+	if !ok || nargs < b.minArgs || nargs > b.maxArgs {
+		return nil
+	}
+	return b.apply
+}
+
 // Builtins returns the sorted names of all intrinsic functions.
 func Builtins() []string {
 	names := make([]string, 0, len(builtins))

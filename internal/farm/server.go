@@ -596,6 +596,7 @@ func (s *Server) handleCreate(raw json.RawMessage) (any, error) {
 		Model:   p.Model,
 		NowNs:   ss.now(),
 		Records: ss.engineSession().Trace.Len(),
+		Backend: ss.backend(),
 	}
 	if ss.cdbg != nil {
 		res.Nodes = ss.cdbg.Cluster.Nodes()

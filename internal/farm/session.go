@@ -58,6 +58,21 @@ func (ss *session) now() uint64 {
 	return ss.cdbg.Cluster.Now()
 }
 
+// backend reports the VM dispatch backend the session runs generated code
+// on: "threaded" only when every board of the session uses the compiled
+// form — a cluster with even one interpreter-bound node reports "interp".
+func (ss *session) backend() string {
+	if ss.dbg != nil {
+		return ss.dbg.Board.Backend()
+	}
+	for _, node := range ss.cdbg.Cluster.Nodes() {
+		if ss.cdbg.Cluster.Board(node).Backend() != "threaded" {
+			return "interp"
+		}
+	}
+	return "threaded"
+}
+
 func (ss *session) runNs(ns uint64) error {
 	if ss.dbg != nil {
 		return ss.dbg.RunNs(ns)

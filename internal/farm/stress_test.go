@@ -246,6 +246,11 @@ func TestFarmLoadSmoke(t *testing.T) {
 					if err != nil {
 						return err
 					}
+					// Farm sessions must run the compiled dispatch path; a
+					// silent interpreter fallback is a regression.
+					if created.Backend != "threaded" {
+						return fmt.Errorf("session %s (model %s) runs backend %q, want threaded", created.Session, model, created.Backend)
+					}
 					if _, err := cl.Attach(created.Session); err != nil {
 						return err
 					}
@@ -291,6 +296,9 @@ func BenchmarkFarmSession(b *testing.B) {
 		created, err := cl.Create(CreateParams{Model: "ring"})
 		if err != nil {
 			b.Fatal(err)
+		}
+		if created.Backend != "threaded" {
+			b.Fatalf("farm session runs backend %q, want threaded", created.Backend)
 		}
 		if _, err := cl.Attach(created.Session); err != nil {
 			b.Fatal(err)

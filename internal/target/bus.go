@@ -1,7 +1,9 @@
 package target
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"repro/internal/value"
 )
@@ -13,28 +15,89 @@ import (
 // the passive watch engine recovers model-level values with no target
 // cooperation.
 
+// symSlot is the flattened per-symbol access record built at NewBoard.
+// Bus loads and stores are the hottest board operations (every latch copy
+// and every VM OpLoad/OpStore goes through them), so the kind/addr pair is
+// kept in a compact table instead of copying the full Symbol struct — and
+// the decode/convert/encode pipeline is specialised per kind below.
+//
+// Symbols on a board can only be Float, Int or Bool: SymbolTable.Alloc
+// rejects any kind without a byte encoding. Converting to those kinds
+// never fails (the value accessors are total), so the fast paths are
+// exactly value.Convert + value.EncodeBytes / value.DecodeBytes with the
+// impossible error branches removed. Each symbol owns an 8-byte RAM slot
+// regardless of kind, so the 8-byte loads below never run off the image.
+type symSlot struct {
+	kind value.Kind
+	addr uint32
+}
+
 // LoadSym implements codegen.Bus: decode symbol idx from RAM.
 func (b *Board) LoadSym(idx int) (value.Value, error) {
-	if idx < 0 || idx >= b.Prog.Symbols.Len() {
+	if uint(idx) >= uint(len(b.slots)) {
 		return value.Value{}, fmt.Errorf("target: symbol index %d out of range", idx)
 	}
-	sym := b.Prog.Symbols.Sym(idx)
-	return value.DecodeBytes(sym.Kind, b.ram[sym.Addr:sym.Addr+sym.Size])
+	s := b.slots[idx]
+	switch s.kind {
+	case value.Float:
+		return value.F(math.Float64frombits(binary.LittleEndian.Uint64(b.ram[s.addr:]))), nil
+	case value.Int:
+		return value.I(int64(binary.LittleEndian.Uint64(b.ram[s.addr:]))), nil
+	default: // Bool
+		return value.B(b.ram[s.addr] != 0), nil
+	}
 }
 
 // StoreSym implements codegen.Bus: convert to the symbol's kind (the same
 // typing discipline as the reference interpreter) and encode into RAM.
 func (b *Board) StoreSym(idx int, v value.Value) error {
-	if idx < 0 || idx >= b.Prog.Symbols.Len() {
+	if uint(idx) >= uint(len(b.slots)) {
 		return fmt.Errorf("target: symbol index %d out of range", idx)
 	}
-	sym := b.Prog.Symbols.Sym(idx)
-	cv, err := value.Convert(v, sym.Kind)
-	if err != nil {
-		return fmt.Errorf("target: symbol %s: %w", sym.Name, err)
+	s := b.slots[idx]
+	switch s.kind {
+	case value.Float:
+		binary.LittleEndian.PutUint64(b.ram[s.addr:], math.Float64bits(v.Float()))
+	case value.Int:
+		binary.LittleEndian.PutUint64(b.ram[s.addr:], uint64(v.Int()))
+	default: // Bool
+		if v.Bool() {
+			b.ram[s.addr] = 1
+		} else {
+			b.ram[s.addr] = 0
+		}
 	}
-	_, err = value.EncodeBytes(cv, b.ram[sym.Addr:])
-	return err
+	return nil
+}
+
+// copySym copies symbol src's RAM slot into symbol dst — the latch fast
+// path (release input latching and deadline output latching copy whole
+// slots). For same-kind pairs it is bit-identical to LoadSym+StoreSym:
+// the 8-byte kinds round-trip through value.Value exactly, and the bool
+// byte is normalised to 0/1 the way encode(decode(b)) does. A kind
+// mismatch (never produced by the compiler's latch plans) falls back to
+// the full load/convert/store pipeline. Indexes must be valid.
+func (b *Board) copySym(src, dst int) {
+	ss, ds := b.slots[src], b.slots[dst]
+	if ss.kind != ds.kind {
+		v, err := b.LoadSym(src)
+		if err == nil {
+			err = b.StoreSym(dst, v)
+		}
+		if err != nil {
+			b.fail(err)
+		}
+		return
+	}
+	if ss.kind == value.Bool {
+		if b.ram[ss.addr] != 0 {
+			b.ram[ds.addr] = 1
+		} else {
+			b.ram[ds.addr] = 0
+		}
+		return
+	}
+	copy(b.ram[ds.addr:ds.addr+8], b.ram[ss.addr:ss.addr+8])
 }
 
 // boardRAM adapts the RAM image to the TAP's Memory interface. Debug-port

@@ -25,14 +25,7 @@ func (b *Board) release(u *codegen.Unit, now uint64) {
 	}
 	armed := len(b.agent.bps) > 0
 	for _, lp := range u.InLatch {
-		v, err := b.LoadSym(lp.Work)
-		if err != nil {
-			b.fail(err)
-			continue
-		}
-		if err := b.StoreSym(lp.Out, v); err != nil {
-			b.fail(err)
-		}
+		b.copySym(lp.Work, lp.Out)
 		if armed {
 			// Latch copies bypass the VM's store hook; predicates over the
 			// latched symbols get evaluated at the body's next check site.
@@ -298,15 +291,7 @@ func (b *Board) deadline(u *codegen.Unit, now uint64) {
 	b.Link.Advance(now)
 	b.reportDrops(now)
 	for _, lp := range u.OutLatch {
-		v, err := b.LoadSym(lp.Work)
-		if err != nil {
-			b.fail(err)
-			continue
-		}
-		if err := b.StoreSym(lp.Out, v); err != nil {
-			b.fail(err)
-			continue
-		}
+		b.copySym(lp.Work, lp.Out)
 		if tmpl, ok := u.SignalEvents[lp.Out]; ok {
 			published, err := b.LoadSym(lp.Out)
 			if err != nil {
@@ -326,16 +311,9 @@ func (b *Board) deadline(u *codegen.Unit, now uint64) {
 		if !ok {
 			continue
 		}
-		v, err := b.LoadSym(pub)
-		if err != nil {
-			b.fail(err)
-			continue
-		}
 		if dst, ok := b.units[bind.ToActor]; ok {
 			if in, ok := dst.InputSyms[bind.ToPort]; ok {
-				if err := b.StoreSym(in, v); err != nil {
-					b.fail(err)
-				}
+				b.copySym(pub, in)
 			}
 		}
 	}
