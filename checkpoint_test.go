@@ -574,6 +574,60 @@ func TestGoldenDistributedMidCycleRestore(t *testing.T) {
 	}
 }
 
+// TestClusterRewindReplaysDistributedTimeline enables whole-cluster
+// checkpointing on the distributed scenario, runs past several TDMA
+// cycles with lossy frames, rewinds to an instant off every grid and
+// replays to the horizon: the distributed trace and every node's bus
+// accounting must be byte-identical to the uninterrupted run — frame
+// losses replay from the restored bus RNG, not fresh draws.
+func TestClusterRewindReplaysDistributedTimeline(t *testing.T) {
+	dbg := distributedDebugger(t)
+	if _, err := dbg.EnableCheckpointing(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Run(120 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	fullTrace := dbg.Session.Trace.FormatStable()
+	fullSent, fullDropped := dbg.Cluster.Net.Sent, dbg.Cluster.Net.Dropped
+	if fullDropped == 0 {
+		t.Fatal("lossy distributed scenario dropped no frames — nothing non-trivial to replay")
+	}
+
+	const at = 61_300_001 // deliberately off every checkpoint and slice grid
+	landed, err := dbg.Session.RewindTo(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if landed != at || dbg.Cluster.Now() != at {
+		t.Fatalf("RewindTo landed at %d (cluster %d), want %d", landed, dbg.Cluster.Now(), at)
+	}
+	if !dbg.Recorder.Replaying() {
+		t.Fatal("expected replay mode below the frontier")
+	}
+	if prefix := dbg.Session.Trace.FormatStable(); !bytes.HasPrefix([]byte(fullTrace), []byte(prefix)) {
+		t.Fatal("rewound cluster trace is not a prefix of the original")
+	}
+
+	ok, err := dbg.Session.ReplayUntil(func(now uint64) bool { return now >= 120_000_000 }, 120_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("replay never reached the horizon (now %d)", dbg.Cluster.Now())
+	}
+	if got := dbg.Session.Trace.FormatStable(); got != fullTrace {
+		diffTraces(t, got, fullTrace)
+	}
+	if dbg.Cluster.Net.Sent != fullSent || dbg.Cluster.Net.Dropped != fullDropped {
+		t.Fatalf("replayed bus accounting %d sent/%d dropped, original %d/%d",
+			dbg.Cluster.Net.Sent, dbg.Cluster.Net.Dropped, fullSent, fullDropped)
+	}
+	if dbg.Recorder.Replaying() {
+		t.Error("recorder should have handed back to live mode at the frontier")
+	}
+}
+
 // TestPassiveWatcherCacheRestored is the regression test for the passive
 // JTAG watcher's prev-value cache: it is captured in SessionState (not
 // rebuilt on restore), so a restored passive session — same debugger or a

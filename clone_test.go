@@ -1,0 +1,145 @@
+package repro
+
+// Differential tests for the zero-serialization fork path: Clone() on a
+// checkpoint must be indistinguishable from a Marshal/Decode round trip.
+// The pin is byte-level — the clone marshals to the original's exact
+// bytes — at the three state shapes campaigns fork from: a FixedPriority
+// board mid-run with preempted jobs queued, a board halted at an
+// on-target breakpoint (suspended VM machine, hot agent breakpoint), and
+// a TDMA cluster mid-cycle with frames queued and in flight.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestCloneMatchesSerializedFormMidPreemption(t *testing.T) {
+	dbg := preemptDebugger(t)
+	// 40 ms into the interference scenario the hog is mid-release and
+	// lowly's preempted job sits in the ready queue.
+	if err := dbg.Run(40 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := dbg.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Board.Sched.Jobs) == 0 {
+		t.Fatal("not mid-release: no live jobs captured")
+	}
+	want, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.Clone().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("clone marshals differently:\nclone: %s\norig:  %s", got, want)
+	}
+
+	// No shared storage: running the original forward must not move the
+	// clone's serialized form.
+	clone := cp.Clone()
+	if err := dbg.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := dbg.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := cp2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(moved, want) {
+		t.Fatal("20 ms of execution left the checkpoint unchanged — the scenario is inert")
+	}
+	after, err := clone.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, want) {
+		t.Fatal("clone changed when the original debugger ran — shared storage")
+	}
+}
+
+func TestCloneMatchesSerializedFormHaltedAtBreakpoint(t *testing.T) {
+	dbg := heatingDebugger(t, Active)
+	if err := dbg.BreakOnState("clone-bp", "heater.thermostat", "Heating"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !dbg.Session.Paused() {
+		t.Fatal("on-target breakpoint never hit")
+	}
+	cp, err := dbg.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Board.Susp == nil {
+		t.Fatal("not halted mid-instruction: no suspended machine captured")
+	}
+	want, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.Clone().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("clone of a halted checkpoint marshals differently:\nclone: %s\norig:  %s", got, want)
+	}
+}
+
+func TestCloneMatchesSerializedFormMidTDMACycle(t *testing.T) {
+	dbg := distributedDebugger(t)
+	// 51 ms: a frame has just joined nodeA's TX queue or is on the wire
+	// (same instant the golden mid-cycle restore test uses).
+	if err := dbg.Run(51 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := dbg.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Cluster == nil || len(cp.Cluster.Net.Flights) == 0 {
+		t.Fatal("not mid-cycle: no frames queued or in flight")
+	}
+	want, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := cp.Clone()
+	got, err := clone.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cluster clone marshals differently:\nclone: %s\norig:  %s", got, want)
+	}
+
+	// A clone must restore and resume exactly like the serialized form:
+	// a fresh cluster restored from the clone replays the golden tail.
+	fresh := distributedDebugger(t)
+	if err := fresh.RestoreCheckpoint(clone); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Run(49 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbg.Run(49 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fresh.Session.Trace.FormatStable(), dbg.Session.Trace.FormatStable(); got != want {
+		diffTraces(t, got, want)
+	}
+}

@@ -45,6 +45,8 @@ type ClusterDebugger struct {
 	// The session polls them in sorted node order (deterministic traces);
 	// the first node's channel doubles as the session's RemoteDebug path.
 	Serials map[string]*engine.SerialSource
+	// Recorder is non-nil once EnableCheckpointing has run.
+	Recorder *checkpoint.ClusterRecorder
 }
 
 // clusterControl adapts a whole cluster to engine.TargetControl: the
@@ -151,8 +153,33 @@ func (d *ClusterDebugger) RunNs(durNs uint64) error {
 				return fmt.Errorf("repro: node %s: %w", n, err)
 			}
 		}
+		if d.Recorder != nil {
+			if err := d.Recorder.Observe(d.Cluster.Now()); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// EnableCheckpointing attaches a whole-cluster checkpoint recorder to the
+// session: an initial checkpoint is taken now and further ones every
+// interval of virtual time, while per-node environment inputs and wire
+// commands are logged. The session gains working RewindTo/ReplayUntil
+// over the distributed timeline — rewind below a bus incident and replay
+// the exact frame interleaving that produced it. Enable after arming
+// standing breakpoints so the initial checkpoint carries them.
+func (d *ClusterDebugger) EnableCheckpointing(interval time.Duration) (*checkpoint.ClusterRecorder, error) {
+	if d.Recorder != nil {
+		return d.Recorder, nil
+	}
+	rec, err := checkpoint.AttachCluster(d.Cluster, d.Session, d.Serials, uint64(interval.Nanoseconds()))
+	if err != nil {
+		return nil, err
+	}
+	d.Recorder = rec
+	d.Session.AttachRewinder(rec)
+	return rec, nil
 }
 
 // Checkpoint captures the complete distributed execution state — every

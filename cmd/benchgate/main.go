@@ -155,6 +155,7 @@ func run() error {
 	jsonOut := flag.String("json", "", "write parsed results as JSON to this file")
 	baseline := flag.String("baseline", "", "baseline JSON file to gate against")
 	key := flag.String("key", "", "benchmark name to gate (normalized, e.g. BenchmarkE7_Target/clean)")
+	keys := flag.String("keys", "", "comma-separated benchmark names to gate (adds to -key)")
 	maxRegress := flag.Float64("max-regress", 15, "maximum allowed ns/op regression in percent")
 	flag.Parse()
 
@@ -190,8 +191,17 @@ func run() error {
 	}
 
 	if *baseline != "" {
-		if *key == "" {
-			return fmt.Errorf("benchgate: -baseline requires -key")
+		var gateKeys []string
+		if *key != "" {
+			gateKeys = append(gateKeys, *key)
+		}
+		for _, k := range strings.Split(*keys, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				gateKeys = append(gateKeys, k)
+			}
+		}
+		if len(gateKeys) == 0 {
+			return fmt.Errorf("benchgate: -baseline requires -key or -keys")
 		}
 		buf, err := os.ReadFile(*baseline)
 		if err != nil {
@@ -201,12 +211,21 @@ func run() error {
 		if err := json.Unmarshal(buf, &base); err != nil {
 			return fmt.Errorf("benchgate: bad baseline %s: %w", *baseline, err)
 		}
-		desc, err := gate(rep, base, *key, *maxRegress)
-		if desc != "" {
-			fmt.Println("benchgate:", desc)
+		// Report every gate before failing, so one CI run shows the whole
+		// regression picture instead of the first tripwire.
+		var failed []error
+		for _, k := range gateKeys {
+			desc, err := gate(rep, base, k, *maxRegress)
+			if desc != "" {
+				fmt.Println("benchgate:", desc)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = append(failed, err)
+			}
 		}
-		if err != nil {
-			return err
+		if len(failed) > 0 {
+			return fmt.Errorf("benchgate: %d of %d gates failed", len(failed), len(gateKeys))
 		}
 	}
 	return nil

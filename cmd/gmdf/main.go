@@ -15,13 +15,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/campaign"
 	"repro/internal/checkpoint"
 	"repro/internal/comdes"
 	"repro/internal/core"
@@ -63,12 +67,35 @@ func run(args []string, out io.Writer) error {
 	resume := fs.String("resume", "", "with -connect: resume a session from this checkpoint digest in the server's store")
 	detach := fs.Bool("detach", false, "with -connect: detach with a checkpoint after the run and print its digest")
 	digestOut := fs.String("digest-out", "", "with -connect -detach: also write the checkpoint digest to this file")
+	campaignN := fs.Int("campaign", 0, "run a Monte Carlo campaign of this many variants forked from a shared warm checkpoint instead of one debug session; -ms is each variant's run budget")
+	campaignWorkers := fs.Int("campaign-workers", 0, "campaign worker count (0 = all cores); cannot change the aggregate")
+	campaignWarmMs := fs.Uint64("campaign-warm-ms", 50, "virtual milliseconds of shared warm-up before the fork point")
+	campaignSeed := fs.Uint64("campaign-seed", 2010, "campaign seed; every variant's parameter draws derive from it")
+	campaignLoss := fs.String("campaign-loss", "", "comma-separated bus loss rates (per-mille) to sweep, e.g. 0,100,400 (multi-node models)")
+	campaignJitterUs := fs.String("campaign-jitter-us", "", "comma-separated bus release jitter bounds (µs) to sweep (multi-node models)")
+	campaignRotate := fs.Bool("campaign-rotate-slots", false, "also rotate the TDMA slot-owner assignment per variant")
+	campaignShuffle := fs.Bool("campaign-shuffle-priorities", false, "permute task priorities per variant (single-board FixedPriority models)")
+	campaignMissBudget := fs.Int64("campaign-miss-budget", 0, "per-task deadline-miss tolerance (negative disables the check)")
+	campaignDropBudget := fs.Int64("campaign-drop-budget", -1, "cluster-wide frame-drop tolerance (negative disables the check)")
+	campaignShrink := fs.Bool("campaign-shrink", false, "binary-search each violating variant to its minimal repro window and attach the trace")
+	campaignOut := fs.String("campaign-out", "", "write the aggregate JSON here (default: stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	be, err := target.ParseBackend(*backend)
 	if err != nil {
 		return err
+	}
+
+	if *campaignN > 0 {
+		return runCampaign(out, campaignOpts{
+			model: *model, variants: *campaignN, workers: *campaignWorkers,
+			warmMs: *campaignWarmMs, runMs: *ms, seed: *campaignSeed,
+			loss: *campaignLoss, jitterUs: *campaignJitterUs,
+			rotate: *campaignRotate, shuffle: *campaignShuffle,
+			missBudget: *campaignMissBudget, dropBudget: *campaignDropBudget,
+			shrink: *campaignShrink, outPath: *campaignOut,
+		})
 	}
 
 	if *connect != "" {
@@ -131,9 +158,6 @@ func run(args []string, out io.Writer) error {
 		if *breakMachine != "" || *breakState != "" {
 			return fmt.Errorf("-break-machine/-break-state are not supported on multi-node models yet")
 		}
-		if *rewindMs > 0 {
-			return fmt.Errorf("-rewind needs the single-board recorder; multi-node models support -checkpoint/-restore")
-		}
 		if *transport == "passive" {
 			return fmt.Errorf("multi-node models debug over every node's active interface; -transport passive is not supported")
 		}
@@ -141,7 +165,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runCluster(out, sys, *ms, exec, be, *traceOut, *checkpointOut, *restoreIn, *svgOut)
+		return runCluster(out, sys, *ms, *rewindMs, exec, be, *traceOut, *checkpointOut, *restoreIn, *svgOut)
 	}
 
 	// Step 5 via the facade (compile + board + channel + session).
@@ -149,10 +173,12 @@ func run(args []string, out io.Writer) error {
 	if *transport == "passive" {
 		tp = repro.Passive
 	}
+	bcfg := repro.StandardBoardConfig(sys.Name())
+	bcfg.Backend = be
 	dbg, err := repro.Debug(sys, repro.DebugConfig{
 		Transport:   tp,
 		Environment: repro.StandardEnvironment(sys.Name()),
-		Board:       target.Config{Backend: be},
+		Board:       bcfg,
 	})
 	if err != nil {
 		return err
@@ -271,6 +297,85 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// campaignOpts is the -campaign mode configuration.
+type campaignOpts struct {
+	model                  string
+	variants, workers      int
+	warmMs, runMs, seed    uint64
+	loss, jitterUs         string
+	rotate, shuffle        bool
+	missBudget, dropBudget int64
+	shrink                 bool
+	outPath                string
+}
+
+// runCampaign forks -campaign variants from one warm checkpoint and
+// aggregates their observations. The aggregate JSON is a pure function of
+// the spec: the CI determinism job diffs it across runs and across
+// -campaign-workers settings.
+func runCampaign(out io.Writer, o campaignOpts) error {
+	spec := campaign.Spec{
+		Model: o.model, Variants: o.variants, Seed: o.seed,
+		WarmNs: o.warmMs * 1_000_000, RunNs: o.runMs * 1_000_000,
+		Workers:     o.workers,
+		RotateSlots: o.rotate, ShufflePriorities: o.shuffle,
+		MissBudget: o.missBudget, DropBudget: o.dropBudget,
+		Shrink: o.shrink,
+	}
+	for _, f := range strings.Split(o.loss, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad -campaign-loss entry %q: %w", f, err)
+		}
+		spec.Loss = append(spec.Loss, uint32(v))
+	}
+	for _, f := range strings.Split(o.jitterUs, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad -campaign-jitter-us entry %q: %w", f, err)
+		}
+		spec.JitterNs = append(spec.JitterNs, v*1000)
+	}
+
+	agg, err := campaign.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "campaign: %s, %d variants forked at t=%.0f ms, %d ms each\n",
+		agg.Model, agg.Variants, float64(agg.WarmNs)/1e6, o.runMs)
+	fmt.Fprintf(out, "violating=%d errors=%d drops=%d\n",
+		agg.Summary.Violating, agg.Summary.Errors, agg.Summary.TotalDrops)
+	for _, ts := range agg.Summary.Tasks {
+		name := ts.Task
+		if ts.Node != "" {
+			name = ts.Node + "/" + ts.Task
+		}
+		fmt.Fprintf(out, "task %s: worst response %.3f ms, %d misses across %d variants\n",
+			name, float64(ts.MaxWorstResponseNs)/1e6, ts.TotalMisses, ts.VariantsMissed)
+	}
+
+	buf, err := json.MarshalIndent(agg, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if o.outPath == "" {
+		_, err := out.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(o.outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote aggregate %s (%d bytes)\n", o.outPath, len(buf))
+	return nil
+}
+
 func parseExec(mode string) (target.ExecMode, error) {
 	switch mode {
 	case "auto":
@@ -288,7 +393,7 @@ func parseExec(mode string) (target.ExecMode, error) {
 // the one session's trace carries the slot-grid lane. The bus parameters
 // are the repro.StandardBus schedule, fixed so every run of the same model
 // is byte-deterministic (the CI replay jobs diff traces across processes).
-func runCluster(out io.Writer, sys *comdes.System, ms uint64, exec target.ExecMode, be target.Backend, traceOut, checkpointOut, restoreIn, svgOut string) error {
+func runCluster(out io.Writer, sys *comdes.System, ms, rewindMs uint64, exec target.ExecMode, be target.Backend, traceOut, checkpointOut, restoreIn, svgOut string) error {
 	cfg := repro.StandardClusterConfig(sys.Nodes(), exec)
 	cfg.Board.Backend = be
 	dbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{Cluster: cfg})
@@ -318,6 +423,13 @@ func runCluster(out io.Writer, sys *comdes.System, ms uint64, exec target.ExecMo
 			float64(dbg.Cluster.Now())/1e6, dbg.Session.Trace.Len())
 	}
 
+	if rewindMs > 0 {
+		// Periodic whole-cluster checkpoints + per-node input/command logs:
+		// the distributed session gains reverse execution.
+		if _, err := dbg.EnableCheckpointing(250 * time.Millisecond); err != nil {
+			return err
+		}
+	}
 	if err := dbg.RunNs(ms * 1_000_000); err != nil {
 		return err
 	}
@@ -362,6 +474,17 @@ func runCluster(out io.Writer, sys *comdes.System, ms uint64, exec target.ExecMo
 		}
 		traceWritten = true
 		fmt.Fprintf(out, "wrote trace %s (%d records)\n", traceOut, dbg.Session.Trace.Len())
+	}
+
+	if rewindMs > 0 {
+		landed, err := dbg.Session.RewindTo(rewindMs * 1_000_000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n== rewound to %.3f ms ==\n", float64(landed)/1e6)
+		fmt.Fprint(out, dbg.RenderASCII())
+		fmt.Fprintf(out, "trace now %d records; network: %d sent, %d lost\n",
+			dbg.Session.Trace.Len(), dbg.Cluster.Net.Sent, dbg.Cluster.Net.Dropped)
 	}
 	return nil
 }

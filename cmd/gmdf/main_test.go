@@ -75,7 +75,7 @@ func TestBadFlagsReturnError(t *testing.T) {
 		{"-model", "no-such-model", "-ms", "10"},
 		{"-model", "dist", "-ms", "10", "-cluster-exec", "bogus"},
 		{"-model", "dist", "-ms", "10", "-transport", "passive"},
-		{"-model", "dist", "-ms", "10", "-rewind", "5"},
+		{"-model", "dist", "-ms", "10", "-campaign", "4", "-campaign-loss", "bogus"},
 	} {
 		if err := run(args, io.Discard); err == nil {
 			t.Fatalf("run(%v) did not fail", args)

@@ -37,12 +37,13 @@ func run(args []string, out io.Writer) error {
 	store := fs.String("store", "", "checkpoint store directory; empty keeps checkpoints in memory only (detach/resume then works within this process, not across processes)")
 	httpAddr := fs.String("http", "", "optional HTTP address exposing /stats (JSON counters: sessions, attach-latency percentiles, events streamed)")
 	maxSessions := fs.Int("max-sessions", farm.DefaultMaxSessions, "maximum concurrently active sessions")
+	workers := fs.Int("workers", 0, "simulation worker pool size; bounds CPU used across all sessions (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "log per-connection and per-session lifecycle lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := farm.Options{StoreDir: *store, MaxSessions: *maxSessions}
+	opts := farm.Options{StoreDir: *store, MaxSessions: *maxSessions, Workers: *workers}
 	if *verbose {
 		opts.Logf = log.New(os.Stderr, "gmdfd: ", log.LstdFlags).Printf
 	}

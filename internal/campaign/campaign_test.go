@@ -1,0 +1,158 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// mustJSON marshals an aggregate for byte-comparison.
+func mustJSON(t *testing.T, a *Aggregate) string {
+	t.Helper()
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshal aggregate: %v", err)
+	}
+	return string(b)
+}
+
+func distSpec() Spec {
+	return Spec{
+		Model: "dist", Variants: 6, Seed: 2010,
+		WarmNs: 10_000_000, RunNs: 25_000_000,
+		Loss:        []uint32{0, 100, 400},
+		JitterNs:    []uint64{0, 20_000, 60_000},
+		RotateSlots: true,
+		MissBudget:  -1, DropBudget: 0,
+		Shrink: true, MaxRepros: 2,
+	}
+}
+
+// The aggregate must be a pure function of the spec: same spec twice ->
+// identical bytes, and the worker count must not leak into it.
+func TestCampaignDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	spec := distSpec()
+	spec.Workers = 1
+	first, err := Run(spec)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	second, err := Run(spec)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if a, b := mustJSON(t, first), mustJSON(t, second); a != b {
+		t.Fatalf("same spec, different aggregates:\n%s\n%s", a, b)
+	}
+	spec.Workers = 4
+	wide, err := Run(spec)
+	if err != nil {
+		t.Fatalf("run wide: %v", err)
+	}
+	if a, b := mustJSON(t, first), mustJSON(t, wide); a != b {
+		t.Fatalf("worker count leaked into the aggregate:\n%s\n%s", a, b)
+	}
+}
+
+// A lossy bus under a zero drop budget must produce violations, and the
+// shrinker must attach a minimal window with a non-empty repro trace.
+func TestCampaignFindsAndShrinksBusViolations(t *testing.T) {
+	spec := distSpec()
+	agg, err := Run(spec)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if agg.Summary.Errors > 0 {
+		for _, r := range agg.Results {
+			if r.Error != "" {
+				t.Fatalf("variant %d error: %s", r.Index, r.Error)
+			}
+		}
+	}
+	if agg.Summary.Violating == 0 {
+		t.Fatalf("expected drop-budget violations across %d lossy variants", spec.Variants)
+	}
+	shrunk := 0
+	for _, r := range agg.Results {
+		if r.ShrunkNs > 0 {
+			shrunk++
+			if r.ShrunkNs > spec.RunNs {
+				t.Fatalf("variant %d: shrunk window %d ns exceeds run budget %d ns", r.Index, r.ShrunkNs, spec.RunNs)
+			}
+			if r.ReproTrace == "" {
+				t.Fatalf("variant %d: shrunk without a repro trace", r.Index)
+			}
+			if len(r.Violations) == 0 {
+				t.Fatalf("variant %d: shrunk but records no violation", r.Index)
+			}
+		}
+	}
+	if shrunk == 0 {
+		t.Fatalf("no variant was shrunk (MaxRepros=%d, violating=%d)", spec.MaxRepros, agg.Summary.Violating)
+	}
+	if shrunk > spec.MaxRepros {
+		t.Fatalf("shrunk %d variants, budget was %d", shrunk, spec.MaxRepros)
+	}
+}
+
+// Priority shuffling on the FixedPriority interference model: the hog
+// starves lowly under the base assignment; some permutation flips the
+// priorities and rescues it. Both outcomes must appear across the fleet
+// and RTA verdicts must be attached.
+func TestCampaignPriorityShuffle(t *testing.T) {
+	spec := Spec{
+		Model: "priorityload", Variants: 8, Seed: 7,
+		WarmNs: 5_000_000, RunNs: 40_000_000,
+		ShufflePriorities: true,
+		MissBudget:        0, DropBudget: -1,
+	}
+	agg, err := Run(spec)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sawRTA := false
+	missedBy := map[string]bool{}
+	for _, r := range agg.Results {
+		if r.Error != "" {
+			t.Fatalf("variant %d error: %s", r.Index, r.Error)
+		}
+		if len(r.Prios) != 2 {
+			t.Fatalf("variant %d: want 2 shuffled priorities, got %v", r.Index, r.Prios)
+		}
+		for _, o := range r.Tasks {
+			if o.RTA {
+				sawRTA = true
+			}
+			if o.Misses > 0 {
+				missedBy[o.Task] = true
+			}
+		}
+	}
+	if !sawRTA {
+		t.Fatalf("no RTA verdicts on a FixedPriority board")
+	}
+	// Under the base assignment the hog starves lowly; the swapped
+	// permutation starves the hog instead. Both victims must appear, which
+	// proves the permutation reached the live ready queue.
+	if !missedBy["lowly"] || !missedBy["hog"] {
+		t.Fatalf("priority permutations did not flip the victim task (missedBy=%v)", missedBy)
+	}
+}
+
+// Stateful environments (the heating plant lives outside the checkpoint)
+// and bus sweeps on single-board models are spec errors, not silent
+// wrong answers.
+func TestCampaignSpecRejections(t *testing.T) {
+	_, err := Run(Spec{Model: "heating", Variants: 2, RunNs: 1_000_000})
+	if err == nil || !strings.Contains(err.Error(), "environment state") {
+		t.Fatalf("heating accepted: %v", err)
+	}
+	_, err = Run(Spec{Model: "priorityload", Variants: 2, RunNs: 1_000_000, Loss: []uint32{10}})
+	if err == nil || !strings.Contains(err.Error(), "single-board") {
+		t.Fatalf("bus sweep on a board accepted: %v", err)
+	}
+	_, err = Run(Spec{Model: "dist", Variants: 2, RunNs: 1_000_000, JitterNs: []uint64{100_000}})
+	if err == nil || !strings.Contains(err.Error(), "shortest slot") {
+		t.Fatalf("slot-overflowing jitter accepted: %v", err)
+	}
+}

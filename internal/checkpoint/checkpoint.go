@@ -65,6 +65,40 @@ type Checkpoint struct {
 	ClusterHost *ClusterHostState    `json:"clusterHost,omitempty"`
 }
 
+// Clone deep-copies the whole checkpoint in memory (nil-safe), composing
+// the per-layer Clone methods. This is the zero-serialization fork path:
+// cloning a warm checkpoint and restoring the clone is equivalent to a
+// Marshal/Decode round trip — the differential tests pin clones to the
+// original's exact Marshal bytes — at a fraction of the allocation cost,
+// which is what makes fleet-scale campaign forking cheap.
+func (c *Checkpoint) Clone() *Checkpoint {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	cp.Board = c.Board.Clone()
+	cp.Cluster = c.Cluster.Clone()
+	if c.Host != nil {
+		h := HostState{Session: c.Host.Session.Clone()}
+		if c.Host.Serial != nil {
+			s := c.Host.Serial.Clone()
+			h.Serial = &s
+		}
+		cp.Host = &h
+	}
+	if c.ClusterHost != nil {
+		h := ClusterHostState{Session: c.ClusterHost.Session.Clone()}
+		if c.ClusterHost.Serials != nil {
+			h.Serials = make(map[string]engine.SerialSourceState, len(c.ClusterHost.Serials))
+			for node, st := range c.ClusterHost.Serials {
+				h.Serials[node] = st.Clone()
+			}
+		}
+		cp.ClusterHost = &h
+	}
+	return &cp
+}
+
 // Encode writes the checkpoint's serialized form.
 func (c *Checkpoint) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)

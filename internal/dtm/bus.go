@@ -553,6 +553,20 @@ func (n *Network) retire(f *netFlight) {
 	}
 }
 
+// DropInflight discards every frame queued or on the wire without
+// delivering it. It exists for the state-forking path: a campaign variant
+// that re-parameterises the bus must SetSchedule before Restore, and
+// SetSchedule refuses while the previous run's frames are still in
+// flight. Dropping is only sound when the kernel is about to be Restored
+// too — the orphaned departure/delivery events die with the cleared event
+// queue.
+func (n *Network) DropInflight() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inflight = n.inflight[:0]
+	n.pending = nil
+}
+
 // Inflight returns the number of frames queued or on the wire.
 func (n *Network) Inflight() int {
 	n.mu.Lock()

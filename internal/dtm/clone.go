@@ -1,0 +1,95 @@
+package dtm
+
+import (
+	"maps"
+	"slices"
+
+	"repro/internal/value"
+)
+
+// In-memory deep copies of the explicit-state forms. Forking a simulation
+// variant from a warm checkpoint used to cost a JSON marshal/unmarshal
+// round trip; Clone duplicates the same object graph directly. The
+// contract (held by the checkpoint differential tests) is strict: a clone
+// marshals to exactly the bytes the original marshals to — which means
+// nil-ness of maps and slices is preserved, not normalized — and shares no
+// mutable storage with it.
+
+func cloneEncodedMap(m map[string]value.Encoded) map[string]value.Encoded {
+	return maps.Clone(m)
+}
+
+// Clone deep-copies the kernel state (the pending-event schedule table).
+func (st KernelState) Clone() KernelState {
+	cp := st
+	cp.SchedAts = maps.Clone(st.SchedAts)
+	return cp
+}
+
+// Clone deep-copies one job's state, including its input/output frames.
+func (st JobState) Clone() JobState {
+	cp := st
+	cp.In = cloneEncodedMap(st.In)
+	cp.Out = cloneEncodedMap(st.Out)
+	return cp
+}
+
+// Clone deep-copies one pending cooperative output latch.
+func (st PendingOutputState) Clone() PendingOutputState {
+	cp := st
+	cp.Out = cloneEncodedMap(st.Out)
+	return cp
+}
+
+// Clone deep-copies the scheduler state: task accounting, the live job
+// set with in/out frames, and the pending output latches.
+func (st SchedulerState) Clone() SchedulerState {
+	cp := st
+	cp.Tasks = slices.Clone(st.Tasks) // TaskState is a flat value
+	if st.Jobs != nil {
+		cp.Jobs = make([]JobState, len(st.Jobs))
+		for i := range st.Jobs {
+			cp.Jobs[i] = st.Jobs[i].Clone()
+		}
+	}
+	if st.LastJob != nil {
+		lj := *st.LastJob
+		cp.LastJob = &lj
+	}
+	if st.Pending != nil {
+		cp.Pending = make([]PendingOutputState, len(st.Pending))
+		for i := range st.Pending {
+			cp.Pending[i] = st.Pending[i].Clone()
+		}
+	}
+	return cp
+}
+
+// Clone deep-copies a bus schedule (nil-safe). Campaign variants mutate
+// the clone's seed, loss and jitter parameters; Network.Snapshot hands out
+// the live schedule pointer, so forking without this copy would
+// re-parameterise the running bus behind its back.
+func (s *BusSchedule) Clone() *BusSchedule {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	cp.Slots = slices.Clone(s.Slots)
+	return &cp
+}
+
+// Clone deep-copies the network state: frames in flight, slot cursors,
+// per-node stats and the TDMA schedule.
+func (st NetworkState) Clone() NetworkState {
+	cp := st
+	cp.Flights = slices.Clone(st.Flights) // FlightState is a flat value
+	cp.Cursor = maps.Clone(st.Cursor)
+	cp.Stats = maps.Clone(st.Stats)
+	cp.Sched = st.Sched.Clone()
+	return cp
+}
+
+// Clone deep-copies a store snapshot.
+func (st StoreState) Clone() StoreState {
+	return maps.Clone(st)
+}

@@ -331,6 +331,52 @@ func TestRewindOverWire(t *testing.T) {
 	}
 }
 
+// TestClusterRewindOverWire: a recorded TDMA cluster session rewinds to
+// an earlier instant and replaying forward reproduces the distributed
+// trace byte-for-byte — the wire-level half of cluster repro-shrinking.
+// Workers pins a small simulation pool so the test also covers the
+// pool-executed rewind path.
+func TestClusterRewindOverWire(t *testing.T) {
+	_, cl := startServer(t, Options{Workers: 2})
+	created, err := cl.Create(CreateParams{Model: "dist", RecordMs: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid := created.Session
+	run, err := cl.RunFor(sid, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cl.TraceStable(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Rewind(sid, 60_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LandedNs != 60_000_000 {
+		t.Fatalf("cluster rewind landed at %d", res.LandedNs)
+	}
+	if res.Records >= run.Records {
+		t.Fatalf("rewind did not truncate the trace (%d -> %d)", run.Records, res.Records)
+	}
+	replayed, err := cl.RunUntil(sid, 120_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Records != run.Records {
+		t.Fatalf("replayed trace has %d records, original had %d", replayed.Records, run.Records)
+	}
+	again, err := cl.TraceStable(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stable != full.Stable {
+		t.Fatal("replayed distributed trace differs from the original run")
+	}
+}
+
 // TestClusterSession: a placed multi-node model debugs as a TDMA cluster
 // session whose remote trace matches the in-process cluster run.
 func TestClusterSession(t *testing.T) {

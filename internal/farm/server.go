@@ -13,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/codegen"
+	"repro/internal/sched"
 	"repro/internal/target"
 	"repro/internal/trace"
 	"repro/models"
@@ -38,6 +39,13 @@ type Options struct {
 	// Logf, when set, receives one line per connection and session
 	// lifecycle event.
 	Logf func(format string, v ...any)
+	// Workers sizes the shared simulation worker pool (GOMAXPROCS when
+	// <=0). Every CPU-heavy request — run-until, step, rewind — executes
+	// on this pool, so total simulation parallelism stays bounded no
+	// matter how many clients are connected, and work stealing rebalances
+	// a session running seconds of virtual time against ones stepping a
+	// millisecond at a time.
+	Workers int
 }
 
 // Server multiplexes many isolated debug sessions behind the wire API.
@@ -48,6 +56,7 @@ type Options struct {
 type Server struct {
 	opts  Options
 	store *Store
+	pool  *sched.Pool
 
 	pmu      sync.Mutex
 	programs map[string]*codegen.Program
@@ -109,10 +118,21 @@ func NewServer(opts Options) (*Server, error) {
 	return &Server{
 		opts:     opts,
 		store:    store,
+		pool:     sched.NewPool(opts.Workers),
 		programs: make(map[string]*codegen.Program),
 		conns:    make(map[*conn]struct{}),
 		sessions: make(map[string]*session),
 	}, nil
+}
+
+// simDo hands one simulation advance to the shared worker pool and waits
+// for it. The request goroutine keeps holding ss.mu (per-session
+// isolation is unchanged); the closure runs on a pool worker and takes no
+// locks, so there is no ordering between the two mutexes to deadlock on.
+func (s *Server) simDo(fn func() error) error {
+	var err error
+	s.pool.Do(func(int) { err = fn() })
+	return err
 }
 
 // Store exposes the server's checkpoint store (tests, tooling).
@@ -197,6 +217,9 @@ func (s *Server) Close() error {
 		c.nc.Close()
 	}
 	s.wg.Wait()
+	// All request goroutines have drained, so nothing submits to the pool
+	// anymore and closing it cannot strand a blocked simDo.
+	s.pool.Close()
 	return nil
 }
 
@@ -354,7 +377,7 @@ func (s *Server) dispatch(c *conn, req *Request) (any, error) {
 		}
 		var err error
 		if until > ss.now() {
-			err = ss.runNs(until - ss.now())
+			err = s.simDo(func() error { return ss.runNs(until - ss.now()) })
 		}
 		s.flushStream(ss)
 		if err != nil {
@@ -367,7 +390,7 @@ func (s *Server) dispatch(c *conn, req *Request) (any, error) {
 		if err := unmarshalParams(req.Params, &p); err != nil {
 			return nil, err
 		}
-		err := ss.step(p)
+		err := s.simDo(func() error { return ss.step(p) })
 		s.flushStream(ss)
 		if err != nil {
 			return nil, err
@@ -402,7 +425,12 @@ func (s *Server) dispatch(c *conn, req *Request) (any, error) {
 		if toNs == 0 {
 			toNs = p.ToMs * 1_000_000
 		}
-		landed, err := ss.engineSession().RewindTo(toNs)
+		var landed uint64
+		err := s.simDo(func() error {
+			var rerr error
+			landed, rerr = ss.engineSession().RewindTo(toNs)
+			return rerr
+		})
 		s.flushStream(ss)
 		if err != nil {
 			return nil, err
@@ -515,9 +543,6 @@ func (s *Server) handleCreate(raw json.RawMessage) (any, error) {
 
 	ss := &session{model: p.Model, sys: sys}
 	if len(sys.Nodes()) > 1 {
-		if p.RecordMs != 0 {
-			return nil, fmt.Errorf("farm: rewind recording is single-board only; cluster sessions support checkpoint/resume")
-		}
 		exec := target.ExecAuto
 		switch p.Exec {
 		case "", "auto":
@@ -563,7 +588,14 @@ func (s *Server) handleCreate(raw json.RawMessage) (any, error) {
 		resumed = true
 	}
 	if p.RecordMs != 0 {
-		if _, err := ss.dbg.EnableCheckpointing(time.Duration(p.RecordMs) * time.Millisecond); err != nil {
+		// Enable after any restore, so the initial recorder checkpoint sits
+		// at the resumed instant rather than t=0.
+		interval := time.Duration(p.RecordMs) * time.Millisecond
+		if ss.dbg != nil {
+			if _, err := ss.dbg.EnableCheckpointing(interval); err != nil {
+				return nil, err
+			}
+		} else if _, err := ss.cdbg.EnableCheckpointing(interval); err != nil {
 			return nil, err
 		}
 	}

@@ -1,26 +1,49 @@
 package graphics
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 )
+
+// svgBufPool recycles render buffers across frames: the animation loop
+// renders every event batch (E5 measures frames per second), and without
+// the pool each frame re-grows a fresh buffer through the whole document
+// size. The only per-frame allocation left is the final string copy.
+var svgBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 16*1024)
+	return &b
+}}
 
 // SVG renders the scene to a standalone SVG document. Output is
 // deterministic for identical scenes (stable painter's order), which lets
 // tests compare animation frames byte-for-byte.
 func (sc *Scene) SVG() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
-		sc.W, sc.H, sc.W, sc.H)
-	b.WriteString(`<defs><marker id="ah" markerWidth="10" markerHeight="8" refX="9" refY="4" orient="auto"><path d="M0,0 L10,4 L0,8 z" fill="#222222"/></marker></defs>` + "\n")
+	bp := svgBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = append(buf, `<svg xmlns="http://www.w3.org/2000/svg" width="`...)
+	buf = appendG(buf, sc.W)
+	buf = append(buf, `" height="`...)
+	buf = appendG(buf, sc.H)
+	buf = append(buf, `" viewBox="0 0 `...)
+	buf = appendG(buf, sc.W)
+	buf = append(buf, ' ')
+	buf = appendG(buf, sc.H)
+	buf = append(buf, "\">\n"...)
+	buf = append(buf, `<defs><marker id="ah" markerWidth="10" markerHeight="8" refX="9" refY="4" orient="auto"><path d="M0,0 L10,4 L0,8 z" fill="#222222"/></marker></defs>`+"\n"...)
 	if sc.Title != "" {
-		fmt.Fprintf(&b, `<title>%s</title>`+"\n", xmlEscape(sc.Title))
+		buf = append(buf, `<title>`...)
+		buf = appendXMLEscaped(buf, sc.Title)
+		buf = append(buf, "</title>\n"...)
 	}
 	for _, s := range sc.Shapes() {
-		writeShapeSVG(&b, s)
+		buf = appendShapeSVG(buf, s)
 	}
-	b.WriteString("</svg>\n")
-	return b.String()
+	buf = append(buf, "</svg>\n"...)
+	out := string(buf)
+	*bp = buf[:0]
+	svgBufPool.Put(bp)
+	return out
 }
 
 func effectiveStyle(s *Shape) Style {
@@ -30,61 +53,172 @@ func effectiveStyle(s *Shape) Style {
 	return s.Style
 }
 
-func writeShapeSVG(b *strings.Builder, s *Shape) {
-	st := effectiveStyle(s)
+// appendG appends v exactly as fmt's %g verb prints it.
+func appendG(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendPaint appends the shared stroke/fill/width attribute run.
+func appendPaint(b []byte, st Style) []byte {
 	fill := st.Fill
 	if fill == "" {
 		fill = "none"
 	}
-	dash := ""
+	b = append(b, `stroke="`...)
+	b = append(b, st.Stroke...)
+	b = append(b, `" fill="`...)
+	b = append(b, fill...)
+	b = append(b, `" stroke-width="`...)
+	b = appendG(b, st.Width)
+	b = append(b, '"')
 	if st.Dashed {
-		dash = ` stroke-dasharray="4,3"`
+		b = append(b, ` stroke-dasharray="4,3"`...)
 	}
-	paint := fmt.Sprintf(`stroke="%s" fill="%s" stroke-width="%g"%s`, st.Stroke, fill, st.Width, dash)
+	return b
+}
+
+// appendID appends ` id=` plus the quoted, escaped shape ID exactly as
+// fmt's %q verb prints it.
+func appendID(b []byte, id string) []byte {
+	b = append(b, `id=`...)
+	return strconv.AppendQuote(b, xmlEscape(id))
+}
+
+func appendShapeSVG(b []byte, s *Shape) []byte {
+	st := effectiveStyle(s)
 	switch s.Kind {
 	case KindRect:
-		fmt.Fprintf(b, `<rect id=%q x="%g" y="%g" width="%g" height="%g" rx="3" %s/>`+"\n",
-			xmlEscape(s.ID), s.X, s.Y, s.W, s.H, paint)
+		b = append(b, `<rect `...)
+		b = appendID(b, s.ID)
+		b = append(b, ` x="`...)
+		b = appendG(b, s.X)
+		b = append(b, `" y="`...)
+		b = appendG(b, s.Y)
+		b = append(b, `" width="`...)
+		b = appendG(b, s.W)
+		b = append(b, `" height="`...)
+		b = appendG(b, s.H)
+		b = append(b, `" rx="3" `...)
+		b = appendPaint(b, st)
+		b = append(b, "/>\n"...)
 	case KindCircle:
 		cx, cy := s.Center()
-		r := minF(s.W, s.H) / 2
-		fmt.Fprintf(b, `<ellipse id=%q cx="%g" cy="%g" rx="%g" ry="%g" %s/>`+"\n",
-			xmlEscape(s.ID), cx, cy, s.W/2, s.H/2, paint)
-		_ = r
+		b = append(b, `<ellipse `...)
+		b = appendID(b, s.ID)
+		b = append(b, ` cx="`...)
+		b = appendG(b, cx)
+		b = append(b, `" cy="`...)
+		b = appendG(b, cy)
+		b = append(b, `" rx="`...)
+		b = appendG(b, s.W/2)
+		b = append(b, `" ry="`...)
+		b = appendG(b, s.H/2)
+		b = append(b, `" `...)
+		b = appendPaint(b, st)
+		b = append(b, "/>\n"...)
 	case KindTriangle:
-		fmt.Fprintf(b, `<polygon id=%q points="%g,%g %g,%g %g,%g" %s/>`+"\n",
-			xmlEscape(s.ID), s.X+s.W/2, s.Y, s.X, s.Y+s.H, s.X+s.W, s.Y+s.H, paint)
-	case KindArrow:
-		fmt.Fprintf(b, `<line id=%q x1="%g" y1="%g" x2="%g" y2="%g" %s marker-end="url(#ah)"/>`+"\n",
-			xmlEscape(s.ID), s.X, s.Y, s.X2, s.Y2, paint)
-	case KindLine:
-		fmt.Fprintf(b, `<line id=%q x1="%g" y1="%g" x2="%g" y2="%g" %s/>`+"\n",
-			xmlEscape(s.ID), s.X, s.Y, s.X2, s.Y2, paint)
+		b = append(b, `<polygon `...)
+		b = appendID(b, s.ID)
+		b = append(b, ` points="`...)
+		b = appendG(b, s.X+s.W/2)
+		b = append(b, ',')
+		b = appendG(b, s.Y)
+		b = append(b, ' ')
+		b = appendG(b, s.X)
+		b = append(b, ',')
+		b = appendG(b, s.Y+s.H)
+		b = append(b, ' ')
+		b = appendG(b, s.X+s.W)
+		b = append(b, ',')
+		b = appendG(b, s.Y+s.H)
+		b = append(b, `" `...)
+		b = appendPaint(b, st)
+		b = append(b, "/>\n"...)
+	case KindArrow, KindLine:
+		b = append(b, `<line `...)
+		b = appendID(b, s.ID)
+		b = append(b, ` x1="`...)
+		b = appendG(b, s.X)
+		b = append(b, `" y1="`...)
+		b = appendG(b, s.Y)
+		b = append(b, `" x2="`...)
+		b = appendG(b, s.X2)
+		b = append(b, `" y2="`...)
+		b = appendG(b, s.Y2)
+		b = append(b, `" `...)
+		b = appendPaint(b, st)
+		if s.Kind == KindArrow {
+			b = append(b, ` marker-end="url(#ah)"`...)
+		}
+		b = append(b, "/>\n"...)
 	case KindText:
-		fmt.Fprintf(b, `<text id=%q x="%g" y="%g" font-size="11" font-family="monospace" fill="%s">%s</text>`+"\n",
-			xmlEscape(s.ID), s.X, s.Y+s.H, st.Stroke, xmlEscape(s.Label))
-		return // label already emitted as content
+		b = append(b, `<text `...)
+		b = appendID(b, s.ID)
+		b = append(b, ` x="`...)
+		b = appendG(b, s.X)
+		b = append(b, `" y="`...)
+		b = appendG(b, s.Y+s.H)
+		b = append(b, `" font-size="11" font-family="monospace" fill="`...)
+		b = append(b, st.Stroke...)
+		b = append(b, `">`...)
+		b = appendXMLEscaped(b, s.Label)
+		b = append(b, "</text>\n"...)
+		return b // label already emitted as content
 	}
 	if s.Label != "" {
 		cx, cy := s.Center()
-		fmt.Fprintf(b, `<text x="%g" y="%g" font-size="11" font-family="monospace" text-anchor="middle" fill="#111111">%s</text>`+"\n",
-			cx, cy+4, xmlEscape(s.Label))
+		b = append(b, `<text x="`...)
+		b = appendG(b, cx)
+		b = append(b, `" y="`...)
+		b = appendG(b, cy+4)
+		b = append(b, `" font-size="11" font-family="monospace" text-anchor="middle" fill="#111111">`...)
+		b = appendXMLEscaped(b, s.Label)
+		b = append(b, "</text>\n"...)
 	}
 	if s.Badge != "" {
 		cx, _ := s.Center()
-		fmt.Fprintf(b, `<text x="%g" y="%g" font-size="9" font-family="monospace" text-anchor="middle" fill="#005500">%s</text>`+"\n",
-			cx, s.Y+s.H+11, xmlEscape(s.Badge))
-	}
-}
-
-func xmlEscape(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
-	return r.Replace(s)
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
+		b = append(b, `<text x="`...)
+		b = appendG(b, cx)
+		b = append(b, `" y="`...)
+		b = appendG(b, s.Y+s.H+11)
+		b = append(b, `" font-size="9" font-family="monospace" text-anchor="middle" fill="#005500">`...)
+		b = appendXMLEscaped(b, s.Badge)
+		b = append(b, "</text>\n"...)
 	}
 	return b
+}
+
+// appendXMLEscaped appends s with XML special characters escaped,
+// byte-identical to xmlEscape but without the intermediate string.
+func appendXMLEscaped(b []byte, s string) []byte {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '"':
+			esc = "&quot;"
+		case '\'':
+			esc = "&apos;"
+		default:
+			continue
+		}
+		b = append(b, s[start:i]...)
+		b = append(b, esc...)
+		start = i + 1
+	}
+	return append(b, s[start:]...)
+}
+
+// xmlReplacer is built once: a strings.Replacer compiles its search
+// structure on first use, which used to happen per call.
+var xmlReplacer = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+
+func xmlEscape(s string) string {
+	return xmlReplacer.Replace(s)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Frame layout (before byte stuffing), after SOF:
@@ -242,6 +243,14 @@ type DecoderState struct {
 	Esc     bool   `json:"esc,omitempty"`
 	Noise   bool   `json:"noise,omitempty"`
 	Errors  int    `json:"errors,omitempty"`
+}
+
+// Clone deep-copies the deframing state (partial frame body duplicated,
+// nil-ness preserved).
+func (st DecoderState) Clone() DecoderState {
+	cp := st
+	cp.Body = slices.Clone(st.Body)
+	return cp
 }
 
 // Snapshot captures the deframing state. Decoded-but-undrained messages

@@ -1,0 +1,187 @@
+// Package sched is a work-stealing task executor for fleet-scale
+// simulation: N workers, each with its own double-ended task queue. A
+// worker pushes and pops its own deque LIFO at the tail (hot forks stay
+// cache-warm); a worker that runs dry steals half the oldest tasks from
+// the largest victim's head, so heterogeneous task runtimes (a campaign
+// variant that trips its shrink search next to one that runs clean, a
+// farm session stepping 1 ms next to one running 10 s) rebalance without
+// a central dispatcher becoming the bottleneck.
+//
+// The deques are guarded by one mutex + condition variable rather than
+// per-deque atomics: the tasks this pool exists for are whole simulation
+// runs (hundreds of microseconds to seconds each), so queue operations
+// are ice-cold by comparison, and the single lock makes the
+// empty-vs-sleeping transition free of lost-wakeup hazards under the race
+// detector.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size work-stealing worker pool.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]func(worker int)
+	closed bool
+	steals uint64
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with the given number of workers (<=0 means
+// GOMAXPROCS). Close releases the workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{deques: make([][]func(worker int), workers)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.work(w)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.deques) }
+
+// Steals returns the number of steal transfers performed so far.
+func (p *Pool) Steals() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.steals
+}
+
+// Submit enqueues one task. The task receives the index of the worker
+// that ends up running it (0..Workers-1), so callers can keep per-worker
+// state (a campaign keeps one warm simulator instance per worker). Tasks
+// submitted from outside land on worker 0's deque and spread by stealing;
+// a task submitted from inside a worker lands on that worker's own deque.
+func (p *Pool) Submit(fn func(worker int)) {
+	p.push(0, fn)
+}
+
+// push appends a task to one worker's deque tail.
+func (p *Pool) push(w int, fn func(worker int)) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: Submit on closed Pool")
+	}
+	p.deques[w] = append(p.deques[w], fn)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Do submits a task and blocks until it has run.
+func (p *Pool) Do(fn func(worker int)) {
+	done := make(chan struct{})
+	p.Submit(func(w int) {
+		defer close(done)
+		fn(w)
+	})
+	<-done
+}
+
+// ForEach runs fn(worker, i) for i in [0, n) across the pool and returns
+// when all calls have finished. Tasks are dealt round-robin across the
+// deques up front so every worker starts busy; stealing evens out the
+// tail. It must not be called from inside a pool task (the barrier would
+// deadlock a worker waiting on itself).
+func (p *Pool) ForEach(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: ForEach on closed Pool")
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		w := i % len(p.deques)
+		p.deques[w] = append(p.deques[w], func(worker int) {
+			defer wg.Done()
+			fn(worker, i)
+		})
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	wg.Wait()
+}
+
+// Close drains nothing: tasks already queued still run, then the workers
+// exit. Close blocks until they have.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// next pops the calling worker's own deque LIFO, or steals half of the
+// largest victim's deque FIFO, or sleeps. Returns nil when the pool is
+// closed and no work remains.
+func (p *Pool) next(w int) func(worker int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		// Own deque first, newest task first.
+		if q := p.deques[w]; len(q) > 0 {
+			fn := q[len(q)-1]
+			q[len(q)-1] = nil
+			p.deques[w] = q[:len(q)-1]
+			return fn
+		}
+		// Steal half (rounded up) of the oldest tasks from the deepest
+		// deque: oldest-first keeps the victim's cache-warm tail local to
+		// it, and taking half amortizes the steal over several tasks.
+		victim, depth := -1, 0
+		for v := range p.deques {
+			if v != w && len(p.deques[v]) > depth {
+				victim, depth = v, len(p.deques[v])
+			}
+		}
+		if victim >= 0 {
+			take := (depth + 1) / 2
+			q := p.deques[victim]
+			fn := q[0]
+			moved := q[1:take]
+			p.deques[w] = append(p.deques[w], moved...)
+			rest := q[take:]
+			copy(q, rest)
+			for i := len(rest); i < len(q); i++ {
+				q[i] = nil
+			}
+			p.deques[victim] = q[:len(rest)]
+			p.steals++
+			if len(moved) > 0 {
+				// The transferred tasks may be runnable by other idle
+				// workers too.
+				p.cond.Broadcast()
+			}
+			return fn
+		}
+		if p.closed {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Pool) work(w int) {
+	defer p.wg.Done()
+	for {
+		fn := p.next(w)
+		if fn == nil {
+			return
+		}
+		fn(w)
+	}
+}

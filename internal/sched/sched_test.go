@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1000
+	var hits [n]int32
+	p.ForEach(n, func(worker, i int) {
+		if worker < 0 || worker >= p.Workers() {
+			t.Errorf("task %d ran on out-of-range worker %d", i, worker)
+		}
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, h)
+		}
+	}
+}
+
+func TestStealingSpreadsWork(t *testing.T) {
+	// All tasks are submitted to worker 0's deque; with 4 workers and
+	// blocking tasks, the others can only make progress by stealing.
+	p := NewPool(4)
+	defer p.Close()
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	var busy [64]int32 // per-worker task counts
+	for i := 0; i < n; i++ {
+		p.Submit(func(worker int) {
+			defer wg.Done()
+			atomic.AddInt32(&busy[worker], 1)
+			time.Sleep(time.Millisecond)
+		})
+	}
+	wg.Wait()
+	if p.Steals() == 0 {
+		t.Fatalf("no steals recorded; all %d tasks stayed on the submitting deque", n)
+	}
+	var total int32
+	for _, b := range busy {
+		total += b
+	}
+	if total != n {
+		t.Fatalf("ran %d tasks, want %d", total, n)
+	}
+}
+
+func TestDoBlocksUntilDone(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	v := 0
+	p.Do(func(int) { v = 42 })
+	if v != 42 {
+		t.Fatalf("Do returned before the task ran (v=%d)", v)
+	}
+}
+
+func TestCloseWaitsForQueuedWork(t *testing.T) {
+	p := NewPool(2)
+	var done int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		p.Submit(func(int) {
+			defer wg.Done()
+			atomic.AddInt32(&done, 1)
+		})
+	}
+	wg.Wait()
+	p.Close()
+	if done != 16 {
+		t.Fatalf("ran %d of 16 queued tasks before Close returned", done)
+	}
+}

@@ -449,6 +449,14 @@ func (b *Board) CtxSwitches() uint64 { return b.sched.CtxSwitches }
 // response-time accounting per actor).
 func (b *Board) Tasks() []*dtm.Task { return b.sched.Tasks() }
 
+// ResponseTimeAnalysis runs the scheduler's response-time analysis over
+// the board's task set with its configured context-switch cost, so a
+// campaign can compare each variant's observed response times against
+// analytic bounds computed under that variant's priority assignment.
+func (b *Board) ResponseTimeAnalysis() ([]dtm.RTAResult, error) {
+	return b.sched.ResponseTimeAnalysis()
+}
+
 // WriteInput writes a value to an actor input port (the environment's
 // sensor path); it lands in the __io symbol and is latched at the actor's
 // next release.

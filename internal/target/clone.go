@@ -1,0 +1,93 @@
+package target
+
+import (
+	"slices"
+
+	"repro/internal/dtm"
+)
+
+// In-memory deep copies of the board and cluster state forms, composing
+// the lower layers' Clone methods. Same contract as those: a clone
+// marshals to exactly the bytes the original marshals to (nil maps and
+// slices stay nil — BoardState.RAM and ClusterState.Boards serialize
+// without omitempty, so nil-ness is visible on the wire) and shares no
+// mutable storage with the original.
+
+// Clone deep-copies one unit's mid-release VM state.
+func (st UnitExecState) Clone() UnitExecState {
+	cp := st
+	cp.Prev = st.Prev.Clone()
+	if st.M != nil {
+		m := st.M.Clone()
+		cp.M = &m
+	}
+	return cp
+}
+
+// Clone deep-copies a suspended release.
+func (st SuspState) Clone() SuspState {
+	cp := st
+	cp.Prev = st.Prev.Clone()
+	cp.M = st.M.Clone()
+	return cp
+}
+
+// Clone deep-copies the breakpoint agent's state.
+func (st AgentState) Clone() AgentState {
+	cp := st
+	cp.Breaks = slices.Clone(st.Breaks) // BreakState is a flat value
+	return cp
+}
+
+// Clone deep-copies a complete board state (nil-safe).
+func (st *BoardState) Clone() *BoardState {
+	if st == nil {
+		return nil
+	}
+	cp := *st
+	if st.Kernel != nil {
+		k := st.Kernel.Clone()
+		cp.Kernel = &k
+	}
+	cp.Sched = st.Sched.Clone()
+	cp.RAM = slices.Clone(st.RAM)
+	cp.Link = st.Link.Clone()
+	cp.Dec = st.Dec.Clone()
+	cp.Agent = st.Agent.Clone()
+	if st.Units != nil {
+		cp.Units = make(map[string]UnitExecState, len(st.Units))
+		for name, ue := range st.Units {
+			cp.Units[name] = ue.Clone()
+		}
+	}
+	if st.Susp != nil {
+		s := st.Susp.Clone()
+		cp.Susp = &s
+	}
+	cp.Deferred = slices.Clone(st.Deferred)
+	return &cp
+}
+
+// Clone deep-copies a complete cluster state (nil-safe): the shared
+// kernel, the network with frames in flight, every board and every inbox.
+func (st *ClusterState) Clone() *ClusterState {
+	if st == nil {
+		return nil
+	}
+	cp := *st
+	cp.Kernel = st.Kernel.Clone()
+	cp.Net = st.Net.Clone()
+	if st.Boards != nil {
+		cp.Boards = make(map[string]*BoardState, len(st.Boards))
+		for node, bs := range st.Boards {
+			cp.Boards[node] = bs.Clone()
+		}
+	}
+	if st.Inboxes != nil {
+		cp.Inboxes = make(map[string]dtm.StoreState, len(st.Inboxes))
+		for node, inb := range st.Inboxes {
+			cp.Inboxes[node] = inb.Clone()
+		}
+	}
+	return &cp
+}

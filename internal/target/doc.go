@@ -377,9 +377,9 @@
 //	create      compile (or reuse the       always compiled per model; one
 //	(fresh)     cached program), boot the   board per placed node on a shared
 //	            board, bind the standard    virtual clock, the standard TDMA
-//	            environment; t=0, empty     bus underneath; RecordMs (rewind)
-//	            trace                       is refused — reverse execution
-//	                                        needs the single-board recorder
+//	            environment; t=0, empty     bus underneath; RecordMs attaches
+//	            trace                       the whole-cluster recorder
+//	                                        (checkpoint.ClusterRecorder)
 //	create      checkpoint.Apply onto the   ClusterCheckpoint.Apply; node set
 //	(from       freshly booted board: RAM,  must match the model's placement;
 //	digest)     kernel, agent, serial and   restore lands mid-TDMA-cycle with
@@ -412,10 +412,62 @@
 //	            wrongly
 //
 // Checkpoint-state column, orthogonally: a session with RecordMs enabled
-// (single board only) also keeps periodic in-process checkpoints and can
-// RewindTo/ReplayUntil within its recorded window; detach checkpoints are
-// one-shot full snapshots and work on any session at any run boundary.
-// Virtual time makes all of this deterministic: create-from-digest in a
-// fresh process and the original session produce byte-identical stable
-// traces, which the farm tests and the CI cross-process jobs diff.
+// also keeps periodic in-process checkpoints and can RewindTo/ReplayUntil
+// within its recorded window — checkpoint.Recorder logs one board's
+// environment inputs and wire instructions, checkpoint.ClusterRecorder
+// logs them per node and re-feeds them on each node's original command
+// channel (bus arbitration, loss and jitter replay from the restored
+// network RNG, not fresh draws). Detach checkpoints are one-shot full
+// snapshots and work on any session at any run boundary. Virtual time
+// makes all of this deterministic: create-from-digest in a fresh process
+// and the original session produce byte-identical stable traces, which
+// the farm tests and the CI cross-process jobs diff.
+//
+// # Campaign forking
+//
+// A campaign (internal/campaign, `gmdf -campaign`) simulates a warm
+// prefix once, checkpoints it, and forks N parameter variants from that
+// one in-memory checkpoint — Checkpoint.Clone() is a deep structural
+// copy with no serialization, so a fork costs microseconds where the
+// Marshal/Decode round trip cost milliseconds. A fork is NOT a plain
+// restore: the variant must start a fresh observation window under new
+// parameters while keeping the warm dynamic state. What each layer
+// keeps, resets, or overrides at fork time:
+//
+//	layer               kept from the warm prefix       reset / overridden per variant
+//	kernel clock        absolute virtual time           — (windows are measured
+//	                    continues                       relative to the fork instant)
+//	scheduler jobs      ready heap, preempted jobs,     per-task accounting zeroed
+//	                    release rhythm (NextRelease,    (releases, misses, exec/
+//	                    RelSeq), suspended releases     response stats) so observations
+//	                                                    cover only the variant window
+//	task priorities     —                               ShufflePriorities permutes the
+//	                                                    priority multiset over the
+//	                                                    tasks (deterministic
+//	                                                    Fisher-Yates from the variant
+//	                                                    stream); the ready heap
+//	                                                    rebuilds under the new order
+//	                                                    during restore
+//	RAM / VM machines   byte-identical — mid-release    —
+//	                    machines resume at their
+//	                    instruction boundary
+//	bus schedule        slot/gap geometry               Seed, LossPerMille, JitterNs
+//	                                                    overridden; RotateSlots
+//	                                                    rotates slot ownership;
+//	                                                    in-flight frames are dropped
+//	                                                    (their departure draws belong
+//	                                                    to the old seed) and TX stats
+//	                                                    zeroed, queued frames kept
+//	session trace       discarded — each variant        fresh arena-backed trace;
+//	                    records only its own window     trace buffers recycle across
+//	                                                    forks on the same worker
+//	breakpoints /       armed conditions survive the    —
+//	agent               fork (the campaign runners
+//	                    fork from unpaused prefixes)
+//
+// The aggregate over all variants is a pure function of the campaign
+// spec: variants are planned from one splitmix64 stream, executed by a
+// work-stealing pool (internal/sched) with per-worker simulator
+// instances, and observations are indexed by variant — so one worker or
+// N produce byte-identical JSON, which CI diffs.
 package target

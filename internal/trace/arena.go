@@ -1,0 +1,35 @@
+package trace
+
+import "sync"
+
+// Arena recycles trace record storage across many short-lived traces. A
+// campaign repro run allocates a trace, fills it with a few thousand
+// records, formats it and throws it away — thousands of times per fleet.
+// Recycling the backing arrays keeps that loop allocation-free after the
+// first lap on each worker.
+type Arena struct {
+	pool sync.Pool
+}
+
+// NewTrace returns an empty trace for a program, backed by recycled
+// record storage when any is available.
+func (a *Arena) NewTrace(program string) *Trace {
+	t := New(program)
+	if buf, ok := a.pool.Get().(*[]Record); ok {
+		t.Records = (*buf)[:0]
+	}
+	return t
+}
+
+// Recycle returns a trace's record storage to the arena. The trace must
+// not be used afterwards; strings formatted from it remain valid (they
+// copy), but Records slices handed out by Filter/Between alias the
+// recycled array and must not outlive the call.
+func (a *Arena) Recycle(t *Trace) {
+	if t == nil || cap(t.Records) == 0 {
+		return
+	}
+	buf := t.Records[:0]
+	t.Records = nil
+	a.pool.Put(&buf)
+}

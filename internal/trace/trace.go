@@ -63,7 +63,10 @@ func (t *Trace) Reseed() {
 // slice storage with the original).
 func (t *Trace) Clone() *Trace {
 	cp := New(t.Program)
-	cp.Records = append([]Record(nil), t.Records...)
+	if t.Records != nil {
+		cp.Records = make([]Record, len(t.Records))
+		copy(cp.Records, t.Records)
+	}
 	cp.nextSeq = t.nextSeq
 	return cp
 }

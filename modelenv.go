@@ -43,6 +43,25 @@ func StandardEnvironment(name string) func(now uint64, b *target.Board) {
 	return nil
 }
 
+// StatefulEnvironment reports whether the named model's standard
+// environment carries state of its own outside the checkpoint (the
+// heating plant's thermal room lives in the closure, not on the board).
+// Checkpoint-fork campaigns refuse such models: a forked variant would
+// resume against a plant that never saw the warm-up; models with stateful
+// environments need the in-process recorder instead.
+func StatefulEnvironment(name string) bool { return name == "heating" }
+
+// StandardBoardConfig is the single-board configuration for the named
+// built-in model. Most models run on the default board (zero Config); the
+// priorityload timing experiment needs the 1 MHz preemptive board its
+// hog/lowly interference story is calibrated for.
+func StandardBoardConfig(name string) target.Config {
+	if name == "priorityload" {
+		return target.Config{CPUHz: 1_000_000, Sched: dtm.FixedPriority, Baud: 2_000_000}
+	}
+	return target.Config{}
+}
+
 // StandardBus is the fixed TDMA schedule the gmdf CLI and the farm server
 // put under a placed multi-node model: 100 µs slot per node in placement
 // order, 50 µs gaps, 20 µs release jitter, 10% seeded loss. Fixed

@@ -24,10 +24,11 @@ func Names() []string {
 }
 
 var builders = map[string]func() (*comdes.System, error){
-	"heating": func() (*comdes.System, error) { return Heating(HeatingOptions{}) },
-	"traffic": TrafficLight,
-	"ring":    func() (*comdes.System, error) { return TokenRing(4) },
-	"dist":    Distributed,
+	"heating":      func() (*comdes.System, error) { return Heating(HeatingOptions{}) },
+	"traffic":      TrafficLight,
+	"ring":         func() (*comdes.System, error) { return TokenRing(4) },
+	"dist":         Distributed,
+	"priorityload": PriorityLoad,
 }
 
 // ByName builds the named built-in model.
