@@ -29,6 +29,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/comdes"
 	"repro/internal/core"
+	"repro/internal/dsl"
 	"repro/internal/engine"
 	"repro/internal/farm"
 	"repro/internal/metamodel"
@@ -51,6 +52,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gmdf", flag.ContinueOnError)
 	model := fs.String("model", "heating", "built-in model (heating|traffic|ring|dist) or COMDES model XML path; a placed multi-node model (dist) debugs as a cluster on a TDMA bus")
+	scenario := fs.String("scenario", "", "scenario DSL file (.gmdf) to debug instead of -model; the source runs the full front end (parse, check, lint) and any finding prints as file:line:col with a caret excerpt")
+	checkOnly := fs.Bool("check", false, "with -scenario: run the front end and print diagnostics, then exit without debugging (non-zero exit on errors)")
 	transport := fs.String("transport", "active", "command interface: active (RS-232) | passive (JTAG)")
 	ms := fs.Uint64("ms", 2000, "virtual milliseconds to debug")
 	gdmOut := fs.String("gdm", "", "write the generated GDM file (JSON) here")
@@ -87,7 +90,51 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// The scenario front end runs before anything else: parse, check and
+	// lint the DSL source, print every finding (warnings included) with
+	// file:line:col positions, and refuse to debug a file with errors.
+	var sc *dsl.Scenario
+	if *scenario != "" {
+		src, err := os.ReadFile(*scenario)
+		if err != nil {
+			return err
+		}
+		s, diags, err := dsl.LoadSource(*scenario, string(src))
+		if len(diags) > 0 {
+			fmt.Fprint(out, dsl.Render(*scenario, string(src), diags))
+		}
+		if err != nil {
+			return err
+		}
+		sc = s
+		if *checkOnly {
+			fmt.Fprintf(out, "%s: system %q checks clean (%d actors, %d warnings)\n",
+				*scenario, sc.Sys.Name(), len(sc.File.Actors), len(diags))
+			return nil
+		}
+	} else if *checkOnly {
+		return fmt.Errorf("-check needs -scenario")
+	}
+
+	// A scenario's run declaration sets the budget unless -ms was given
+	// explicitly on the command line.
+	budgetNs := *ms * 1_000_000
+	if sc != nil && sc.RunNs() > 0 {
+		msSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "ms" {
+				msSet = true
+			}
+		})
+		if !msSet {
+			budgetNs = sc.RunNs()
+		}
+	}
+
 	if *campaignN > 0 {
+		if sc != nil {
+			return fmt.Errorf("-campaign does not support -scenario yet; port the scenario to models.ByName first")
+		}
 		return runCampaign(out, campaignOpts{
 			model: *model, variants: *campaignN, workers: *campaignWorkers,
 			warmMs: *campaignWarmMs, runMs: *ms, seed: *campaignSeed,
@@ -99,16 +146,25 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *connect != "" {
-		return runRemote(out, remoteOpts{
+		ro := remoteOpts{
 			addr: *connect, model: *model, resume: *resume,
-			ms: *ms, exec: *clusterExec,
+			budgetNs: budgetNs, exec: *clusterExec,
 			breakMachine: *breakMachine, breakState: *breakState,
 			traceOut: *traceOut, detach: *detach, digestOut: *digestOut,
-		})
+		}
+		if sc != nil {
+			// The server re-runs the same checker; its session builds from
+			// the source text, so the fetched trace diffs clean against an
+			// in-process -scenario run.
+			ro.model, ro.source, ro.sourceName = "", sc.Source, sc.Name
+		}
+		return runRemote(out, ro)
 	}
 
-	sys, err := loadSystem(*model)
-	if err != nil {
+	var sys *comdes.System
+	if sc != nil {
+		sys = sc.Sys
+	} else if sys, err = loadSystem(*model); err != nil {
 		return err
 	}
 	meta := comdes.Metamodel()
@@ -165,7 +221,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return runCluster(out, sys, *ms, *rewindMs, exec, be, *traceOut, *checkpointOut, *restoreIn, *svgOut)
+		ccfg := repro.StandardClusterConfig(sys.Nodes(), exec)
+		var cenv func(now uint64, node string, b *target.Board)
+		if sc != nil {
+			ccfg = sc.ClusterConfig(exec)
+			cenv = sc.ClusterEnvironment()
+		}
+		ccfg.Board.Backend = be
+		return runCluster(out, sys, ccfg, cenv, budgetNs, *rewindMs, *traceOut, *checkpointOut, *restoreIn, *svgOut)
 	}
 
 	// Step 5 via the facade (compile + board + channel + session).
@@ -174,10 +237,14 @@ func run(args []string, out io.Writer) error {
 		tp = repro.Passive
 	}
 	bcfg := repro.StandardBoardConfig(sys.Name())
+	envFn := repro.StandardEnvironment(sys.Name())
+	if sc != nil {
+		bcfg, envFn = sc.BoardConfig(), sc.Environment()
+	}
 	bcfg.Backend = be
 	dbg, err := repro.Debug(sys, repro.DebugConfig{
 		Transport:   tp,
-		Environment: repro.StandardEnvironment(sys.Name()),
+		Environment: envFn,
 		Board:       bcfg,
 	})
 	if err != nil {
@@ -212,7 +279,7 @@ func run(args []string, out io.Writer) error {
 	// active interface the condition is compiled onto the target-resident
 	// agent (halt at the triggering instruction); passively it falls back
 	// to host-side event filtering (halt after the frame crosses).
-	budget := *ms * 1_000_000
+	budget := budgetNs
 	if *breakMachine != "" && *breakState != "" {
 		if err := dbg.BreakOnState("cli", *breakMachine, *breakState); err != nil {
 			return err
@@ -391,17 +458,18 @@ func parseExec(mode string) (target.ExecMode, error) {
 // runCluster is the distributed debugging path: the placed system boots on
 // a TDMA cluster (the Fig. 6 workflow's target is a network of boards) and
 // the one session's trace carries the slot-grid lane. The bus parameters
-// are the repro.StandardBus schedule, fixed so every run of the same model
-// is byte-deterministic (the CI replay jobs diff traces across processes).
-func runCluster(out io.Writer, sys *comdes.System, ms, rewindMs uint64, exec target.ExecMode, be target.Backend, traceOut, checkpointOut, restoreIn, svgOut string) error {
-	cfg := repro.StandardClusterConfig(sys.Nodes(), exec)
-	cfg.Board.Backend = be
-	dbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{Cluster: cfg})
+// come from the caller — the repro.StandardBus schedule for built-in
+// models, the scenario's bus declaration for -scenario — and are fixed per
+// invocation so every run of the same model is byte-deterministic (the CI
+// replay jobs diff traces across processes).
+func runCluster(out io.Writer, sys *comdes.System, cfg target.ClusterConfig, env func(now uint64, node string, b *target.Board), budgetNs, rewindMs uint64, traceOut, checkpointOut, restoreIn, svgOut string) error {
+	dbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{Cluster: cfg, Environment: env})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "cluster: %v on a %.0f µs TDMA cycle (10%% loss, 20 µs release jitter)\n",
-		dbg.Cluster.Nodes(), float64(cfg.Bus.CycleNs())/1000)
+	fmt.Fprintf(out, "cluster: %v on a %.0f µs TDMA cycle (%.1f%% loss, %.0f µs release jitter)\n",
+		dbg.Cluster.Nodes(), float64(cfg.Bus.CycleNs())/1000,
+		float64(cfg.Bus.LossPerMille)/10, float64(cfg.Bus.JitterNs)/1000)
 	traceWritten := false
 	if traceOut != "" {
 		defer func() {
@@ -430,7 +498,7 @@ func runCluster(out io.Writer, sys *comdes.System, ms, rewindMs uint64, exec tar
 			return err
 		}
 	}
-	if err := dbg.RunNs(ms * 1_000_000); err != nil {
+	if err := dbg.RunNs(budgetNs); err != nil {
 		return err
 	}
 
@@ -492,7 +560,8 @@ func runCluster(out io.Writer, sys *comdes.System, ms, rewindMs uint64, exec tar
 // remoteOpts is the -connect mode configuration.
 type remoteOpts struct {
 	addr, model, resume      string
-	ms                       uint64
+	source, sourceName       string // -scenario DSL text shipped to the server
+	budgetNs                 uint64
 	exec                     string
 	breakMachine, breakState string
 	traceOut, digestOut      string
@@ -511,7 +580,10 @@ func runRemote(out io.Writer, o remoteOpts) error {
 	}
 	defer cl.Close()
 
-	created, err := cl.Create(farm.CreateParams{Model: o.model, Checkpoint: o.resume, Exec: o.exec})
+	created, err := cl.Create(farm.CreateParams{
+		Model: o.model, Checkpoint: o.resume, Exec: o.exec,
+		Source: o.source, SourceName: o.sourceName,
+	})
 	if err != nil {
 		return err
 	}
@@ -541,7 +613,7 @@ func runRemote(out io.Writer, o remoteOpts) error {
 		fmt.Fprintf(out, "breakpoint: enter %s.%s — armed %s\n", o.breakMachine, o.breakState, where)
 	}
 
-	budget := created.NowNs + o.ms*1_000_000
+	budget := created.NowNs + o.budgetNs
 	run, err := cl.RunUntil(sid, budget)
 	if err != nil {
 		return err

@@ -1,0 +1,106 @@
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"repro"
+	"repro/internal/dsl"
+	"repro/models"
+)
+
+// TestScenarioFidelityHeating pins the DSL front end to the Go
+// constructors: the committed .gmdf port of the heating model must
+// produce a byte-identical stable trace to models.Heating under the
+// same budget. Any drift — declaration order, wire order, a value kind
+// in a component parameter — shows up as a trace diff here before it
+// confuses a user comparing -scenario and -model runs.
+func TestScenarioFidelityHeating(t *testing.T) {
+	src, err := os.ReadFile("examples/dsl/heating.gmdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, diags, err := dsl.LoadSource("examples/dsl/heating.gmdf", string(src))
+	if err != nil {
+		t.Fatalf("LoadSource: %v\n%s", err, dsl.Render("examples/dsl/heating.gmdf", string(src), diags))
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic on the committed scenario: %s", d.Msg)
+	}
+	if got, want := sc.RunNs(), uint64(300_000_000); got != want {
+		t.Fatalf("RunNs = %d, want %d", got, want)
+	}
+
+	fromDSL, err := repro.Debug(sc.Sys, sc.DebugConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromDSL.RunNs(sc.RunNs()); err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := models.ByName("heating")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGo, err := repro.Debug(sys, repro.DebugConfig{
+		Transport:   repro.Active,
+		Environment: repro.StandardEnvironment(sys.Name()),
+		Board:       repro.StandardBoardConfig(sys.Name()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fromGo.RunNs(sc.RunNs()); err != nil {
+		t.Fatal(err)
+	}
+
+	a := fromDSL.Session.Trace.FormatStable()
+	b := fromGo.Session.Trace.FormatStable()
+	if a != b {
+		t.Fatalf("DSL trace differs from constructor trace:\ndsl   %d bytes\nmodel %d bytes\n%s", len(a), len(b), firstDiff(a, b))
+	}
+	if fromDSL.Session.Trace.Len() == 0 {
+		t.Fatal("empty trace: fidelity comparison is vacuous")
+	}
+}
+
+// firstDiff excerpts the first divergence between two stable traces so a
+// failure points at the offending record instead of dumping megabytes.
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 120
+			if lo < 0 {
+				lo = 0
+			}
+			hiA, hiB := i+120, i+120
+			if hiA > len(a) {
+				hiA = len(a)
+			}
+			if hiB > len(b) {
+				hiB = len(b)
+			}
+			return "first diff at byte " + itoa(i) + ":\ndsl:   …" + a[lo:hiA] + "…\nmodel: …" + b[lo:hiB] + "…"
+		}
+	}
+	return "one trace is a prefix of the other"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,254 @@
+package dsl
+
+import "repro/internal/value"
+
+// File is the parsed form of one .gmdf source: declaration order is
+// preserved everywhere, because the loader must rebuild systems in
+// exactly the order the Go constructors use (trace fidelity depends on
+// block execution order and transition evaluation order).
+type File struct {
+	Name     string // system name
+	NameSpan Span
+
+	Enums  []*EnumDecl
+	Actors []*ActorDecl
+	Binds  []*BindDecl
+	Env    *EnvDecl
+	Drives []*DriveDecl
+	Board  *BoardDecl
+	Bus    *BusDecl
+
+	RunNs   uint64 // scenario horizon, 0 if undeclared
+	RunSpan Span
+}
+
+// EnumDecl declares a metamodel enum.
+type EnumDecl struct {
+	Name     string
+	Span     Span
+	Literals []string
+	LitSpans []Span
+}
+
+// ActorDecl declares one actor: its task spec, optional placement and
+// its function-block network.
+type ActorDecl struct {
+	Name string
+	Span Span
+
+	PeriodNs, OffsetNs, DeadlineNs uint64
+	Priority                       int64
+	HasPeriod, HasDeadline         bool
+	PeriodSpan, OffsetSpan         Span
+	DeadlineSpan, PrioritySpan     Span
+
+	Node     string // placement node, "" for default
+	NodeSpan Span
+
+	Net *NetworkDecl
+}
+
+// PortDecl declares one typed port ("in temp float").
+type PortDecl struct {
+	Name     string
+	Kind     string // "float" | "int" | "bool"
+	Span     Span
+	KindSpan Span
+}
+
+// NetworkDecl is a function-block network: interface ports, blocks in
+// execution order, wires in declaration order.
+type NetworkDecl struct {
+	Name string
+	Span Span
+
+	Inputs  []PortDecl
+	Outputs []PortDecl
+	Blocks  []BlockDecl
+	Wires   []*WireDecl
+}
+
+// BlockDecl is any block declaration inside a network.
+type BlockDecl interface {
+	BlockName() string
+	BlockSpan() Span
+}
+
+// ParamDecl is one "name = literal" component parameter.
+type ParamDecl struct {
+	Name    string
+	Span    Span
+	Val     value.Value
+	ValSpan Span
+}
+
+// ComponentDecl instantiates a prefabricated component ("block gain trim").
+type ComponentDecl struct {
+	Kind     string
+	Name     string
+	Span     Span // instance name token
+	KindSpan Span
+	Params   []ParamDecl
+}
+
+// BlockName implements BlockDecl.
+func (c *ComponentDecl) BlockName() string { return c.Name }
+
+// BlockSpan implements BlockDecl.
+func (c *ComponentDecl) BlockSpan() Span { return c.Span }
+
+// AssignDecl is one "output = "expr"" assignment (state entry or
+// transition action). SrcSpan covers the quoted string literal; the
+// expression's own byte offsets are re-anchored inside it.
+type AssignDecl struct {
+	Port     string
+	PortSpan Span
+	Src      string
+	SrcSpan  Span
+}
+
+// StateDecl declares one machine state with its entry assignments.
+type StateDecl struct {
+	Name    string
+	Span    Span
+	Entries []AssignDecl
+}
+
+// TransDecl declares one guarded transition.
+type TransDecl struct {
+	Name             string
+	Span             Span
+	From, To         string
+	FromSpan, ToSpan Span
+	Guard            string
+	GuardSpan        Span
+	Actions          []AssignDecl
+}
+
+// MachineDecl declares a state-machine function block.
+type MachineDecl struct {
+	Name string
+	Span Span
+
+	Inputs, Outputs []PortDecl
+	Initial         string
+	InitialSpan     Span
+	States          []*StateDecl
+	Transitions     []*TransDecl
+}
+
+// BlockName implements BlockDecl.
+func (m *MachineDecl) BlockName() string { return m.Name }
+
+// BlockSpan implements BlockDecl.
+func (m *MachineDecl) BlockSpan() Span { return m.Span }
+
+// ModeDecl couples a selector with the component active in that mode.
+// EnumRef holds "Enum.literal" when the selector was symbolic (resolved
+// by the checker to the literal's 1-based index).
+type ModeDecl struct {
+	Selector int64
+	SelSpan  Span
+	EnumRef  string
+	Block    *ComponentDecl
+}
+
+// ModalDecl declares a modal function block.
+type ModalDecl struct {
+	Name string
+	Span Span
+
+	Selector        string
+	SelectorSpan    Span
+	Inputs, Outputs []PortDecl
+	Modes           []*ModeDecl
+	Fallback        *ComponentDecl // nil without a default
+}
+
+// BlockName implements BlockDecl.
+func (m *ModalDecl) BlockName() string { return m.Name }
+
+// BlockSpan implements BlockDecl.
+func (m *ModalDecl) BlockSpan() Span { return m.Span }
+
+// CompositeDecl declares a composite block: a nested network of
+// prefabricated components.
+type CompositeDecl struct {
+	Name string
+	Span Span
+
+	Inputs, Outputs []PortDecl
+	Blocks          []*ComponentDecl
+	Wires           []*WireDecl
+}
+
+// BlockName implements BlockDecl.
+func (c *CompositeDecl) BlockName() string { return c.Name }
+
+// BlockSpan implements BlockDecl.
+func (c *CompositeDecl) BlockSpan() Span { return c.Span }
+
+// WireDecl connects two endpoints; an empty block name refers to the
+// enclosing network's own interface ports (".port" in source).
+type WireDecl struct {
+	FromBlock, FromPort string
+	ToBlock, ToPort     string
+	FromSpan, ToSpan    Span
+	Span                Span
+}
+
+// BindDecl routes actor.port -> actor.port as a labelled signal.
+type BindDecl struct {
+	Signal string
+	Span   Span
+
+	FromActor, FromPort string
+	ToActor, ToPort     string
+	FromSpan, ToSpan    Span
+}
+
+// EnvDecl selects the environment ("environment standard").
+type EnvDecl struct {
+	Standard bool
+	Span     Span
+}
+
+// DriveDecl is a synthetic stimulus: an expression over t (seconds) and
+// now (nanoseconds) written to an actor input every environment tick.
+type DriveDecl struct {
+	Actor, Port string
+	TargetSpan  Span
+	Expr        string
+	ExprSpan    Span
+}
+
+// BoardDecl overrides the single-board target configuration.
+type BoardDecl struct {
+	Span      Span
+	CPUHz     uint64
+	Baud      uint64
+	Sched     string // "", "cooperative", "fixed_priority"
+	SchedSpan Span
+}
+
+// SlotDecl is one TDMA slot.
+type SlotDecl struct {
+	Owner     string
+	OwnerSpan Span
+	LenNs     uint64
+	LenSpan   Span
+}
+
+// BusDecl overrides the TDMA bus schedule for placed systems.
+type BusDecl struct {
+	Span             Span
+	Slots            []SlotDecl
+	GapNs, JitterNs  uint64
+	LossPerMille     int64
+	Seed             int64
+	GapSpan          Span
+	JitterSpan       Span
+	LossSpan         Span
+	SeedSpan         Span
+	HasLoss, HasSeed bool
+}

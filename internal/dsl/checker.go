@@ -1,0 +1,690 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/comdes"
+	"repro/internal/expr"
+	"repro/internal/metamodel"
+	"repro/internal/value"
+)
+
+// Limits bounds the resources a scenario may claim. The farm server
+// checks user-submitted sources against these before compiling or
+// booting anything, so a hostile .gmdf cannot request an hour-long
+// horizon or thousands of tasks.
+type Limits struct {
+	MaxActors int    // tasks in the system
+	MaxBlocks int    // function blocks across all networks (incl. nested)
+	MaxStates int    // states per state machine
+	MaxWires  int    // connections per network
+	MaxSlots  int    // TDMA slots on the bus
+	MaxRunNs  uint64 // declared scenario horizon
+}
+
+// DefaultLimits are generous for hand-written scenarios and tight
+// enough to gate farm submissions.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxActors: 64,
+		MaxBlocks: 512,
+		MaxStates: 256,
+		MaxWires:  1024,
+		MaxSlots:  64,
+		MaxRunNs:  60_000_000_000, // 60 s of virtual time
+	}
+}
+
+// Check resolves every name in the parsed file and verifies the
+// constraints the comdes constructors would enforce — same rules, but
+// with source spans and exhaustive reporting instead of first-error
+// abort. A file that checks clean loads without constructor errors.
+func Check(f *File, lim Limits) []Diagnostic {
+	c := &checker{f: f, lim: lim, mm: metamodel.NewMetamodel(f.Name, "dsl:"+f.Name)}
+	c.run()
+	sortDiags(c.diags)
+	return c.diags
+}
+
+type checker struct {
+	f     *File
+	lim   Limits
+	mm    *metamodel.Metamodel
+	diags []Diagnostic
+
+	blocks int // running block count across the file
+}
+
+func (c *checker) errf(sp Span, format string, args ...any) {
+	errorf(&c.diags, "check", sp, format, args...)
+}
+
+// exprErrf reports an embedded-expression failure re-anchored to file
+// coordinates: the expr error's byte offset lands inside the quoted
+// literal (exact for escape-free strings, clamped within it otherwise).
+func (c *checker) exprErrf(lit Span, context string, err error) {
+	sp := lit
+	msg := err.Error()
+	if e, ok := err.(*expr.Error); ok {
+		msg = e.Msg
+		start := lit.Start + 1 + e.Offset
+		if start > lit.End-1 {
+			start = lit.End - 1
+		}
+		if start < lit.Start {
+			start = lit.Start
+		}
+		sp = Span{Start: start, End: start + 1}
+	}
+	c.errf(sp, "%s: %s", context, msg)
+}
+
+// checkExpr parses one embedded expression and verifies its free
+// variables against the allowed set.
+func (c *checker) checkExpr(src string, lit Span, context string, known map[string]bool) {
+	node, err := expr.Parse(src)
+	if err != nil {
+		c.exprErrf(lit, context, err)
+		return
+	}
+	for _, v := range expr.Vars(node) {
+		if !known[v] {
+			c.errf(lit, "%s: unbound name %q", context, v)
+		}
+	}
+}
+
+// portKindOf maps a DSL kind name to the value kind.
+func portKindOf(name string) (value.Kind, bool) {
+	switch name {
+	case "float":
+		return value.Float, true
+	case "int":
+		return value.Int, true
+	case "bool":
+		return value.Bool, true
+	}
+	return value.Invalid, false
+}
+
+// checkPorts validates one interface list and returns the resolved
+// comdes ports (unknown kinds become Float so later checks continue).
+func (c *checker) checkPorts(decls []PortDecl, what string) []comdes.Port {
+	seen := map[string]bool{}
+	out := make([]comdes.Port, 0, len(decls))
+	for _, p := range decls {
+		if seen[p.Name] {
+			c.errf(p.Span, "duplicate %s port %q", what, p.Name)
+		}
+		seen[p.Name] = true
+		k, ok := portKindOf(p.Kind)
+		if !ok {
+			c.errf(p.KindSpan, "unknown port kind %q (float|int|bool)", p.Kind)
+			k = value.Float
+		}
+		out = append(out, comdes.Port{Name: p.Name, Kind: k})
+	}
+	return out
+}
+
+// resolveMode resolves a mode selector: integer literals pass through,
+// "Enum.lit" references become the literal's 1-based index.
+func resolveMode(f *File, md *ModeDecl) (int64, string) {
+	if md.EnumRef == "" {
+		return md.Selector, ""
+	}
+	dot := strings.IndexByte(md.EnumRef, '.')
+	en, lit := md.EnumRef[:dot], md.EnumRef[dot+1:]
+	for _, e := range f.Enums {
+		if e.Name != en {
+			continue
+		}
+		for i, l := range e.Literals {
+			if l == lit {
+				return int64(i + 1), ""
+			}
+		}
+		return 0, fmt.Sprintf("enum %q has no literal %q", en, lit)
+	}
+	return 0, fmt.Sprintf("unknown enum %q", en)
+}
+
+func paramMap(params []ParamDecl) map[string]value.Value {
+	m := make(map[string]value.Value, len(params))
+	for _, p := range params {
+		m[p.Name] = p.Val
+	}
+	return m
+}
+
+// blockShape is the resolved port interface of one declared block.
+type blockShape struct {
+	span    Span
+	in, out []comdes.Port
+}
+
+func findPort(ports []comdes.Port, name string) (comdes.Port, bool) {
+	for _, p := range ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return comdes.Port{}, false
+}
+
+func (c *checker) run() {
+	f := c.f
+	if f.Name == "" {
+		// The parser already reported the missing header; semantic checks
+		// still run so one pass reports everything.
+		c.errf(Span{}, "scenario has no system name")
+	}
+
+	for _, e := range f.Enums {
+		if len(e.Literals) == 0 {
+			c.errf(e.Span, "enum %q has no literals", e.Name)
+			continue
+		}
+		lits := map[string]bool{}
+		for i, l := range e.Literals {
+			if lits[l] {
+				c.errf(e.LitSpans[i], "enum %q repeats literal %q", e.Name, l)
+			}
+			lits[l] = true
+		}
+		if _, err := c.mm.AddEnum(e.Name, e.Literals...); err != nil {
+			c.errf(e.Span, "duplicate enum %q", e.Name)
+		}
+	}
+
+	if len(f.Actors) == 0 {
+		c.errf(f.NameSpan, "system %q declares no actors", f.Name)
+	}
+	if c.lim.MaxActors > 0 && len(f.Actors) > c.lim.MaxActors {
+		c.errf(f.NameSpan, "system declares %d actors (limit %d)", len(f.Actors), c.lim.MaxActors)
+	}
+	for _, a := range f.Actors {
+		c.checkActor(a)
+	}
+	c.checkBinds()
+	c.checkDrives()
+	c.checkBoard()
+	c.checkBus()
+
+	if c.lim.MaxRunNs > 0 && f.RunNs > c.lim.MaxRunNs {
+		c.errf(f.RunSpan, "run horizon %dms exceeds the limit (%dms)",
+			f.RunNs/1_000_000, c.lim.MaxRunNs/1_000_000)
+	}
+
+	// The mirror metamodel collected every enum, actor class and machine
+	// state set above; Validate re-checks the whole structure (dangling
+	// enum refs and the like). Clean by construction — a violation here
+	// is a checker bug, reported rather than swallowed.
+	if err := c.mm.Validate(); err != nil {
+		c.errf(f.NameSpan, "%v", err)
+	}
+}
+
+func (c *checker) checkActor(a *ActorDecl) {
+	cls, err := c.mm.AddClass(a.Name, false, "")
+	if err != nil {
+		c.errf(a.Span, "duplicate actor %q", a.Name)
+		cls = nil
+	}
+
+	if !a.HasPeriod {
+		c.errf(a.Span, "actor %q declares no period", a.Name)
+	} else if a.PeriodNs == 0 {
+		c.errf(a.PeriodSpan, "task period must be positive")
+	}
+	if !a.HasDeadline {
+		c.errf(a.Span, "actor %q declares no deadline", a.Name)
+	} else if a.DeadlineNs == 0 || (a.HasPeriod && a.PeriodNs > 0 && a.DeadlineNs > a.PeriodNs) {
+		c.errf(a.DeadlineSpan, "deadline must be in (0, period]")
+	}
+
+	if a.Net == nil {
+		c.errf(a.Span, "actor %q has no network", a.Name)
+		return
+	}
+	in := c.checkPorts(a.Net.Inputs, "input")
+	out := c.checkPorts(a.Net.Outputs, "output")
+	if cls != nil {
+		for _, p := range append(append([]comdes.Port{}, in...), out...) {
+			_, _ = cls.AddAttribute(metamodel.Attribute{Name: p.Name, Type: p.Kind})
+		}
+	}
+
+	shapes := map[string]blockShape{}
+	for _, b := range a.Net.Blocks {
+		if _, dup := shapes[b.BlockName()]; dup {
+			c.errf(b.BlockSpan(), "duplicate block %q", b.BlockName())
+			continue
+		}
+		var sh blockShape
+		ok := false
+		switch d := b.(type) {
+		case *ComponentDecl:
+			sh, ok = c.checkComponent(d)
+		case *MachineDecl:
+			sh, ok = c.checkMachine(a, d)
+		case *ModalDecl:
+			sh, ok = c.checkModal(d)
+		case *CompositeDecl:
+			sh, ok = c.checkComposite(d)
+		}
+		if ok {
+			shapes[b.BlockName()] = sh
+		}
+	}
+	c.checkWiring(a.Net.Name, a.Net.Span, in, out, shapes, a.Net.Wires)
+}
+
+// checkComponent instantiates the prefabricated component — the
+// registry itself is the source of truth for kinds and port shapes.
+func (c *checker) checkComponent(d *ComponentDecl) (blockShape, bool) {
+	c.countBlock(d.Span)
+	seen := map[string]bool{}
+	for _, p := range d.Params {
+		if seen[p.Name] {
+			c.errf(p.Span, "duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	blk, err := comdes.NewComponent(d.Kind, d.Name, paramMap(d.Params))
+	if err != nil {
+		c.errf(d.KindSpan, "%s", strings.TrimPrefix(err.Error(), "comdes: "))
+		return blockShape{}, false
+	}
+	return blockShape{span: d.Span, in: blk.Inputs(), out: blk.Outputs()}, true
+}
+
+func (c *checker) checkMachine(a *ActorDecl, d *MachineDecl) (blockShape, bool) {
+	c.countBlock(d.Span)
+	in := c.checkPorts(d.Inputs, "input")
+	out := c.checkPorts(d.Outputs, "output")
+
+	known := map[string]bool{}
+	for _, p := range in {
+		known[p.Name] = true
+	}
+	if len(d.States) == 0 {
+		c.errf(d.Span, "machine %q has no states", d.Name)
+	}
+	if c.lim.MaxStates > 0 && len(d.States) > c.lim.MaxStates {
+		c.errf(d.Span, "machine %q has %d states (limit %d)", d.Name, len(d.States), c.lim.MaxStates)
+	}
+	states := map[string]bool{}
+	var stateNames []string
+	for _, st := range d.States {
+		if states[st.Name] {
+			c.errf(st.Span, "duplicate state %q", st.Name)
+			continue
+		}
+		states[st.Name] = true
+		stateNames = append(stateNames, st.Name)
+		c.checkAssigns(st.Entries, out, known, fmt.Sprintf("state %s", st.Name))
+	}
+	if d.Initial == "" {
+		c.errf(d.Span, "machine %q declares no initial state", d.Name)
+	} else if len(states) > 0 && !states[d.Initial] {
+		c.errf(d.InitialSpan, "unknown initial state %q", d.Initial)
+	}
+	for _, tr := range d.Transitions {
+		if len(states) > 0 && !states[tr.From] {
+			c.errf(tr.FromSpan, "transition %q: unknown source state %q", tr.Name, tr.From)
+		}
+		if len(states) > 0 && !states[tr.To] {
+			c.errf(tr.ToSpan, "transition %q: unknown target state %q", tr.Name, tr.To)
+		}
+		c.checkExpr(tr.Guard, tr.GuardSpan, fmt.Sprintf("transition %s guard", tr.Name), known)
+		c.checkAssigns(tr.Actions, out, known, fmt.Sprintf("transition %s", tr.Name))
+	}
+
+	// Register the machine in the mirror metamodel: its states as an
+	// enum, the machine as a class whose "state" attribute is constrained
+	// to it — so mm.Validate covers the whole scenario's name graph.
+	if len(stateNames) > 0 {
+		enumName := a.Name + "." + d.Name + ".states"
+		if _, err := c.mm.AddEnum(enumName, stateNames...); err == nil {
+			if mc, err := c.mm.AddClass(a.Name+"."+d.Name, false, ""); err == nil {
+				_, _ = mc.AddAttribute(metamodel.Attribute{Name: "state", Type: value.String, Enum: enumName})
+			}
+		}
+	}
+	return blockShape{span: d.Span, in: in, out: out}, true
+}
+
+func (c *checker) checkAssigns(as []AssignDecl, outputs []comdes.Port, known map[string]bool, context string) {
+	for _, e := range as {
+		if _, ok := findPort(outputs, e.Port); !ok {
+			c.errf(e.PortSpan, "%s: unknown output %q", context, e.Port)
+		}
+		c.checkExpr(e.Src, e.SrcSpan, fmt.Sprintf("%s entry %s", context, e.Port), known)
+	}
+}
+
+func (c *checker) checkModal(d *ModalDecl) (blockShape, bool) {
+	c.countBlock(d.Span)
+	in := c.checkPorts(d.Inputs, "input")
+	out := c.checkPorts(d.Outputs, "output")
+
+	sel, ok := findPort(in, d.Selector)
+	if !ok {
+		c.errf(d.SelectorSpan, "selector %q is not an input of modal %q", d.Selector, d.Name)
+	} else if sel.Kind != value.Int {
+		c.errf(d.SelectorSpan, "selector %q must be an int input", d.Selector)
+	}
+
+	if len(d.Modes) == 0 {
+		c.errf(d.Span, "modal %q has no modes", d.Name)
+	}
+	seen := map[int64]bool{}
+	for _, md := range d.Modes {
+		n, errMsg := resolveMode(c.f, md)
+		if errMsg != "" {
+			c.errf(md.SelSpan, "%s", errMsg)
+		} else {
+			if seen[n] {
+				c.errf(md.SelSpan, "duplicate mode selector %d", n)
+			}
+			seen[n] = true
+		}
+		c.checkModeBlock(d, md.Block)
+	}
+	if d.Fallback != nil {
+		c.checkModeBlock(d, d.Fallback)
+	}
+	return blockShape{span: d.Span, in: in, out: out}, true
+}
+
+// checkModeBlock validates one mode's component and its output
+// contract: every modal output must exist on the mode block.
+func (c *checker) checkModeBlock(d *ModalDecl, comp *ComponentDecl) {
+	if comp == nil {
+		return
+	}
+	sh, ok := c.checkComponent(comp)
+	if !ok {
+		return
+	}
+	for _, p := range d.Outputs {
+		if _, ok := findPort(sh.out, p.Name); !ok {
+			c.errf(comp.Span, "mode block %q lacks modal output %q", comp.Name, p.Name)
+		}
+	}
+}
+
+func (c *checker) checkComposite(d *CompositeDecl) (blockShape, bool) {
+	c.countBlock(d.Span)
+	in := c.checkPorts(d.Inputs, "input")
+	out := c.checkPorts(d.Outputs, "output")
+	shapes := map[string]blockShape{}
+	for _, b := range d.Blocks {
+		if _, dup := shapes[b.Name]; dup {
+			c.errf(b.Span, "duplicate block %q", b.Name)
+			continue
+		}
+		if sh, ok := c.checkComponent(b); ok {
+			shapes[b.Name] = sh
+		}
+	}
+	c.checkWiring(d.Name, d.Span, in, out, shapes, d.Wires)
+	return blockShape{span: d.Span, in: in, out: out}, true
+}
+
+// checkWiring mirrors comdes.Network.Connect plus Validate: endpoint
+// resolution, kind compatibility, single-driver, and completeness
+// (every block input and every interface output driven).
+func (c *checker) checkWiring(netName string, netSpan Span, in, out []comdes.Port, shapes map[string]blockShape, wires []*WireDecl) {
+	if c.lim.MaxWires > 0 && len(wires) > c.lim.MaxWires {
+		c.errf(netSpan, "network %q has %d wires (limit %d)", netName, len(wires), c.lim.MaxWires)
+	}
+	driven := map[string]Span{}
+	for _, w := range wires {
+		srcKind, srcOK := c.wireEndpoint(w.FromBlock, w.FromPort, w.FromSpan, shapes, in, netName, true)
+		dstKind, dstOK := c.wireEndpoint(w.ToBlock, w.ToPort, w.ToSpan, shapes, out, netName, false)
+		if srcOK && dstOK && srcKind != dstKind &&
+			!(srcKind == value.Int && dstKind == value.Float) &&
+			!(srcKind == value.Float && dstKind == value.Int) &&
+			!(srcKind == value.Bool && dstKind == value.Int) {
+			c.errf(w.Span, "kind mismatch %v -> %v", srcKind, dstKind)
+		}
+		if dstOK {
+			key := w.ToBlock + "." + w.ToPort
+			if _, dup := driven[key]; dup {
+				c.errf(w.ToSpan, "%s already driven", endpointName(w.ToBlock, w.ToPort))
+			}
+			driven[key] = w.ToSpan
+		}
+	}
+	for name, sh := range shapes {
+		for _, p := range sh.in {
+			if _, ok := driven[name+"."+p.Name]; !ok {
+				c.errf(sh.span, "input %s.%s not driven", name, p.Name)
+			}
+		}
+	}
+	for _, p := range out {
+		if _, ok := driven["."+p.Name]; !ok {
+			c.errf(netSpan, "network output %q not driven", p.Name)
+		}
+	}
+}
+
+func endpointName(block, port string) string {
+	if block == "" {
+		return "network output " + port
+	}
+	return "input " + block + "." + port
+}
+
+// wireEndpoint resolves one wire end to its port kind.
+func (c *checker) wireEndpoint(block, port string, sp Span, shapes map[string]blockShape, iface []comdes.Port, netName string, src bool) (value.Kind, bool) {
+	if block == "" {
+		p, ok := findPort(iface, port)
+		if !ok {
+			dir := "input"
+			if !src {
+				dir = "output"
+			}
+			c.errf(sp, "unknown network %s %q", dir, port)
+			return value.Invalid, false
+		}
+		return p.Kind, true
+	}
+	sh, ok := shapes[block]
+	if !ok {
+		role := "source"
+		if !src {
+			role = "destination"
+		}
+		c.errf(sp, "unknown %s block %q", role, block)
+		return value.Invalid, false
+	}
+	ports, dir := sh.out, "output"
+	if !src {
+		ports, dir = sh.in, "input"
+	}
+	p, ok := findPort(ports, port)
+	if !ok {
+		c.errf(sp, "block %s has no %s %q", block, dir, port)
+		return value.Invalid, false
+	}
+	return p.Kind, true
+}
+
+func (c *checker) countBlock(sp Span) {
+	c.blocks++
+	if c.lim.MaxBlocks > 0 && c.blocks == c.lim.MaxBlocks+1 {
+		c.errf(sp, "scenario exceeds the block limit (%d)", c.lim.MaxBlocks)
+	}
+}
+
+// actorPorts resolves a declared actor's interface (nil lists when the
+// actor or its network is missing — already reported).
+func (c *checker) actorPorts(name string) (in, out []comdes.Port, found bool) {
+	for _, a := range c.f.Actors {
+		if a.Name != name {
+			continue
+		}
+		if a.Net == nil {
+			return nil, nil, true
+		}
+		// Kind fallbacks match checkPorts, so bind kind checks agree.
+		conv := func(decls []PortDecl) []comdes.Port {
+			out := make([]comdes.Port, 0, len(decls))
+			for _, p := range decls {
+				k, ok := portKindOf(p.Kind)
+				if !ok {
+					k = value.Float
+				}
+				out = append(out, comdes.Port{Name: p.Name, Kind: k})
+			}
+			return out
+		}
+		return conv(a.Net.Inputs), conv(a.Net.Outputs), true
+	}
+	return nil, nil, false
+}
+
+func (c *checker) checkBinds() {
+	signals := map[string]Span{}
+	bound := map[string]Span{}
+	for _, b := range c.f.Binds {
+		if _, dup := signals[b.Signal]; dup {
+			c.errf(b.Span, "duplicate signal %q", b.Signal)
+		}
+		signals[b.Signal] = b.Span
+
+		_, fout, ok := c.actorPorts(b.FromActor)
+		if !ok {
+			c.errf(b.FromSpan, "unknown source actor %q", b.FromActor)
+		} else if _, ok := findPort(fout, b.FromPort); !ok {
+			c.errf(b.FromSpan, "actor %s has no output %q", b.FromActor, b.FromPort)
+		}
+		tin, _, ok := c.actorPorts(b.ToActor)
+		if !ok {
+			c.errf(b.ToSpan, "unknown destination actor %q", b.ToActor)
+			continue
+		}
+		if _, ok := findPort(tin, b.ToPort); !ok {
+			c.errf(b.ToSpan, "actor %s has no input %q", b.ToActor, b.ToPort)
+			continue
+		}
+		key := b.ToActor + "." + b.ToPort
+		if _, dup := bound[key]; dup {
+			c.errf(b.ToSpan, "input %s already bound", key)
+		}
+		bound[key] = b.ToSpan
+	}
+}
+
+func (c *checker) checkDrives() {
+	bound := map[string]bool{}
+	for _, b := range c.f.Binds {
+		bound[b.ToActor+"."+b.ToPort] = true
+	}
+	driveKnown := map[string]bool{"t": true, "now": true}
+	seen := map[string]Span{}
+	for _, d := range c.f.Drives {
+		tin, _, ok := c.actorPorts(d.Actor)
+		if !ok {
+			c.errf(d.TargetSpan, "unknown actor %q", d.Actor)
+		} else if _, ok := findPort(tin, d.Port); !ok {
+			c.errf(d.TargetSpan, "actor %s has no input %q", d.Actor, d.Port)
+		} else {
+			key := d.Actor + "." + d.Port
+			if bound[key] {
+				c.errf(d.TargetSpan, "input %s is bound to a signal; a drive would fight the binding", key)
+			}
+			if _, dup := seen[key]; dup {
+				c.errf(d.TargetSpan, "input %s already driven by an earlier drive", key)
+			}
+			seen[key] = d.TargetSpan
+		}
+		c.checkExpr(d.Expr, d.ExprSpan, fmt.Sprintf("drive %s.%s", d.Actor, d.Port), driveKnown)
+	}
+}
+
+func (c *checker) checkBoard() {
+	b := c.f.Board
+	if b == nil {
+		return
+	}
+	switch b.Sched {
+	case "", "cooperative", "fixed_priority":
+	default:
+		c.errf(b.SchedSpan, "unknown scheduling policy %q (cooperative|fixed_priority)", b.Sched)
+	}
+}
+
+// nodes returns the placement nodes named by `on` clauses, in first-use
+// order ("main" stands in for unplaced actors when any placement exists).
+func (c *checker) nodes() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	placed := false
+	for _, a := range c.f.Actors {
+		if a.Node != "" {
+			placed = true
+		}
+	}
+	if !placed {
+		return nil
+	}
+	for _, a := range c.f.Actors {
+		if a.Node != "" {
+			add(a.Node)
+		} else {
+			add("main")
+		}
+	}
+	return out
+}
+
+func (c *checker) checkBus() {
+	b := c.f.Bus
+	if b == nil {
+		return
+	}
+	nodes := c.nodes()
+	known := map[string]bool{}
+	for _, n := range nodes {
+		known[n] = true
+	}
+	if len(b.Slots) == 0 {
+		c.errf(b.Span, "bus declares no slots")
+	}
+	if c.lim.MaxSlots > 0 && len(b.Slots) > c.lim.MaxSlots {
+		c.errf(b.Span, "bus declares %d slots (limit %d)", len(b.Slots), c.lim.MaxSlots)
+	}
+	for _, s := range b.Slots {
+		if s.LenNs == 0 {
+			c.errf(s.LenSpan, "slot length must be positive")
+		}
+		if len(nodes) > 0 && !known[s.Owner] {
+			c.errf(s.OwnerSpan, "slot owner %q is not a node of this system (nodes: %s)",
+				s.Owner, strings.Join(nodes, ", "))
+		}
+	}
+	if b.HasLoss && (b.LossPerMille < 0 || b.LossPerMille > 1000) {
+		c.errf(b.LossSpan, "loss is per mille: want 0..1000, got %d", b.LossPerMille)
+	}
+	if b.JitterNs > 0 {
+		for _, s := range b.Slots {
+			if s.LenNs > 0 && b.JitterNs >= s.LenNs {
+				c.errf(b.JitterSpan, "release jitter must be below every slot length (slot %q is %dns)",
+					s.Owner, s.LenNs)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// checkOne runs parse+check on src and fails the test on parse errors
+// (checker tests must exercise the checker, not the parser).
+func checkOne(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	f, diags := ParseFile(src)
+	if HasErrors(diags) {
+		t.Fatalf("parse errors in checker test input:\n%s", Render("t.gmdf", src, diags))
+	}
+	return Check(f, DefaultLimits())
+}
+
+// wrap builds a minimal valid file around one actor body.
+func wrap(body string) string {
+	return "system t\n\nactor a {\n    period 10ms\n    deadline 5ms\n    network n {\n" + body + "    }\n}\n"
+}
+
+func TestCheckerFindings(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // substrings of distinct expected error messages
+	}{
+		{
+			name: "kind mismatch on wire",
+			src: wrap("        in x bool\n        out y float\n        block gain g { k = 1.0 }\n" +
+				"        wire .x -> g.in\n        wire g.out -> .y\n"),
+			want: []string{"kind mismatch"},
+		},
+		{
+			name: "double driver",
+			src: wrap("        in x float\n        out y float\n        block gain g { k = 1.0 }\n" +
+				"        wire .x -> g.in\n        wire .x -> g.in\n        wire g.out -> .y\n"),
+			want: []string{"already driven"},
+		},
+		{
+			name: "undriven input and output",
+			src: wrap("        in x float\n        out y float\n        block sum s { }\n" +
+				"        wire .x -> s.a\n        wire s.out -> .y\n"),
+			want: []string{"input s.b not driven"},
+		},
+		{
+			name: "unknown ports",
+			src: wrap("        in x float\n        out y float\n        block gain g { k = 1.0 }\n" +
+				"        wire .nope -> g.in\n        wire g.wat -> .y\n"),
+			want: []string{`unknown network input "nope"`, `has no output "wat"`},
+		},
+		{
+			name: "machine rules",
+			src: wrap("        in x float\n        out y float\n" +
+				"        machine m {\n            in x float\n            out y float\n" +
+				"            initial Nowhere\n            state A { y = \"0\" }\n            state A { y = \"1\" }\n" +
+				"            transition t1: A -> Gone when \"x > 1\"\n        }\n" +
+				"        wire .x -> m.x\n        wire m.y -> .y\n"),
+			want: []string{`duplicate state "A"`, `initial state "Nowhere"`, `unknown target state "Gone"`},
+		},
+		{
+			name: "guard expression position",
+			src: wrap("        in x float\n        out y float\n" +
+				"        machine m {\n            in x float\n            out y float\n" +
+				"            initial A\n            state A { y = \"0\" }\n" +
+				"            transition t1: A -> A when \"x +* 1\"\n        }\n" +
+				"        wire .x -> m.x\n        wire m.y -> .y\n"),
+			want: []string{"guard"},
+		},
+		{
+			name: "modal selector must be declared int input",
+			src: wrap("        in x float\n        out y float\n" +
+				"        modal m selects sel {\n            in x float\n            out y float\n" +
+				"            mode 1: block gain g { k = 1.0 }\n        }\n" +
+				"        wire .x -> m.x\n        wire m.y -> .y\n"),
+			want: []string{"selector"},
+		},
+		{
+			name: "duplicate mode selector",
+			src: wrap("        in x float\n        in sel int\n        out y float\n" +
+				"        modal m selects sel {\n            in x float\n            in sel int\n            out y float\n" +
+				"            mode 1: block gain a { k = 1.0 }\n            mode 1: block gain b { k = 2.0 }\n        }\n" +
+				"        wire .x -> m.x\n        wire .sel -> m.sel\n        wire m.y -> .y\n"),
+			want: []string{"duplicate mode selector 1"},
+		},
+		{
+			name: "unknown enum literal in selector",
+			src: "system t\n\nenum E { a b }\n\nactor a {\n    period 10ms\n    deadline 5ms\n    network n {\n" +
+				"        in x float\n        in sel int\n        out y float\n" +
+				"        modal m selects sel {\n            in x float\n            in sel int\n            out y float\n" +
+				"            mode E.nope: block gain g { k = 1.0 }\n        }\n" +
+				"        wire .x -> m.x\n        wire .sel -> m.sel\n        wire m.y -> .y\n    }\n}\n",
+			want: []string{"nope"},
+		},
+		{
+			name: "bind endpoints",
+			src: "system t\n\nactor a {\n    period 10ms\n    deadline 5ms\n    network n {\n" +
+				"        out y float\n        block const c { value = 1.0 }\n        wire c.out -> .y\n    }\n}\n" +
+				"bind s: a.y -> ghost.x\n",
+			want: []string{`unknown destination actor "ghost"`},
+		},
+		{
+			name: "drive targets",
+			src: "system t\n\nactor a {\n    period 10ms\n    deadline 5ms\n    network n {\n" +
+				"        in x float\n        out y float\n        block gain g { k = 1.0 }\n" +
+				"        wire .x -> g.in\n        wire g.out -> .y\n    }\n}\n" +
+				"drive a.ghost = \"sin(t)\"\n",
+			want: []string{"ghost"},
+		},
+		{
+			name: "drive expression position",
+			src: "system t\n\nactor a {\n    period 10ms\n    deadline 5ms\n    network n {\n" +
+				"        in x float\n        out y float\n        block gain g { k = 1.0 }\n" +
+				"        wire .x -> g.in\n        wire g.out -> .y\n    }\n}\n" +
+				"drive a.x = \"1 +\"\n",
+			want: []string{"drive"},
+		},
+		{
+			name: "bus jitter must stay below slot length",
+			src: "system t\n\nactor a {\n    on n1\n    period 10ms\n    deadline 5ms\n    network n {\n" +
+				"        out y float\n        block const c { value = 1.0 }\n        wire c.out -> .y\n    }\n}\n" +
+				"actor b {\n    on n2\n    period 10ms\n    deadline 5ms\n    network m {\n" +
+				"        in x float\n        out z float\n        block gain g { k = 1.0 }\n" +
+				"        wire .x -> g.in\n        wire g.out -> .z\n    }\n}\n" +
+				"bind s: a.y -> b.x\n" +
+				"bus {\n    slot n1 50us\n    slot n2 100us\n    jitter 60us\n}\n",
+			want: []string{"jitter"},
+		},
+		{
+			name: "unknown slot owner",
+			src: "system t\n\nactor a {\n    on n1\n    period 10ms\n    deadline 5ms\n    network n {\n" +
+				"        out y float\n        block const c { value = 1.0 }\n        wire c.out -> .y\n    }\n}\n" +
+				"bus {\n    slot mars 100us\n}\n",
+			want: []string{`"mars"`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := checkOne(t, tc.src)
+			if !HasErrors(diags) {
+				t.Fatalf("checker found nothing in:\n%s", tc.src)
+			}
+			for _, want := range tc.want {
+				found := false
+				for _, d := range diags {
+					if strings.Contains(d.Msg, want) {
+						found = true
+						if d.Span.Start < 0 || d.Span.End > len(tc.src)+1 {
+							t.Errorf("diagnostic %q has out-of-range span %+v", d.Msg, d.Span)
+						}
+						break
+					}
+				}
+				if !found {
+					var msgs []string
+					for _, d := range diags {
+						msgs = append(msgs, d.Msg)
+					}
+					t.Errorf("no diagnostic contains %q; got %q", want, msgs)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckCleanScenario: a correct file produces zero check diagnostics.
+func TestCheckCleanScenario(t *testing.T) {
+	src := wrap("        in x float\n        out y float\n        block gain g { k = 2.0 }\n" +
+		"        wire .x -> g.in\n        wire g.out -> .y\n")
+	if diags := checkOne(t, src); len(diags) != 0 {
+		t.Fatalf("clean file produced diagnostics:\n%s", Render("t.gmdf", src, diags))
+	}
+}
+
+// TestCheckLimits: resource bounds trip before anything is built.
+func TestCheckLimits(t *testing.T) {
+	src := wrap("        in x float\n        out y float\n        block gain g { k = 1.0 }\n" +
+		"        wire .x -> g.in\n        wire g.out -> .y\n")
+	lim := DefaultLimits()
+	lim.MaxWires = 1 // the test file has two
+	f, pd := ParseFile(src)
+	if HasErrors(pd) {
+		t.Fatal("parse failed")
+	}
+	diags := Check(f, lim)
+	if !HasErrors(diags) {
+		t.Fatal("MaxWires not enforced")
+	}
+
+	lim = DefaultLimits()
+	lim.MaxRunNs = 1
+	f2, _ := ParseFile(src + "run 300ms\n")
+	if diags := Check(f2, lim); !HasErrors(diags) {
+		t.Fatal("MaxRunNs not enforced")
+	}
+}
+
+// TestCheckerErrorPositionsAnchorInsideGuardLiteral: an expression error
+// inside a quoted guard re-anchors to the offending byte of the literal,
+// not the start of the line — the line:col a user sees points into the
+// expression itself.
+func TestCheckerErrorPositionsAnchorInsideGuardLiteral(t *testing.T) {
+	src := wrap("        in x float\n        out y float\n" +
+		"        machine m {\n            in x float\n            out y float\n" +
+		"            initial A\n            state A { y = \"0\" }\n" +
+		"            transition t1: A -> A when \"x +* 1\"\n        }\n" +
+		"        wire .x -> m.x\n        wire m.y -> .y\n")
+	diags := checkOne(t, src)
+	lit := strings.Index(src, `"x +* 1"`)
+	if lit < 0 {
+		t.Fatal("test source lost its guard")
+	}
+	found := false
+	for _, d := range diags {
+		if d.Span.Start > lit && d.Span.End <= lit+len(`"x +* 1"`) {
+			found = true
+			_, col := expr.LineCol(src, d.Span.Start)
+			wantCol := d.Span.Start - strings.LastIndexByte(src[:d.Span.Start], '\n')
+			if col != wantCol {
+				t.Errorf("LineCol col = %d, want %d", col, wantCol)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no diagnostic anchored inside the guard literal; got %+v", diags)
+	}
+}

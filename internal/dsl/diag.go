@@ -1,0 +1,132 @@
+package dsl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Span is a half-open byte range [Start, End) into the source text.
+type Span struct {
+	Start int
+	End   int
+}
+
+// spanOf builds a span over one token.
+func spanOf(t token) Span { return Span{Start: t.off, End: t.end} }
+
+// Severity classifies a diagnostic.
+type Severity uint8
+
+const (
+	// SevError marks a diagnostic that blocks loading.
+	SevError Severity = iota
+	// SevWarning marks a lint finding: legal but suspicious.
+	SevWarning
+)
+
+// String renders the severity the way compilers spell it.
+func (s Severity) String() string {
+	if s == SevWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one positioned finding from any pipeline stage.
+type Diagnostic struct {
+	Sev   Severity
+	Stage string // "parse", "check" or "lint"
+	Span  Span
+	Msg   string
+}
+
+// errorf appends an error diagnostic to *ds.
+func errorf(ds *[]Diagnostic, stage string, sp Span, format string, args ...any) {
+	*ds = append(*ds, Diagnostic{Sev: SevError, Stage: stage, Span: sp, Msg: fmt.Sprintf(format, args...)})
+}
+
+// warnf appends a lint warning to *ds.
+func warnf(ds *[]Diagnostic, sp Span, format string, args ...any) {
+	*ds = append(*ds, Diagnostic{Sev: SevWarning, Stage: "lint", Span: sp, Msg: fmt.Sprintf(format, args...)})
+}
+
+// sortDiags orders diagnostics deterministically: by position, then
+// errors before warnings, then message text. Every public entry point
+// sorts before returning, so rendering the same source twice is
+// byte-identical.
+func sortDiags(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Span.Start != ds[j].Span.Start {
+			return ds[i].Span.Start < ds[j].Span.Start
+		}
+		if ds[i].Sev != ds[j].Sev {
+			return ds[i].Sev < ds[j].Sev
+		}
+		if ds[i].Msg != ds[j].Msg {
+			return ds[i].Msg < ds[j].Msg
+		}
+		return ds[i].Stage < ds[j].Stage
+	})
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats diagnostics as "file:line:col: sev: msg" headers, each
+// followed by the offending source line and a caret marker under the
+// span. The output is stable for a given (file, src, ds) triple.
+func Render(file, src string, ds []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range ds {
+		start := d.Span.Start
+		if start < 0 {
+			start = 0
+		}
+		if start > len(src) {
+			start = len(src)
+		}
+		line, col := expr.LineCol(src, start)
+		fmt.Fprintf(&sb, "%s:%d:%d: %s: %s\n", file, line, col, d.Sev, d.Msg)
+
+		ls := strings.LastIndexByte(src[:start], '\n') + 1
+		le := len(src)
+		if i := strings.IndexByte(src[ls:], '\n'); i >= 0 {
+			le = ls + i
+		}
+		text := src[ls:le]
+		sb.WriteString("    ")
+		sb.WriteString(text)
+		sb.WriteByte('\n')
+
+		carets := d.Span.End - start
+		if max := le - start; carets > max {
+			carets = max
+		}
+		if carets < 1 {
+			carets = 1
+		}
+		sb.WriteString("    ")
+		// Mirror tabs in the source prefix so the caret lands under the
+		// token regardless of tab rendering width.
+		for _, c := range []byte(text[:start-ls]) {
+			if c == '\t' {
+				sb.WriteByte('\t')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString(strings.Repeat("^", carets))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,101 @@
+package dsl
+
+import (
+	"os"
+	"testing"
+)
+
+// fuzzSeeds are the corpus shared by both targets: the committed
+// fidelity scenario, each testdata scenario, and hand-picked slivers of
+// syntax that exercise lexer edge cases (duration suffixes, escapes,
+// unterminated constructs, resync points).
+func fuzzSeeds(f *testing.F) {
+	f.Helper()
+	for _, p := range []string{
+		"../../examples/dsl/heating.gmdf",
+		"testdata/parse_errors.gmdf",
+		"testdata/check_errors.gmdf",
+		"testdata/lint_warnings.gmdf",
+	} {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, s := range []string{
+		"",
+		"system s\n",
+		"system s\nactor a { period 10ms\ndeadline 5ms\nnetwork n { out y float\nblock const c { value = 1.0 }\nwire c.out -> .y } }\n",
+		"system \x00\xff\n",
+		"run 9999999999999999999999s\n",
+		"actor { { { {",
+		"system s\nactor a{network n{machine m{transition t: A -> B when \"x <\n",
+		"system s\ndrive a.b = \"\\\"\\n\\t\"\n",
+		"system s\nbus { slot x 1ns slot y 0ns jitter 18446744073709551615ns }\n",
+		"system s # comment\n# another\n\tactor\ta\t{}\n",
+		"system s\nenum E { }\nenum E { a a }\n",
+		"period 1us 2us 3us",
+		"system s\nactor a { period 10ms deadline 5ms network n { out y float\nblock gain g { k = -1.5e300 }\nwire g.out -> .y } }\n",
+	} {
+		f.Add(s)
+	}
+}
+
+// checkSpans fails the fuzz run if any diagnostic span escapes the
+// source text (rendering would slice out of range or point nowhere).
+func checkSpans(t *testing.T, src string, ds []Diagnostic) {
+	t.Helper()
+	for _, d := range ds {
+		if d.Span.Start < 0 || d.Span.Start > len(src)+1 {
+			t.Fatalf("span start %d outside source of %d bytes (msg %q)", d.Span.Start, len(src), d.Msg)
+		}
+		if d.Span.End < d.Span.Start || d.Span.End > len(src)+1 {
+			t.Fatalf("span end %d invalid (start %d, source %d bytes, msg %q)", d.Span.End, d.Span.Start, len(src), d.Msg)
+		}
+		if d.Msg == "" {
+			t.Fatal("empty diagnostic message")
+		}
+	}
+}
+
+// FuzzLex: the lexer must never panic and every token and diagnostic
+// must stay inside the source.
+func FuzzLex(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, diags := lexFile(src)
+		checkSpans(t, src, diags)
+		for _, tok := range toks {
+			if tok.off < 0 || tok.end < tok.off || tok.end > len(src) {
+				t.Fatalf("token %v spans [%d,%d) outside %d-byte source", tok.kind, tok.off, tok.end, len(src))
+			}
+		}
+	})
+}
+
+// FuzzParse: the full front end — parse, check, lint, render — must
+// never panic on arbitrary input, must keep spans in range, and must be
+// deterministic (two runs over the same bytes render identically).
+// Rendering exercises the span arithmetic the caret excerpts do.
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		run := func() ([]Diagnostic, string) {
+			file, diags := ParseFile(src)
+			if !HasErrors(diags) {
+				diags = append(diags, Check(file, DefaultLimits())...)
+			}
+			if !HasErrors(diags) {
+				diags = append(diags, Lint(file)...)
+			}
+			sortDiags(diags)
+			return diags, Render("fuzz.gmdf", src, diags)
+		}
+		diags, rendered := run()
+		checkSpans(t, src, diags)
+		if _, again := run(); again != rendered {
+			t.Fatal("same source rendered differently on a second pass")
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package dsl
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden diagnostic files")
+
+// frontEnd mirrors LoadSource's staging: parse errors suppress the
+// checker (partial ASTs would produce spurious findings), check errors
+// suppress the linter, and the merged list is sorted.
+func frontEnd(src string) []Diagnostic {
+	f, diags := ParseFile(src)
+	if !HasErrors(diags) {
+		diags = append(diags, Check(f, DefaultLimits())...)
+	}
+	if !HasErrors(diags) {
+		diags = append(diags, Lint(f)...)
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// TestGoldenDiagnostics renders every testdata scenario's diagnostics and
+// compares byte-for-byte against the committed golden file. Run with
+// -update to regenerate after an intentional wording or position change
+// — and eyeball the diff: the golden files are the user-facing contract
+// for positions, carets and message text.
+func TestGoldenDiagnostics(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.gmdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata scenarios")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".gmdf")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := Render(filepath.Base(file), string(src), frontEnd(string(src)))
+			if got == "" {
+				t.Fatalf("%s produced no diagnostics; golden tests need findings", file)
+			}
+
+			// Render twice from scratch: the determinism contract the CI
+			// job diffs at the CLI level, pinned here per input.
+			if again := Render(filepath.Base(file), string(src), frontEnd(string(src))); again != got {
+				t.Fatal("two renders of the same source differ")
+			}
+
+			goldenPath := file[:len(file)-len(".gmdf")] + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run: go test ./internal/dsl -run TestGolden -update)", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}

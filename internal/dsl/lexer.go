@@ -1,0 +1,242 @@
+package dsl
+
+import (
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies .gmdf lexemes.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt    // integer literal (i)
+	tFloat  // float literal (f)
+	tDur    // duration literal (ns)
+	tString // quoted string (text holds the unescaped value)
+	tLBrace
+	tRBrace
+	tColon
+	tComma
+	tEq
+	tDot
+	tArrow
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of file"
+	case tIdent:
+		return "identifier"
+	case tInt:
+		return "integer"
+	case tFloat:
+		return "float"
+	case tDur:
+		return "duration"
+	case tString:
+		return "string"
+	case tLBrace:
+		return "'{'"
+	case tRBrace:
+		return "'}'"
+	case tColon:
+		return "':'"
+	case tComma:
+		return "','"
+	case tEq:
+		return "'='"
+	case tDot:
+		return "'.'"
+	case tArrow:
+		return "'->'"
+	}
+	return "token"
+}
+
+// token is one lexeme with its source extent. line is 1-based and lets
+// the parser resynchronise at statement (line) boundaries.
+type token struct {
+	kind tokKind
+	text string
+	off  int
+	end  int
+	line int
+
+	i  int64   // tInt
+	f  float64 // tFloat
+	ns uint64  // tDur
+}
+
+// durUnits maps duration suffixes to nanoseconds.
+var durUnits = map[string]uint64{"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000}
+
+// lexFile tokenizes src. It never fails: garbage produces a diagnostic
+// and lexing resumes at the next byte, so the parser always receives an
+// EOF-terminated stream and every error in the file is reported.
+func lexFile(src string) ([]token, []Diagnostic) {
+	var (
+		toks  []token
+		diags []Diagnostic
+		pos   int
+		line  = 1
+	)
+	emit := func(k tokKind, start int, text string) *token {
+		toks = append(toks, token{kind: k, text: text, off: start, end: pos, line: line})
+		return &toks[len(toks)-1]
+	}
+	for pos < len(src) {
+		c := src[pos]
+		switch {
+		case c == '\n':
+			line++
+			pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			pos++
+		case c == '#':
+			pos = lineEnd(src, pos)
+		case c == '/' && pos+1 < len(src) && src[pos+1] == '/':
+			pos = lineEnd(src, pos)
+		case c == '{':
+			pos++
+			emit(tLBrace, pos-1, "{")
+		case c == '}':
+			pos++
+			emit(tRBrace, pos-1, "}")
+		case c == ':':
+			pos++
+			emit(tColon, pos-1, ":")
+		case c == ',':
+			pos++
+			emit(tComma, pos-1, ",")
+		case c == '=':
+			pos++
+			emit(tEq, pos-1, "=")
+		case c == '.':
+			pos++
+			emit(tDot, pos-1, ".")
+		case c == '-' && pos+1 < len(src) && src[pos+1] == '>':
+			pos += 2
+			emit(tArrow, pos-2, "->")
+		case isDigitB(c) || (c == '-' && pos+1 < len(src) && isDigitB(src[pos+1])):
+			start := pos
+			pos++
+			for pos < len(src) && isDigitB(src[pos]) {
+				pos++
+			}
+			isFloat := false
+			if pos < len(src) && src[pos] == '.' && pos+1 < len(src) && isDigitB(src[pos+1]) {
+				isFloat = true
+				pos++
+				for pos < len(src) && isDigitB(src[pos]) {
+					pos++
+				}
+			}
+			numEnd := pos
+			for pos < len(src) && isAlphaB(src[pos]) {
+				pos++
+			}
+			text := src[start:pos]
+			switch {
+			case pos > numEnd: // unit suffix -> duration
+				unit := src[numEnd:pos]
+				mult, ok := durUnits[unit]
+				t := emit(tDur, start, text)
+				if !ok {
+					errorf(&diags, "parse", spanOf(*t), "unknown duration unit %q (ns|us|ms|s)", unit)
+					break
+				}
+				if isFloat {
+					errorf(&diags, "parse", spanOf(*t), "duration %q must be an integer count of %s", text, unit)
+					break
+				}
+				n, err := strconv.ParseUint(src[start:numEnd], 10, 64)
+				if err != nil {
+					errorf(&diags, "parse", spanOf(*t), "bad duration %q: %v", text, err)
+					break
+				}
+				t.ns = n * mult
+			case isFloat:
+				f, err := strconv.ParseFloat(text, 64)
+				t := emit(tFloat, start, text)
+				if err != nil {
+					errorf(&diags, "parse", spanOf(*t), "bad number %q: %v", text, err)
+					break
+				}
+				t.f = f
+			default:
+				i, err := strconv.ParseInt(text, 10, 64)
+				t := emit(tInt, start, text)
+				if err != nil {
+					errorf(&diags, "parse", spanOf(*t), "bad integer %q: %v", text, err)
+					break
+				}
+				t.i = i
+			}
+		case c == '"':
+			start := pos
+			pos++
+			var sb strings.Builder
+			closed := false
+			for pos < len(src) {
+				ch := src[pos]
+				if ch == '"' {
+					pos++
+					closed = true
+					break
+				}
+				if ch == '\n' {
+					break
+				}
+				if ch == '\\' && pos+1 < len(src) {
+					switch src[pos+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '"':
+						sb.WriteByte('"')
+					case '\\':
+						sb.WriteByte('\\')
+					default:
+						errorf(&diags, "parse", Span{Start: pos, End: pos + 2},
+							"unknown escape \\%c in string", src[pos+1])
+					}
+					pos += 2
+					continue
+				}
+				sb.WriteByte(ch)
+				pos++
+			}
+			t := emit(tString, start, sb.String())
+			if !closed {
+				errorf(&diags, "parse", spanOf(*t), "unterminated string")
+			}
+		case isAlphaB(c) || c == '_':
+			start := pos
+			pos++
+			for pos < len(src) && (isAlphaB(src[pos]) || isDigitB(src[pos]) || src[pos] == '_') {
+				pos++
+			}
+			emit(tIdent, start, src[start:pos])
+		default:
+			errorf(&diags, "parse", Span{Start: pos, End: pos + 1}, "unexpected character %q", c)
+			pos++
+		}
+	}
+	toks = append(toks, token{kind: tEOF, off: pos, end: pos, line: line})
+	return toks, diags
+}
+
+func lineEnd(src string, pos int) int {
+	if i := strings.IndexByte(src[pos:], '\n'); i >= 0 {
+		return pos + i
+	}
+	return len(src)
+}
+
+func isDigitB(c byte) bool { return c >= '0' && c <= '9' }
+
+func isAlphaB(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }

@@ -1,0 +1,164 @@
+package dsl
+
+import (
+	"strings"
+
+	"repro"
+)
+
+// componentParams lists the parameters each prefabricated component
+// kind actually reads (comdes factories silently ignore the rest, which
+// is exactly the kind of legal-but-suspicious construct the linter is
+// for).
+var componentParams = map[string][]string{
+	"const":        {"value"},
+	"gain":         {"k"},
+	"sum":          {},
+	"sub":          {},
+	"mul":          {},
+	"limit":        {"lo", "hi"},
+	"compare":      {"threshold"},
+	"deadband":     {"width"},
+	"p_controller": {"kp"},
+	"hysteresis":   {"lo", "hi"},
+}
+
+// Lint reports suspicious-but-legal constructs as warnings. It assumes
+// the file already checked clean; on an unchecked file some findings
+// may be nonsense (a lint never blocks loading either way).
+func Lint(f *File) []Diagnostic {
+	var ds []Diagnostic
+
+	fixedPriority := f.Board != nil && f.Board.Sched == "fixed_priority"
+	for _, a := range f.Actors {
+		if a.HasPeriod && a.HasDeadline && a.DeadlineNs == a.PeriodNs {
+			warnf(&ds, a.DeadlineSpan, "deadline equals period: zero scheduling slack for actor %q", a.Name)
+		}
+		if a.HasPeriod && a.PeriodNs > 0 && a.OffsetNs >= a.PeriodNs {
+			warnf(&ds, a.OffsetSpan, "release offset of actor %q is not below its period", a.Name)
+		}
+		if a.Priority != 0 && !fixedPriority {
+			warnf(&ds, a.PrioritySpan, "priority of actor %q has no effect without 'board { sched fixed_priority }'", a.Name)
+		}
+		if a.Net == nil {
+			continue
+		}
+		for _, b := range a.Net.Blocks {
+			switch d := b.(type) {
+			case *ComponentDecl:
+				lintComponentParams(&ds, d)
+			case *ModalDecl:
+				for _, md := range d.Modes {
+					lintComponentParams(&ds, md.Block)
+				}
+				lintComponentParams(&ds, d.Fallback)
+			case *CompositeDecl:
+				for _, cb := range d.Blocks {
+					lintComponentParams(&ds, cb)
+				}
+			}
+		}
+	}
+
+	lintEnums(&ds, f)
+	lintBus(&ds, f)
+
+	if f.Env != nil && f.Env.Standard && repro.StandardEnvironment(f.Name) == nil {
+		warnf(&ds, f.Env.Span, "no standard environment is defined for system %q; only drives will stimulate it", f.Name)
+	}
+
+	sortDiags(ds)
+	return ds
+}
+
+func lintComponentParams(ds *[]Diagnostic, d *ComponentDecl) {
+	if d == nil {
+		return
+	}
+	accepted, known := componentParams[d.Kind]
+	if !known {
+		return // unknown kind is a check error, not a lint
+	}
+	for _, p := range d.Params {
+		used := false
+		for _, a := range accepted {
+			if a == p.Name {
+				used = true
+				break
+			}
+		}
+		if !used {
+			warnf(ds, p.Span, "component kind %q ignores parameter %q", d.Kind, p.Name)
+		}
+	}
+}
+
+// lintEnums flags enums no mode selector ever references.
+func lintEnums(ds *[]Diagnostic, f *File) {
+	used := map[string]bool{}
+	for _, a := range f.Actors {
+		if a.Net == nil {
+			continue
+		}
+		for _, b := range a.Net.Blocks {
+			m, ok := b.(*ModalDecl)
+			if !ok {
+				continue
+			}
+			for _, md := range m.Modes {
+				if md.EnumRef != "" {
+					if dot := strings.IndexByte(md.EnumRef, '.'); dot >= 0 {
+						used[md.EnumRef[:dot]] = true
+					}
+				}
+			}
+		}
+	}
+	for _, e := range f.Enums {
+		if !used[e.Name] {
+			warnf(ds, e.Span, "enum %q is never referenced by a mode selector", e.Name)
+		}
+	}
+}
+
+// lintBus flags bus schedules that cannot matter (single node) and
+// placed nodes the schedule starves (no slot).
+func lintBus(ds *[]Diagnostic, f *File) {
+	if f.Bus == nil {
+		return
+	}
+	nodes := map[string]bool{}
+	placed := false
+	for _, a := range f.Actors {
+		if a.Node != "" {
+			placed = true
+		}
+	}
+	if placed {
+		for _, a := range f.Actors {
+			if a.Node != "" {
+				nodes[a.Node] = true
+			} else {
+				nodes["main"] = true
+			}
+		}
+	}
+	if len(nodes) < 2 {
+		warnf(ds, f.Bus.Span, "bus schedule on a system with fewer than two nodes has no effect")
+		return
+	}
+	owned := map[string]bool{}
+	for _, s := range f.Bus.Slots {
+		owned[s.Owner] = true
+	}
+	for _, a := range f.Actors {
+		n := a.Node
+		if n == "" {
+			n = "main"
+		}
+		if !owned[n] {
+			warnf(ds, f.Bus.Span, "node %q has no bus slot; its frames can never transmit", n)
+			owned[n] = true // one warning per node
+		}
+	}
+}

@@ -1,0 +1,933 @@
+package dsl
+
+import (
+	"repro/internal/value"
+)
+
+// parser consumes the token stream with statement-level resynchronisation:
+// any malformed statement produces one diagnostic, tokens are skipped to
+// the next statement boundary (line break at brace depth zero, or an
+// enclosing '}'), and parsing continues — so one pass reports every
+// syntax error in the file.
+type parser struct {
+	toks  []token
+	pos   int
+	diags []Diagnostic
+}
+
+// ParseFile parses a .gmdf source into its AST. The returned File is
+// always non-nil; it is only meaningful when the diagnostics carry no
+// errors.
+func ParseFile(src string) (*File, []Diagnostic) {
+	toks, diags := lexFile(src)
+	p := &parser{toks: toks, diags: diags}
+	f := p.parseFile()
+	sortDiags(p.diags)
+	return f, p.diags
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+// atKw reports whether the next token is the given contextual keyword.
+func (p *parser) atKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tIdent && t.text == kw
+}
+
+// expect consumes a token of the wanted kind or reports what was found.
+func (p *parser) expect(k tokKind, what string) (token, bool) {
+	t := p.peek()
+	if t.kind != k {
+		errorf(&p.diags, "parse", spanOf(t), "expected %s %s, found %s %q", k, what, t.kind, t.text)
+		return t, false
+	}
+	return p.next(), true
+}
+
+// errHere reports a diagnostic at the next token.
+func (p *parser) errHere(format string, args ...any) {
+	errorf(&p.diags, "parse", spanOf(p.peek()), format, args...)
+}
+
+// skipStmt advances past the remainder of a malformed statement: to the
+// next line at brace depth zero, an enclosing '}', or EOF. Braces opened
+// inside the statement are skipped whole.
+func (p *parser) skipStmt() {
+	startLine := p.peek().line
+	depth := 0
+	for {
+		t := p.peek()
+		if t.kind == tEOF {
+			return
+		}
+		if depth == 0 && (t.kind == tRBrace || t.line > startLine) {
+			return
+		}
+		switch t.kind {
+		case tLBrace:
+			depth++
+		case tRBrace:
+			depth--
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseFile() *File {
+	f := &File{}
+	if p.atKw("system") {
+		p.next()
+		if t, ok := p.expect(tIdent, "(system name)"); ok {
+			f.Name = t.text
+			f.NameSpan = spanOf(t)
+		}
+	} else {
+		p.errHere("a scenario starts with 'system <name>'")
+	}
+	for {
+		t := p.peek()
+		if t.kind == tEOF {
+			return f
+		}
+		if t.kind != tIdent {
+			p.errHere("expected a declaration keyword, found %s %q", t.kind, t.text)
+			p.skipStmt()
+			if p.peek().kind == tRBrace {
+				p.next() // stray brace at top level: consume and carry on
+			}
+			continue
+		}
+		switch t.text {
+		case "enum":
+			p.parseEnum(f)
+		case "actor":
+			p.parseActor(f)
+		case "bind":
+			p.parseBind(f)
+		case "environment":
+			p.parseEnv(f)
+		case "drive":
+			p.parseDrive(f)
+		case "board":
+			p.parseBoard(f)
+		case "bus":
+			p.parseBus(f)
+		case "run":
+			p.next()
+			d, ok := p.expect(tDur, "(scenario horizon)")
+			if !ok {
+				p.skipStmt()
+				continue
+			}
+			if f.RunNs != 0 {
+				errorf(&p.diags, "parse", spanOf(d), "duplicate 'run' declaration")
+				continue
+			}
+			f.RunNs = d.ns
+			f.RunSpan = spanOf(d)
+		default:
+			p.errHere("unknown declaration %q (enum|actor|bind|environment|drive|board|bus|run)", t.text)
+			p.skipStmt()
+		}
+	}
+}
+
+func (p *parser) parseEnum(f *File) {
+	p.next() // "enum"
+	name, ok := p.expect(tIdent, "(enum name)")
+	if !ok {
+		p.skipStmt()
+		return
+	}
+	e := &EnumDecl{Name: name.text, Span: spanOf(name)}
+	if _, ok := p.expect(tLBrace, "opening the enum"); !ok {
+		p.skipStmt()
+		return
+	}
+	for p.peek().kind == tIdent {
+		lit := p.next()
+		e.Literals = append(e.Literals, lit.text)
+		e.LitSpans = append(e.LitSpans, spanOf(lit))
+	}
+	p.expect(tRBrace, "closing the enum")
+	f.Enums = append(f.Enums, e)
+}
+
+func (p *parser) parseActor(f *File) {
+	p.next() // "actor"
+	name, ok := p.expect(tIdent, "(actor name)")
+	if !ok {
+		p.skipStmt()
+		return
+	}
+	a := &ActorDecl{Name: name.text, Span: spanOf(name)}
+	if _, ok := p.expect(tLBrace, "opening the actor"); !ok {
+		p.skipStmt()
+		return
+	}
+	for {
+		t := p.peek()
+		if t.kind == tRBrace || t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			p.errHere("expected an actor item, found %s %q", t.kind, t.text)
+			p.skipStmt()
+			continue
+		}
+		switch t.text {
+		case "period":
+			p.next()
+			if d, ok := p.expect(tDur, "(task period)"); ok {
+				a.PeriodNs, a.PeriodSpan, a.HasPeriod = d.ns, spanOf(d), true
+			} else {
+				p.skipStmt()
+			}
+		case "offset":
+			p.next()
+			if d, ok := p.expect(tDur, "(release offset)"); ok {
+				a.OffsetNs, a.OffsetSpan = d.ns, spanOf(d)
+			} else {
+				p.skipStmt()
+			}
+		case "deadline":
+			p.next()
+			if d, ok := p.expect(tDur, "(task deadline)"); ok {
+				a.DeadlineNs, a.DeadlineSpan, a.HasDeadline = d.ns, spanOf(d), true
+			} else {
+				p.skipStmt()
+			}
+		case "priority":
+			p.next()
+			if n, ok := p.expect(tInt, "(task priority)"); ok {
+				a.Priority, a.PrioritySpan = n.i, spanOf(n)
+			} else {
+				p.skipStmt()
+			}
+		case "on":
+			p.next()
+			if n, ok := p.expect(tIdent, "(node name)"); ok {
+				a.Node, a.NodeSpan = n.text, spanOf(n)
+			} else {
+				p.skipStmt()
+			}
+		case "network":
+			net := p.parseNetwork()
+			if net != nil {
+				if a.Net != nil {
+					errorf(&p.diags, "parse", net.Span, "actor %q already has network %q", a.Name, a.Net.Name)
+				} else {
+					a.Net = net
+				}
+			}
+		default:
+			p.errHere("unknown actor item %q (period|offset|deadline|priority|on|network)", t.text)
+			p.skipStmt()
+		}
+	}
+	p.expect(tRBrace, "closing the actor")
+	f.Actors = append(f.Actors, a)
+}
+
+func (p *parser) parseNetwork() *NetworkDecl {
+	p.next() // "network"
+	name, ok := p.expect(tIdent, "(network name)")
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	n := &NetworkDecl{Name: name.text, Span: spanOf(name)}
+	if _, ok := p.expect(tLBrace, "opening the network"); !ok {
+		p.skipStmt()
+		return n
+	}
+	for {
+		t := p.peek()
+		if t.kind == tRBrace || t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			p.errHere("expected a network item, found %s %q", t.kind, t.text)
+			p.skipStmt()
+			continue
+		}
+		switch t.text {
+		case "in":
+			if pd, ok := p.parsePort(); ok {
+				n.Inputs = append(n.Inputs, pd)
+			}
+		case "out":
+			if pd, ok := p.parsePort(); ok {
+				n.Outputs = append(n.Outputs, pd)
+			}
+		case "block":
+			if c := p.parseComponent(); c != nil {
+				n.Blocks = append(n.Blocks, c)
+			}
+		case "machine":
+			if m := p.parseMachine(); m != nil {
+				n.Blocks = append(n.Blocks, m)
+			}
+		case "modal":
+			if m := p.parseModal(); m != nil {
+				n.Blocks = append(n.Blocks, m)
+			}
+		case "composite":
+			if c := p.parseComposite(); c != nil {
+				n.Blocks = append(n.Blocks, c)
+			}
+		case "wire":
+			if w := p.parseWire(); w != nil {
+				n.Wires = append(n.Wires, w)
+			}
+		default:
+			p.errHere("unknown network item %q (in|out|block|machine|modal|composite|wire)", t.text)
+			p.skipStmt()
+		}
+	}
+	p.expect(tRBrace, "closing the network")
+	return n
+}
+
+// parsePort parses "in name kind" / "out name kind" after peeking the
+// direction keyword.
+func (p *parser) parsePort() (PortDecl, bool) {
+	p.next() // "in" / "out"
+	name, ok := p.expect(tIdent, "(port name)")
+	if !ok {
+		p.skipStmt()
+		return PortDecl{}, false
+	}
+	kind, ok := p.expect(tIdent, "(port kind: float|int|bool)")
+	if !ok {
+		p.skipStmt()
+		return PortDecl{}, false
+	}
+	return PortDecl{Name: name.text, Kind: kind.text, Span: spanOf(name), KindSpan: spanOf(kind)}, true
+}
+
+// parseComponent parses "block kind name { params }" after peeking
+// "block".
+func (p *parser) parseComponent() *ComponentDecl {
+	p.next() // "block"
+	return p.parseComponentTail()
+}
+
+// parseComponentTail parses "kind name { params }" (shared with modal
+// mode entries, which spell "block" before calling here).
+func (p *parser) parseComponentTail() *ComponentDecl {
+	kind, ok := p.expect(tIdent, "(component kind)")
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	name, ok := p.expect(tIdent, "(instance name)")
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	c := &ComponentDecl{Kind: kind.text, Name: name.text, Span: spanOf(name), KindSpan: spanOf(kind)}
+	if p.peek().kind == tLBrace {
+		p.next()
+		for p.peek().kind == tIdent {
+			pn := p.next()
+			if _, ok := p.expect(tEq, "after parameter name"); !ok {
+				p.skipStmt()
+				continue
+			}
+			v, vs, ok := p.parseLiteral()
+			if !ok {
+				p.skipStmt()
+				continue
+			}
+			c.Params = append(c.Params, ParamDecl{Name: pn.text, Span: spanOf(pn), Val: v, ValSpan: vs})
+		}
+		p.expect(tRBrace, "closing the parameter list")
+	}
+	return c
+}
+
+// parseLiteral parses a parameter literal: number, string or bool.
+func (p *parser) parseLiteral() (value.Value, Span, bool) {
+	t := p.peek()
+	switch t.kind {
+	case tInt:
+		p.next()
+		return value.I(t.i), spanOf(t), true
+	case tFloat:
+		p.next()
+		return value.F(t.f), spanOf(t), true
+	case tString:
+		p.next()
+		return value.S(t.text), spanOf(t), true
+	case tIdent:
+		if t.text == "true" || t.text == "false" {
+			p.next()
+			return value.B(t.text == "true"), spanOf(t), true
+		}
+	}
+	p.errHere("expected a literal (number, string, true/false), found %s %q", t.kind, t.text)
+	return value.Value{}, spanOf(t), false
+}
+
+func (p *parser) parseMachine() *MachineDecl {
+	p.next() // "machine"
+	name, ok := p.expect(tIdent, "(machine name)")
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	m := &MachineDecl{Name: name.text, Span: spanOf(name)}
+	if _, ok := p.expect(tLBrace, "opening the machine"); !ok {
+		p.skipStmt()
+		return m
+	}
+	for {
+		t := p.peek()
+		if t.kind == tRBrace || t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			p.errHere("expected a machine item, found %s %q", t.kind, t.text)
+			p.skipStmt()
+			continue
+		}
+		switch t.text {
+		case "in":
+			if pd, ok := p.parsePort(); ok {
+				m.Inputs = append(m.Inputs, pd)
+			}
+		case "out":
+			if pd, ok := p.parsePort(); ok {
+				m.Outputs = append(m.Outputs, pd)
+			}
+		case "initial":
+			p.next()
+			if s, ok := p.expect(tIdent, "(initial state)"); ok {
+				m.Initial, m.InitialSpan = s.text, spanOf(s)
+			} else {
+				p.skipStmt()
+			}
+		case "state":
+			p.next()
+			sn, ok := p.expect(tIdent, "(state name)")
+			if !ok {
+				p.skipStmt()
+				continue
+			}
+			st := &StateDecl{Name: sn.text, Span: spanOf(sn)}
+			if _, ok := p.expect(tLBrace, "opening the state"); ok {
+				st.Entries = p.parseAssigns()
+				p.expect(tRBrace, "closing the state")
+			} else {
+				p.skipStmt()
+			}
+			m.States = append(m.States, st)
+		case "transition":
+			if tr := p.parseTransition(); tr != nil {
+				m.Transitions = append(m.Transitions, tr)
+			}
+		default:
+			p.errHere("unknown machine item %q (in|out|initial|state|transition)", t.text)
+			p.skipStmt()
+		}
+	}
+	p.expect(tRBrace, "closing the machine")
+	return m
+}
+
+// parseAssigns parses a run of `port = "expr"` lines (state entries,
+// transition actions) up to the closing brace.
+func (p *parser) parseAssigns() []AssignDecl {
+	var out []AssignDecl
+	for p.peek().kind == tIdent {
+		pn := p.next()
+		if _, ok := p.expect(tEq, "after output name"); !ok {
+			p.skipStmt()
+			continue
+		}
+		src, ok := p.expect(tString, "(quoted expression)")
+		if !ok {
+			p.skipStmt()
+			continue
+		}
+		out = append(out, AssignDecl{Port: pn.text, PortSpan: spanOf(pn), Src: src.text, SrcSpan: spanOf(src)})
+	}
+	return out
+}
+
+// parseTransition parses `transition name: From -> To when "guard"`
+// with an optional `{ actions }` tail.
+func (p *parser) parseTransition() *TransDecl {
+	p.next() // "transition"
+	name, ok := p.expect(tIdent, "(transition name)")
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	tr := &TransDecl{Name: name.text, Span: spanOf(name)}
+	if _, ok := p.expect(tColon, "after the transition name"); !ok {
+		p.skipStmt()
+		return tr
+	}
+	from, ok := p.expect(tIdent, "(source state)")
+	if !ok {
+		p.skipStmt()
+		return tr
+	}
+	tr.From, tr.FromSpan = from.text, spanOf(from)
+	if _, ok := p.expect(tArrow, "between the states"); !ok {
+		p.skipStmt()
+		return tr
+	}
+	to, ok := p.expect(tIdent, "(target state)")
+	if !ok {
+		p.skipStmt()
+		return tr
+	}
+	tr.To, tr.ToSpan = to.text, spanOf(to)
+	if !p.atKw("when") {
+		p.errHere("expected 'when \"guard\"' after the transition")
+		p.skipStmt()
+		return tr
+	}
+	p.next()
+	g, ok := p.expect(tString, "(guard expression)")
+	if !ok {
+		p.skipStmt()
+		return tr
+	}
+	tr.Guard, tr.GuardSpan = g.text, spanOf(g)
+	if p.peek().kind == tLBrace {
+		p.next()
+		tr.Actions = p.parseAssigns()
+		p.expect(tRBrace, "closing the actions")
+	}
+	return tr
+}
+
+func (p *parser) parseModal() *ModalDecl {
+	p.next() // "modal"
+	name, ok := p.expect(tIdent, "(modal name)")
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	m := &ModalDecl{Name: name.text, Span: spanOf(name)}
+	if !p.atKw("selects") {
+		p.errHere("expected 'selects <input>' after the modal name")
+		p.skipStmt()
+		return m
+	}
+	p.next()
+	sel, ok := p.expect(tIdent, "(selector input)")
+	if !ok {
+		p.skipStmt()
+		return m
+	}
+	m.Selector, m.SelectorSpan = sel.text, spanOf(sel)
+	if _, ok := p.expect(tLBrace, "opening the modal"); !ok {
+		p.skipStmt()
+		return m
+	}
+	for {
+		t := p.peek()
+		if t.kind == tRBrace || t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			p.errHere("expected a modal item, found %s %q", t.kind, t.text)
+			p.skipStmt()
+			continue
+		}
+		switch t.text {
+		case "in":
+			if pd, ok := p.parsePort(); ok {
+				m.Inputs = append(m.Inputs, pd)
+			}
+		case "out":
+			if pd, ok := p.parsePort(); ok {
+				m.Outputs = append(m.Outputs, pd)
+			}
+		case "mode":
+			p.next()
+			md := &ModeDecl{}
+			st := p.peek()
+			switch st.kind {
+			case tInt:
+				p.next()
+				md.Selector, md.SelSpan = st.i, spanOf(st)
+			case tIdent: // enum reference Enum.literal
+				p.next()
+				start := st.off
+				if _, ok := p.expect(tDot, "in the enum reference"); !ok {
+					p.skipStmt()
+					continue
+				}
+				lit, ok := p.expect(tIdent, "(enum literal)")
+				if !ok {
+					p.skipStmt()
+					continue
+				}
+				md.EnumRef = st.text + "." + lit.text
+				md.SelSpan = Span{Start: start, End: lit.end}
+			default:
+				p.errHere("expected a mode selector (integer or Enum.literal), found %s %q", st.kind, st.text)
+				p.skipStmt()
+				continue
+			}
+			if _, ok := p.expect(tColon, "after the mode selector"); !ok {
+				p.skipStmt()
+				continue
+			}
+			if !p.atKw("block") {
+				p.errHere("expected 'block <kind> <name>' as the mode body")
+				p.skipStmt()
+				continue
+			}
+			p.next()
+			if md.Block = p.parseComponentTail(); md.Block != nil {
+				m.Modes = append(m.Modes, md)
+			}
+		case "default":
+			p.next()
+			if _, ok := p.expect(tColon, "after 'default'"); !ok {
+				p.skipStmt()
+				continue
+			}
+			if !p.atKw("block") {
+				p.errHere("expected 'block <kind> <name>' as the default body")
+				p.skipStmt()
+				continue
+			}
+			p.next()
+			fb := p.parseComponentTail()
+			if fb != nil {
+				if m.Fallback != nil {
+					errorf(&p.diags, "parse", fb.Span, "modal %q already has a default", m.Name)
+				} else {
+					m.Fallback = fb
+				}
+			}
+		default:
+			p.errHere("unknown modal item %q (in|out|mode|default)", t.text)
+			p.skipStmt()
+		}
+	}
+	p.expect(tRBrace, "closing the modal")
+	return m
+}
+
+func (p *parser) parseComposite() *CompositeDecl {
+	p.next() // "composite"
+	name, ok := p.expect(tIdent, "(composite name)")
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	c := &CompositeDecl{Name: name.text, Span: spanOf(name)}
+	if _, ok := p.expect(tLBrace, "opening the composite"); !ok {
+		p.skipStmt()
+		return c
+	}
+	for {
+		t := p.peek()
+		if t.kind == tRBrace || t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			p.errHere("expected a composite item, found %s %q", t.kind, t.text)
+			p.skipStmt()
+			continue
+		}
+		switch t.text {
+		case "in":
+			if pd, ok := p.parsePort(); ok {
+				c.Inputs = append(c.Inputs, pd)
+			}
+		case "out":
+			if pd, ok := p.parsePort(); ok {
+				c.Outputs = append(c.Outputs, pd)
+			}
+		case "block":
+			if b := p.parseComponent(); b != nil {
+				c.Blocks = append(c.Blocks, b)
+			}
+		case "wire":
+			if w := p.parseWire(); w != nil {
+				c.Wires = append(c.Wires, w)
+			}
+		default:
+			p.errHere("unknown composite item %q (in|out|block|wire)", t.text)
+			p.skipStmt()
+		}
+	}
+	p.expect(tRBrace, "closing the composite")
+	return c
+}
+
+// parseWire parses `wire endpoint -> endpoint`.
+func (p *parser) parseWire() *WireDecl {
+	kw := p.next() // "wire"
+	fb, fp, fs, ok := p.parseEndpoint()
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	if _, ok := p.expect(tArrow, "between the endpoints"); !ok {
+		p.skipStmt()
+		return nil
+	}
+	tb, tp, ts, ok := p.parseEndpoint()
+	if !ok {
+		p.skipStmt()
+		return nil
+	}
+	return &WireDecl{
+		FromBlock: fb, FromPort: fp, ToBlock: tb, ToPort: tp,
+		FromSpan: fs, ToSpan: ts, Span: Span{Start: kw.off, End: ts.End},
+	}
+}
+
+// parseEndpoint parses ".port" (the enclosing interface) or
+// "block.port".
+func (p *parser) parseEndpoint() (block, port string, sp Span, ok bool) {
+	t := p.peek()
+	switch t.kind {
+	case tDot:
+		p.next()
+		pt, ok := p.expect(tIdent, "(interface port)")
+		if !ok {
+			return "", "", spanOf(t), false
+		}
+		return "", pt.text, Span{Start: t.off, End: pt.end}, true
+	case tIdent:
+		p.next()
+		if _, ok := p.expect(tDot, "in the endpoint"); !ok {
+			return "", "", spanOf(t), false
+		}
+		pt, ok := p.expect(tIdent, "(port name)")
+		if !ok {
+			return "", "", spanOf(t), false
+		}
+		return t.text, pt.text, Span{Start: t.off, End: pt.end}, true
+	}
+	errorf(&p.diags, "parse", spanOf(t), "expected an endpoint ('.port' or 'block.port'), found %s %q", t.kind, t.text)
+	return "", "", spanOf(t), false
+}
+
+// parseBind parses `bind signal: actor.port -> actor.port`.
+func (p *parser) parseBind(f *File) {
+	p.next() // "bind"
+	sig, ok := p.expect(tIdent, "(signal label)")
+	if !ok {
+		p.skipStmt()
+		return
+	}
+	b := &BindDecl{Signal: sig.text, Span: spanOf(sig)}
+	if _, ok := p.expect(tColon, "after the signal label"); !ok {
+		p.skipStmt()
+		return
+	}
+	fa, fp, fs, ok := p.parseEndpoint()
+	if !ok || fa == "" {
+		if ok {
+			errorf(&p.diags, "parse", fs, "a bind endpoint names an actor ('actor.port')")
+		}
+		p.skipStmt()
+		return
+	}
+	if _, ok := p.expect(tArrow, "between the endpoints"); !ok {
+		p.skipStmt()
+		return
+	}
+	ta, tp, ts, ok := p.parseEndpoint()
+	if !ok || ta == "" {
+		if ok {
+			errorf(&p.diags, "parse", ts, "a bind endpoint names an actor ('actor.port')")
+		}
+		p.skipStmt()
+		return
+	}
+	b.FromActor, b.FromPort, b.FromSpan = fa, fp, fs
+	b.ToActor, b.ToPort, b.ToSpan = ta, tp, ts
+	f.Binds = append(f.Binds, b)
+}
+
+func (p *parser) parseEnv(f *File) {
+	kw := p.next() // "environment"
+	mode, ok := p.expect(tIdent, "(environment mode)")
+	if !ok {
+		p.skipStmt()
+		return
+	}
+	if mode.text != "standard" {
+		errorf(&p.diags, "parse", spanOf(mode), "unknown environment %q (only 'standard'; use 'drive' for custom stimuli)", mode.text)
+		return
+	}
+	if f.Env != nil {
+		errorf(&p.diags, "parse", spanOf(kw), "duplicate 'environment' declaration")
+		return
+	}
+	f.Env = &EnvDecl{Standard: true, Span: Span{Start: kw.off, End: mode.end}}
+}
+
+func (p *parser) parseDrive(f *File) {
+	p.next() // "drive"
+	a, pt, sp, ok := p.parseEndpoint()
+	if !ok || a == "" {
+		if ok {
+			errorf(&p.diags, "parse", sp, "a drive target names an actor input ('actor.port')")
+		}
+		p.skipStmt()
+		return
+	}
+	if _, ok := p.expect(tEq, "after the drive target"); !ok {
+		p.skipStmt()
+		return
+	}
+	src, ok := p.expect(tString, "(stimulus expression)")
+	if !ok {
+		p.skipStmt()
+		return
+	}
+	f.Drives = append(f.Drives, &DriveDecl{
+		Actor: a, Port: pt, TargetSpan: sp, Expr: src.text, ExprSpan: spanOf(src),
+	})
+}
+
+func (p *parser) parseBoard(f *File) {
+	kw := p.next() // "board"
+	if f.Board != nil {
+		errorf(&p.diags, "parse", spanOf(kw), "duplicate 'board' declaration")
+		p.skipStmt()
+		return
+	}
+	b := &BoardDecl{Span: spanOf(kw)}
+	if _, ok := p.expect(tLBrace, "opening the board"); !ok {
+		p.skipStmt()
+		return
+	}
+	for {
+		t := p.peek()
+		if t.kind == tRBrace || t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			p.errHere("expected a board item, found %s %q", t.kind, t.text)
+			p.skipStmt()
+			continue
+		}
+		switch t.text {
+		case "cpu_hz":
+			p.next()
+			if n, ok := p.expect(tInt, "(CPU frequency)"); ok {
+				b.CPUHz = uint64(n.i)
+			} else {
+				p.skipStmt()
+			}
+		case "baud":
+			p.next()
+			if n, ok := p.expect(tInt, "(UART baud rate)"); ok {
+				b.Baud = uint64(n.i)
+			} else {
+				p.skipStmt()
+			}
+		case "sched":
+			p.next()
+			if s, ok := p.expect(tIdent, "(cooperative|fixed_priority)"); ok {
+				b.Sched, b.SchedSpan = s.text, spanOf(s)
+			} else {
+				p.skipStmt()
+			}
+		default:
+			p.errHere("unknown board item %q (cpu_hz|baud|sched)", t.text)
+			p.skipStmt()
+		}
+	}
+	p.expect(tRBrace, "closing the board")
+	f.Board = b
+}
+
+func (p *parser) parseBus(f *File) {
+	kw := p.next() // "bus"
+	if f.Bus != nil {
+		errorf(&p.diags, "parse", spanOf(kw), "duplicate 'bus' declaration")
+		p.skipStmt()
+		return
+	}
+	b := &BusDecl{Span: spanOf(kw)}
+	if _, ok := p.expect(tLBrace, "opening the bus"); !ok {
+		p.skipStmt()
+		return
+	}
+	for {
+		t := p.peek()
+		if t.kind == tRBrace || t.kind == tEOF {
+			break
+		}
+		if t.kind != tIdent {
+			p.errHere("expected a bus item, found %s %q", t.kind, t.text)
+			p.skipStmt()
+			continue
+		}
+		switch t.text {
+		case "slot":
+			p.next()
+			owner, ok := p.expect(tIdent, "(slot owner node)")
+			if !ok {
+				p.skipStmt()
+				continue
+			}
+			ln, ok := p.expect(tDur, "(slot length)")
+			if !ok {
+				p.skipStmt()
+				continue
+			}
+			b.Slots = append(b.Slots, SlotDecl{
+				Owner: owner.text, OwnerSpan: spanOf(owner), LenNs: ln.ns, LenSpan: spanOf(ln),
+			})
+		case "gap":
+			p.next()
+			if d, ok := p.expect(tDur, "(inter-slot gap)"); ok {
+				b.GapNs, b.GapSpan = d.ns, spanOf(d)
+			} else {
+				p.skipStmt()
+			}
+		case "jitter":
+			p.next()
+			if d, ok := p.expect(tDur, "(release jitter bound)"); ok {
+				b.JitterNs, b.JitterSpan = d.ns, spanOf(d)
+			} else {
+				p.skipStmt()
+			}
+		case "loss":
+			p.next()
+			if n, ok := p.expect(tInt, "(loss per mille)"); ok {
+				b.LossPerMille, b.LossSpan, b.HasLoss = n.i, spanOf(n), true
+			} else {
+				p.skipStmt()
+			}
+		case "seed":
+			p.next()
+			if n, ok := p.expect(tInt, "(bus RNG seed)"); ok {
+				b.Seed, b.SeedSpan, b.HasSeed = n.i, spanOf(n), true
+			} else {
+				p.skipStmt()
+			}
+		default:
+			p.errHere("unknown bus item %q (slot|gap|jitter|loss|seed)", t.text)
+			p.skipStmt()
+		}
+	}
+	p.expect(tRBrace, "closing the bus")
+	f.Bus = b
+}

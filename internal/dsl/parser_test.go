@@ -1,0 +1,162 @@
+package dsl
+
+import (
+	"os"
+	"testing"
+)
+
+// TestParseHeatingExample pins the AST shape of the committed fidelity
+// scenario: declaration order is load-bearing (the loader rebuilds the
+// system in this exact order), so the parser must preserve it.
+func TestParseHeatingExample(t *testing.T) {
+	src, err := os.ReadFile("../../examples/dsl/heating.gmdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, diags := ParseFile(string(src))
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics on the committed example:\n%s", Render("heating.gmdf", string(src), diags))
+	}
+	if f.Name != "heating" {
+		t.Fatalf("system name = %q", f.Name)
+	}
+	if len(f.Enums) != 1 || f.Enums[0].Name != "Mode" || len(f.Enums[0].Literals) != 2 {
+		t.Fatalf("enums = %+v", f.Enums)
+	}
+	if len(f.Actors) != 2 || f.Actors[0].Name != "heater" || f.Actors[1].Name != "monitor" {
+		t.Fatalf("actor order lost: %d actors", len(f.Actors))
+	}
+
+	h := f.Actors[0]
+	if h.PeriodNs != 10_000_000 || h.DeadlineNs != 5_000_000 || h.OffsetNs != 0 {
+		t.Fatalf("heater task spec: period=%d offset=%d deadline=%d", h.PeriodNs, h.OffsetNs, h.DeadlineNs)
+	}
+	net := h.Net
+	if net == nil || net.Name != "heaternet" {
+		t.Fatalf("heater network = %+v", net)
+	}
+	if len(net.Blocks) != 3 {
+		t.Fatalf("heaternet has %d blocks, want 3 in declaration order", len(net.Blocks))
+	}
+	sm, ok := net.Blocks[0].(*MachineDecl)
+	if !ok || sm.Name != "thermostat" {
+		t.Fatalf("block 0 = %T %q, want machine thermostat", net.Blocks[0], net.Blocks[0].BlockName())
+	}
+	if sm.Initial != "Idle" || len(sm.States) != 2 || len(sm.Transitions) != 2 {
+		t.Fatalf("thermostat: initial=%q states=%d transitions=%d", sm.Initial, len(sm.States), len(sm.Transitions))
+	}
+	if g := sm.Transitions[1].Guard; g != "temp > 21" {
+		t.Fatalf("warm guard = %q", g)
+	}
+	modal, ok := net.Blocks[1].(*ModalDecl)
+	if !ok || modal.Name != "boost" || modal.Selector != "mode" {
+		t.Fatalf("block 1 = %T, want modal boost selecting mode", net.Blocks[1])
+	}
+	if len(modal.Modes) != 2 || modal.Modes[0].EnumRef != "Mode.eco" || modal.Fallback == nil {
+		t.Fatalf("boost modes = %+v fallback = %+v", modal.Modes, modal.Fallback)
+	}
+	comp, ok := net.Blocks[2].(*CompositeDecl)
+	if !ok || comp.Name != "shape" || len(comp.Blocks) != 2 || len(comp.Wires) != 3 {
+		t.Fatalf("block 2 = %T, want composite shape with 2 blocks and 3 wires", net.Blocks[2])
+	}
+	if len(net.Wires) != 6 {
+		t.Fatalf("heaternet has %d wires, want 6", len(net.Wires))
+	}
+	if w := net.Wires[0]; w.FromBlock != "" || w.FromPort != "temp" || w.ToBlock != "thermostat" || w.ToPort != "temp" {
+		t.Fatalf("wire 0 = %+v", w)
+	}
+
+	if len(f.Binds) != 1 || f.Binds[0].Signal != "power_sig" || f.Binds[0].FromActor != "heater" {
+		t.Fatalf("binds = %+v", f.Binds)
+	}
+	if f.Env == nil || !f.Env.Standard {
+		t.Fatalf("environment = %+v", f.Env)
+	}
+	if f.RunNs != 300_000_000 {
+		t.Fatalf("RunNs = %d", f.RunNs)
+	}
+}
+
+// TestParseResyncReportsEveryError: one pass over a file with several
+// independent mistakes reports each of them — statement-level resync
+// keeps one bad line from eating the rest of the file.
+func TestParseResyncReportsEveryError(t *testing.T) {
+	src := `system multi
+
+actor a {
+    period banana
+    deadline 5ms
+    network n {
+        in x floot
+        out y float
+        wire .x -> .y
+        wire @ -> .y
+    }
+}
+
+frobnicate everything
+`
+	f, diags := ParseFile(src)
+	if f.Name != "multi" {
+		t.Fatalf("system name lost after errors: %q", f.Name)
+	}
+	if len(f.Actors) != 1 || f.Actors[0].Net == nil {
+		t.Fatal("resync lost the actor or its network")
+	}
+	var msgs []string
+	for _, d := range diags {
+		if d.Sev != SevError {
+			t.Errorf("parse stage emitted non-error %+v", d)
+		}
+		if d.Span.Start < 0 || d.Span.End > len(src)+1 || d.Span.End < d.Span.Start {
+			t.Errorf("out-of-range span %+v", d.Span)
+		}
+		msgs = append(msgs, d.Msg)
+	}
+	// At minimum: bad period literal, bad port kind, bad wire endpoint,
+	// unknown top-level declaration. The good lines between them parsed.
+	if len(diags) < 4 {
+		t.Fatalf("want >= 4 errors, got %d: %q", len(diags), msgs)
+	}
+	if f.Actors[0].DeadlineNs != 5_000_000 {
+		t.Fatal("deadline after a bad period line was not parsed")
+	}
+	if got := len(f.Actors[0].Net.Wires); got != 1 {
+		t.Fatalf("good wire count = %d, want 1 (bad wire dropped, good wire kept)", got)
+	}
+}
+
+// TestParseDurations: duration literals are a single token with an
+// integer mantissa; fractional durations are rejected with a position.
+func TestParseDurations(t *testing.T) {
+	f, diags := ParseFile("system s\nactor a { period 250us\n deadline 100us\n network n { out y float\n block const c { value = 1.0 }\n wire c.out -> .y } }\n")
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %+v", diags)
+	}
+	if f.Actors[0].PeriodNs != 250_000 {
+		t.Fatalf("250us parsed as %d ns", f.Actors[0].PeriodNs)
+	}
+
+	_, diags = ParseFile("system s\nactor a { period 1.5ms }\n")
+	if !HasErrors(diags) {
+		t.Fatal("fractional duration accepted")
+	}
+}
+
+// TestParseDoubleRenderIdentical: parsing and rendering the same bad
+// source twice is byte-identical — the determinism contract the CI job
+// diffs for.
+func TestParseDoubleRenderIdentical(t *testing.T) {
+	src := "system s\nactor { period 1ms }\nactor b }{\nbus { slot n 1.2us }\n"
+	render := func() string {
+		_, diags := ParseFile(src)
+		return Render("x.gmdf", src, diags)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("renders differ:\n%s\n---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("bad source rendered no diagnostics")
+	}
+}

@@ -1,0 +1,54 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a positioned expression error. Every lexical and syntactic
+// failure in this package carries the byte offset (into the original
+// source string) at which the problem was detected, so embedding hosts
+// (the scenario DSL, breakpoint conditions typed at a prompt) can map
+// it onto their own coordinate system.
+type Error struct {
+	Offset int    // byte offset into the parsed source
+	Msg    string // human-readable description, without position
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("expr: %s at offset %d", e.Msg, e.Offset)
+}
+
+// errAt builds a positioned error.
+func errAt(off int, format string, args ...any) error {
+	return &Error{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Position extracts the byte offset from an error returned by Parse or
+// lex. The second result is false for foreign errors.
+func Position(err error) (int, bool) {
+	if pe, ok := err.(*Error); ok {
+		return pe.Offset, true
+	}
+	return 0, false
+}
+
+// LineCol maps a byte offset in src to 1-based line and column numbers.
+// Columns count bytes from the start of the line (the sources this
+// package sees are ASCII). Offsets past the end of src report the
+// position just after the final byte.
+func LineCol(src string, off int) (line, col int) {
+	if off < 0 {
+		off = 0
+	}
+	if off > len(src) {
+		off = len(src)
+	}
+	line = 1 + strings.Count(src[:off], "\n")
+	if i := strings.LastIndexByte(src[:off], '\n'); i >= 0 {
+		col = off - i
+	} else {
+		col = off + 1
+	}
+	return line, col
+}

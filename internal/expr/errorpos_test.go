@@ -1,0 +1,157 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestErrorPositions walks every lexer and parser error path and pins
+// the byte offset each one reports. Offsets anchor diagnostics in
+// multi-line DSL sources, so a path regressing to "no position" or to
+// the wrong token is a bug, not a cosmetic change.
+func TestErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		off  int
+		want string // substring of the message
+	}{
+		// Lexer paths.
+		{"malformed number", "1 + 2.", 4, "malformed number"},
+		{"malformed exponent", "3e+", 0, "malformed number"},
+		{"unterminated escape", `"ab\`, 0, "unterminated escape"},
+		{"unknown escape", `"ab\q"`, 4, "unknown escape"},
+		{"unterminated string", `1 + "abc`, 4, "unterminated string"},
+		{"single equals", "a = b", 2, "single '='"},
+		{"unexpected character", "a + #", 4, "unexpected character"},
+		// Parser paths.
+		{"trailing input", "1 2", 2, "trailing input"},
+		{"missing rparen", "(1 + 2", 6, "missing ')'"},
+		{"unexpected token", "1 + *", 4, "unexpected token"},
+		{"unknown function", "1 + nosuch(2)", 4, "unknown function"},
+		{"arity low", "a + min(1)", 4, "min expects"},
+		{"arity high", "max(1, 2, 3)", 0, "max expects"},
+		{"expected comma", "min(1 ! 2)", 6, "expected ',' or ')'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q): expected error", tc.src)
+			}
+			pe, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("Parse(%q): error %v is %T, want *expr.Error", tc.src, err, err)
+			}
+			if pe.Offset != tc.off {
+				t.Errorf("Parse(%q): offset %d, want %d (%v)", tc.src, pe.Offset, tc.off, err)
+			}
+			if !strings.Contains(pe.Msg, tc.want) {
+				t.Errorf("Parse(%q): message %q missing %q", tc.src, pe.Msg, tc.want)
+			}
+			if pe.Offset < 0 || pe.Offset > len(tc.src) {
+				t.Errorf("Parse(%q): offset %d out of range [0, %d]", tc.src, pe.Offset, len(tc.src))
+			}
+		})
+	}
+}
+
+// TestBadNumberParserPath covers the parser-side strconv fallbacks: the
+// lexer accepts the shape but strconv rejects the magnitude.
+func TestBadNumberParserPath(t *testing.T) {
+	// 20 digits overflows int64, exercising the bad-integer branch.
+	src := "a + 99999999999999999999"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse(%q): expected error", src)
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error %v is %T, want *expr.Error", err, err)
+	}
+	if pe.Offset != 4 {
+		t.Errorf("offset %d, want 4 (%v)", pe.Offset, err)
+	}
+	if !strings.Contains(pe.Msg, "bad integer") {
+		t.Errorf("message %q missing %q", pe.Msg, "bad integer")
+	}
+	// A float too large even for float64's exponent range.
+	src = "1e999999999"
+	_, err = Parse(src)
+	if err == nil {
+		t.Fatalf("Parse(%q): expected error", src)
+	}
+	pe, ok = err.(*Error)
+	if !ok {
+		t.Fatalf("error %v is %T, want *expr.Error", err, err)
+	}
+	if pe.Offset != 0 {
+		t.Errorf("offset %d, want 0 (%v)", pe.Offset, err)
+	}
+	if !strings.Contains(pe.Msg, "bad number") {
+		t.Errorf("message %q missing %q", pe.Msg, "bad number")
+	}
+}
+
+func TestPosition(t *testing.T) {
+	_, err := Parse("1 +")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	off, ok := Position(err)
+	if !ok {
+		t.Fatalf("Position(%v): not a positioned error", err)
+	}
+	if off != 3 {
+		t.Errorf("Position = %d, want 3", off)
+	}
+	if _, ok := Position(errFake{}); ok {
+		t.Error("Position(errFake{}) = true, want false")
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func TestLineCol(t *testing.T) {
+	src := "ab\ncde\n\nf"
+	cases := []struct {
+		off, line, col int
+	}{
+		{0, 1, 1},  // 'a'
+		{1, 1, 2},  // 'b'
+		{2, 1, 3},  // the newline itself: still line 1
+		{3, 2, 1},  // 'c'
+		{5, 2, 3},  // 'e'
+		{7, 3, 1},  // empty line
+		{8, 4, 1},  // 'f'
+		{9, 4, 2},  // one past the end
+		{99, 4, 2}, // clamped
+		{-5, 1, 1}, // clamped
+	}
+	for _, tc := range cases {
+		line, col := LineCol(src, tc.off)
+		if line != tc.line || col != tc.col {
+			t.Errorf("LineCol(%d) = %d:%d, want %d:%d", tc.off, line, col, tc.line, tc.col)
+		}
+	}
+}
+
+// TestMustParseMessage pins that the panic names the offending source.
+func TestMustParseMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v is %T, want string", r, r)
+		}
+		if !strings.Contains(msg, `"1 +++"`) {
+			t.Errorf("panic %q does not name the source", msg)
+		}
+	}()
+	MustParse("1 +++")
+}

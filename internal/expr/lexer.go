@@ -17,7 +17,6 @@
 package expr
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -118,7 +117,7 @@ done:
 	text := l.src[start:l.pos]
 	if strings.HasSuffix(text, ".") || strings.HasSuffix(text, "e") || strings.HasSuffix(text, "E") ||
 		strings.HasSuffix(text, "+") || strings.HasSuffix(text, "-") {
-		return fmt.Errorf("expr: malformed number %q at offset %d", text, start)
+		return errAt(start, "malformed number %q", text)
 	}
 	l.toks = append(l.toks, token{kind: tokNumber, text: text, pos: start})
 	return nil
@@ -138,7 +137,7 @@ func (l *lexer) lexString() error {
 		case '\\':
 			l.pos++
 			if l.pos >= len(l.src) {
-				return fmt.Errorf("expr: unterminated escape at offset %d", start)
+				return errAt(start, "unterminated escape")
 			}
 			switch l.src[l.pos] {
 			case 'n':
@@ -150,7 +149,7 @@ func (l *lexer) lexString() error {
 			case '\\':
 				sb.WriteByte('\\')
 			default:
-				return fmt.Errorf("expr: unknown escape \\%c at offset %d", l.src[l.pos], l.pos)
+				return errAt(l.pos, "unknown escape \\%c", l.src[l.pos])
 			}
 			l.pos++
 		default:
@@ -158,7 +157,7 @@ func (l *lexer) lexString() error {
 			l.pos++
 		}
 	}
-	return fmt.Errorf("expr: unterminated string at offset %d", start)
+	return errAt(start, "unterminated string")
 }
 
 func (l *lexer) lexIdent() {
@@ -187,11 +186,11 @@ func (l *lexer) lexOp() error {
 	switch c {
 	case '+', '-', '*', '/', '%', '<', '>', '!', '(', ')', ',', '=':
 		if c == '=' {
-			return fmt.Errorf("expr: single '=' at offset %d (use '==')", l.pos)
+			return errAt(l.pos, "single '=' (use '==')")
 		}
 		l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: l.pos})
 		l.pos++
 		return nil
 	}
-	return fmt.Errorf("expr: unexpected character %q at offset %d", c, l.pos)
+	return errAt(l.pos, "unexpected character %q", c)
 }

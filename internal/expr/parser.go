@@ -27,16 +27,18 @@ func Parse(src string) (Node, error) {
 		return nil, err
 	}
 	if p.peek().kind != tokEOF {
-		return nil, fmt.Errorf("expr: trailing input %q at offset %d", p.peek().text, p.peek().pos)
+		return nil, errAt(p.peek().pos, "trailing input %q", p.peek().text)
 	}
 	return n, nil
 }
 
 // MustParse parses src and panics on error; for tests and static tables.
+// The panic message names the offending source so a failure inside a
+// static table identifies which entry is broken.
 func MustParse(src string) Node {
 	n, err := Parse(src)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("expr: MustParse(%q): %v", src, err))
 	}
 	return n
 }
@@ -169,13 +171,13 @@ func (p *parser) parsePrimary() (Node, error) {
 		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
-				return nil, fmt.Errorf("expr: bad number %q: %w", t.text, err)
+				return nil, errAt(t.pos, "bad number %q: %v", t.text, err)
 			}
 			return &Lit{Val: value.F(f)}, nil
 		}
 		i, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("expr: bad integer %q: %w", t.text, err)
+			return nil, errAt(t.pos, "bad integer %q: %v", t.text, err)
 		}
 		return &Lit{Val: value.I(i)}, nil
 	case tokString:
@@ -187,7 +189,7 @@ func (p *parser) parsePrimary() (Node, error) {
 	case tokIdent:
 		p.next()
 		if _, ok := p.acceptOp("("); ok {
-			return p.parseCallArgs(t.text)
+			return p.parseCallArgs(t.text, t.pos)
 		}
 		return &Ident{Name: t.text}, nil
 	case tokOp:
@@ -198,21 +200,24 @@ func (p *parser) parsePrimary() (Node, error) {
 				return nil, err
 			}
 			if _, ok := p.acceptOp(")"); !ok {
-				return nil, fmt.Errorf("expr: missing ')' at offset %d", p.peek().pos)
+				return nil, errAt(p.peek().pos, "missing ')'")
 			}
 			return inner, nil
 		}
 	}
-	return nil, fmt.Errorf("expr: unexpected token %q at offset %d", t.text, t.pos)
+	return nil, errAt(t.pos, "unexpected token %q", t.text)
 }
 
-func (p *parser) parseCallArgs(fn string) (Node, error) {
+// parseCallArgs parses the argument list of a builtin call; pos is the
+// byte offset of the function identifier, anchoring arity and
+// unknown-function errors at the call site.
+func (p *parser) parseCallArgs(fn string, pos int) (Node, error) {
 	if _, ok := builtins[fn]; !ok {
-		return nil, fmt.Errorf("expr: unknown function %q", fn)
+		return nil, errAt(pos, "unknown function %q", fn)
 	}
 	var args []Node
 	if _, ok := p.acceptOp(")"); ok {
-		return checkArity(&Call{Fn: fn, Args: args})
+		return checkArity(&Call{Fn: fn, Args: args}, pos)
 	}
 	for {
 		a, err := p.parseOr()
@@ -224,16 +229,16 @@ func (p *parser) parseCallArgs(fn string) (Node, error) {
 			continue
 		}
 		if _, ok := p.acceptOp(")"); ok {
-			return checkArity(&Call{Fn: fn, Args: args})
+			return checkArity(&Call{Fn: fn, Args: args}, pos)
 		}
-		return nil, fmt.Errorf("expr: expected ',' or ')' at offset %d", p.peek().pos)
+		return nil, errAt(p.peek().pos, "expected ',' or ')'")
 	}
 }
 
-func checkArity(c *Call) (Node, error) {
+func checkArity(c *Call, pos int) (Node, error) {
 	b := builtins[c.Fn]
 	if len(c.Args) < b.minArgs || len(c.Args) > b.maxArgs {
-		return nil, fmt.Errorf("expr: %s expects %d..%d args, got %d", c.Fn, b.minArgs, b.maxArgs, len(c.Args))
+		return nil, errAt(pos, "%s expects %d..%d args, got %d", c.Fn, b.minArgs, b.maxArgs, len(c.Args))
 	}
 	return c, nil
 }

@@ -2,6 +2,8 @@ package farm
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math/bits"
@@ -13,6 +15,8 @@ import (
 
 	"repro"
 	"repro/internal/codegen"
+	"repro/internal/comdes"
+	"repro/internal/dsl"
 	"repro/internal/sched"
 	"repro/internal/target"
 	"repro/internal/trace"
@@ -22,6 +26,11 @@ import (
 // DefaultMaxSessions bounds concurrently active sessions when Options
 // leaves it zero.
 const DefaultMaxSessions = 1024
+
+// DefaultMaxSourceBytes bounds accepted scenario DSL source per create
+// request when Options leaves it zero: the checker's resource limits cap
+// what a scenario may build, this caps what the front end must even read.
+const DefaultMaxSourceBytes = 256 << 10
 
 // attachSampleCap bounds the retained attach-latency samples used for
 // percentiles (the log2 bucket histogram is unbounded).
@@ -36,6 +45,10 @@ type Options struct {
 	// MaxSessions caps concurrently active sessions (DefaultMaxSessions
 	// when zero).
 	MaxSessions int
+	// MaxSourceBytes caps the scenario DSL source a create request may
+	// carry (DefaultMaxSourceBytes when zero, negative disables DSL
+	// creates entirely).
+	MaxSourceBytes int
 	// Logf, when set, receives one line per connection and session
 	// lifecycle event.
 	Logf func(format string, v ...any)
@@ -114,6 +127,9 @@ func NewServer(opts Options) (*Server, error) {
 	}
 	if opts.MaxSessions <= 0 {
 		opts.MaxSessions = DefaultMaxSessions
+	}
+	if opts.MaxSourceBytes == 0 {
+		opts.MaxSourceBytes = DefaultMaxSourceBytes
 	}
 	return &Server{
 		opts:     opts,
@@ -511,23 +527,21 @@ func (s *Server) flushStream(ss *session) {
 	s.st.mu.Unlock()
 }
 
-// programFor compiles a model once and shares the immutable program
-// across all of its sessions.
-func (s *Server) programFor(model string) (*codegen.Program, error) {
+// programForSystem compiles a system once and shares the immutable
+// program across every session with the same key — the built-in model
+// name, or "dsl:"+source-digest for scenario sessions (identical source
+// text compiles once no matter how many clients submit it).
+func (s *Server) programForSystem(key string, sys *comdes.System) (*codegen.Program, error) {
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
-	if p, ok := s.programs[model]; ok {
+	if p, ok := s.programs[key]; ok {
 		return p, nil
-	}
-	sys, err := models.ByName(model)
-	if err != nil {
-		return nil, err
 	}
 	p, err := repro.CompileFor(sys, repro.DebugConfig{Transport: repro.Active})
 	if err != nil {
 		return nil, err
 	}
-	s.programs[model] = p
+	s.programs[key] = p
 	return p, nil
 }
 
@@ -536,12 +550,42 @@ func (s *Server) handleCreate(raw json.RawMessage) (any, error) {
 	if err := unmarshalParams(raw, &p); err != nil {
 		return nil, err
 	}
-	sys, err := models.ByName(p.Model)
-	if err != nil {
-		return nil, err
+	var (
+		sys *comdes.System
+		sc  *dsl.Scenario
+	)
+	model := p.Model
+	if p.Source != "" {
+		// DSL sessions gate on the same checker the CLI runs: a scenario
+		// that would fail to build (or exceed the resource limits) is
+		// rejected at the wire with rendered file:line:col diagnostics,
+		// before any board exists.
+		if s.opts.MaxSourceBytes < 0 {
+			return nil, fmt.Errorf("farm: scenario source creates are disabled on this server")
+		}
+		if len(p.Source) > s.opts.MaxSourceBytes {
+			return nil, fmt.Errorf("farm: scenario source is %d bytes, limit is %d", len(p.Source), s.opts.MaxSourceBytes)
+		}
+		name := p.SourceName
+		if name == "" {
+			name = "scenario.gmdf"
+		}
+		loaded, diags, err := dsl.LoadSource(name, p.Source)
+		if err != nil {
+			return nil, fmt.Errorf("farm: scenario rejected:\n%s", dsl.Render(name, p.Source, diags))
+		}
+		sc, sys = loaded, loaded.Sys
+		sum := sha256.Sum256([]byte(p.Source))
+		model = "dsl:" + hex.EncodeToString(sum[:6])
+	} else {
+		var err error
+		sys, err = models.ByName(p.Model)
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	ss := &session{model: p.Model, sys: sys}
+	ss := &session{model: model, sys: sys}
 	if len(sys.Nodes()) > 1 {
 		exec := target.ExecAuto
 		switch p.Exec {
@@ -553,23 +597,32 @@ func (s *Server) handleCreate(raw json.RawMessage) (any, error) {
 		default:
 			return nil, fmt.Errorf("farm: unknown exec mode %q (auto|serial|parallel)", p.Exec)
 		}
-		cdbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{
-			Cluster: repro.StandardClusterConfig(sys.Nodes(), exec),
-		})
+		ccfg := repro.StandardClusterConfig(sys.Nodes(), exec)
+		var cenv func(now uint64, node string, b *target.Board)
+		if sc != nil {
+			ccfg = sc.ClusterConfig(exec)
+			cenv = sc.ClusterEnvironment()
+		}
+		cdbg, err := repro.DebugCluster(sys, repro.ClusterDebugConfig{Cluster: ccfg, Environment: cenv})
 		if err != nil {
 			return nil, err
 		}
 		ss.cdbg = cdbg
 	} else {
-		prog, err := s.programFor(p.Model)
+		prog, err := s.programForSystem(model, sys)
 		if err != nil {
 			return nil, err
 		}
-		dbg, err := repro.Debug(sys, repro.DebugConfig{
+		cfg := repro.DebugConfig{
 			Transport:   repro.Active,
 			Environment: repro.StandardEnvironment(p.Model),
 			Program:     prog,
-		})
+		}
+		if sc != nil {
+			cfg.Environment = sc.Environment()
+			cfg.Board = sc.BoardConfig()
+		}
+		dbg, err := repro.Debug(sys, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -621,11 +674,11 @@ func (s *Server) handleCreate(raw json.RawMessage) (any, error) {
 		s.st.created++
 	}
 	s.st.mu.Unlock()
-	s.logf("farm: session %s created (model=%s resumed=%v)", ss.id, p.Model, resumed)
+	s.logf("farm: session %s created (model=%s resumed=%v)", ss.id, model, resumed)
 
 	res := CreateResult{
 		Session: ss.id,
-		Model:   p.Model,
+		Model:   model,
 		NowNs:   ss.now(),
 		Records: ss.engineSession().Trace.Len(),
 		Backend: ss.backend(),

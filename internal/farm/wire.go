@@ -68,6 +68,16 @@ type CreateParams struct {
 	// Exec selects the cluster execution mode: "" or "auto" | "serial" |
 	// "parallel". Ignored for single-board models.
 	Exec string `json:"exec,omitempty"`
+	// Source, when non-empty, is scenario DSL text (.gmdf): the session
+	// debugs the system it declares instead of a built-in model. The
+	// server runs the full front end (parse, check, lint) and rejects the
+	// create when any stage reports errors — the wire error carries the
+	// rendered file:line:col diagnostics with caret excerpts. Model is
+	// ignored when Source is set.
+	Source string `json:"source,omitempty"`
+	// SourceName labels Source in rendered diagnostics (defaults to
+	// "scenario.gmdf").
+	SourceName string `json:"sourceName,omitempty"`
 }
 
 // CreateResult identifies the new session.

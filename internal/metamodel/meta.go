@@ -14,6 +14,7 @@ package metamodel
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/value"
 )
@@ -291,29 +292,40 @@ func (c *Class) IsKindOf(name string) bool {
 // no inheritance cycles, all reference targets resolvable, enum
 // references valid. (Most of this is enforced at construction; Validate
 // re-checks to guard deserialized metamodels.)
+//
+// All violations are collected and returned together, sorted by class
+// and member name, so the error text is deterministic across runs —
+// golden diagnostic tests in the scenario DSL depend on this.
 func (m *Metamodel) Validate() error {
-	for _, c := range m.classes {
+	var violations []string
+	names := make([]string, len(m.order))
+	copy(names, m.order)
+	sort.Strings(names)
+	for _, name := range names {
+		c := m.classes[name]
 		// Inheritance cycle detection via tortoise walk bounded by class count.
 		steps := 0
 		for k := c.super; k != nil; k = k.super {
 			steps++
-			if steps > len(m.classes) {
-				return fmt.Errorf("metamodel: inheritance cycle involving %q", c.Name)
-			}
-			if k == c {
-				return fmt.Errorf("metamodel: inheritance cycle involving %q", c.Name)
+			if steps > len(m.classes) || k == c {
+				violations = append(violations, fmt.Sprintf("inheritance cycle involving %q", c.Name))
+				break
 			}
 		}
 		for _, r := range c.refs {
 			if m.Class(r.Target) == nil {
-				return fmt.Errorf("metamodel: %s.%s: dangling target %q", c.Name, r.Name, r.Target)
+				violations = append(violations, fmt.Sprintf("%s.%s: dangling target %q", c.Name, r.Name, r.Target))
 			}
 		}
 		for _, a := range c.attrs {
 			if a.Enum != "" && m.Enum(a.Enum) == nil {
-				return fmt.Errorf("metamodel: %s.%s: dangling enum %q", c.Name, a.Name, a.Enum)
+				violations = append(violations, fmt.Sprintf("%s.%s: dangling enum %q", c.Name, a.Name, a.Enum))
 			}
 		}
 	}
-	return nil
+	if len(violations) == 0 {
+		return nil
+	}
+	sort.Strings(violations)
+	return fmt.Errorf("metamodel: %s", strings.Join(violations, "; "))
 }

@@ -1,0 +1,54 @@
+package metamodel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// brokenMetamodel assembles a metamodel with several independent
+// violations by mutating internals the constructors would reject.
+func brokenMetamodel(t *testing.T) *Metamodel {
+	t.Helper()
+	m := NewMetamodel("broken", "urn:test")
+	a := m.MustClass("Alpha", false, "")
+	b := m.MustClass("Beta", false, "Alpha")
+	c := m.MustClass("Gamma", false, "")
+	// Inheritance cycle: Alpha -> Beta -> Alpha.
+	a.super = b
+	// Dangling reference and enum, bypassing Add* validation.
+	c.refs = append(c.refs, &Reference{Name: "r", Target: "NoSuch"})
+	c.attrs = append(c.attrs, &Attribute{Name: "a", Type: value.String, Enum: "NoEnum"})
+	return m
+}
+
+// TestValidateDeterministic pins that Validate reports every violation,
+// in one sorted, run-stable error. The DSL checker's golden diagnostics
+// render this text verbatim.
+func TestValidateDeterministic(t *testing.T) {
+	first := ""
+	for i := 0; i < 20; i++ {
+		err := brokenMetamodel(t).Validate()
+		if err == nil {
+			t.Fatal("Validate() = nil for a broken metamodel")
+		}
+		if i == 0 {
+			first = err.Error()
+			for _, want := range []string{
+				"inheritance cycle involving \"Alpha\"",
+				"inheritance cycle involving \"Beta\"",
+				"Gamma.r: dangling target \"NoSuch\"",
+				"Gamma.a: dangling enum \"NoEnum\"",
+			} {
+				if !strings.Contains(first, want) {
+					t.Errorf("Validate() = %q, missing %q", first, want)
+				}
+			}
+			continue
+		}
+		if got := err.Error(); got != first {
+			t.Fatalf("Validate() unstable across runs:\n  %q\n  %q", got, first)
+		}
+	}
+}
